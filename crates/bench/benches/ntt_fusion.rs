@@ -1,0 +1,31 @@
+//! Criterion sweep over the NTT fusion degree k (the measured companion to
+//! Fig. 10's execution-time panel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use he_ntt::{FusedNtt, NttTable};
+
+fn bench_fusion_sweep(c: &mut Criterion) {
+    let n = 1usize << 12; // the paper's Fig. 10 example length
+    let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+    let table = NttTable::new(n, q);
+    let data: Vec<u64> = (0..n as u64).map(|i| (i * 40503) % q).collect();
+    let mut group = c.benchmark_group("ntt_fusion_n4096");
+    for k in 1..=6u32 {
+        let fused = FusedNtt::new(&table, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fused.forward(&mut d);
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fusion_sweep
+}
+criterion_main!(benches);

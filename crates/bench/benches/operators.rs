@@ -1,0 +1,94 @@
+//! Criterion benches for the five operator kernels (software library) —
+//! the measured side of the paper's key-operator comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use he_ntt::{FusedNtt, NttTable};
+use poseidon_core::HfAuto;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [12u32, 13, 14] {
+        let n = 1usize << log_n;
+        let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+        let table = NttTable::new(n, q);
+        let data: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % q).collect();
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                table.forward(&mut d);
+                d
+            })
+        });
+        let fused = FusedNtt::new(&table, 3);
+        group.bench_with_input(BenchmarkId::new("fused_k3", n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fused.forward(&mut d);
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_modmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mm");
+    let n = 1usize << 14;
+    let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+    let red = he_math::BarrettReducer::new(q);
+    let a: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % q).collect();
+    let b_vec: Vec<u64> = (0..n as u64).map(|i| (i * 104729) % q).collect();
+    group.bench_function("barrett_vector_16k", |b| {
+        b.iter(|| {
+            a.iter()
+                .zip(&b_vec)
+                .map(|(&x, &y)| red.mul(x, y))
+                .collect::<Vec<_>>()
+        })
+    });
+    let mont = he_math::montgomery::Montgomery::new(q);
+    group.bench_function("montgomery_vector_16k", |b| {
+        b.iter(|| {
+            // Domain conversions amortised over the vector, as a chained
+            // kernel would do.
+            a.iter()
+                .zip(&b_vec)
+                .map(|(&x, &y)| mont.mont_mul(mont.to_mont(x), mont.to_mont(y)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("reference_u128_vector_16k", |b| {
+        b.iter(|| {
+            a.iter()
+                .zip(&b_vec)
+                .map(|(&x, &y)| he_math::modops::mul_mod(x, y, q))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_automorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automorphism");
+    let n = 1usize << 14;
+    let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+    let data: Vec<u64> = (0..n as u64).map(|i| (i * 31) % q).collect();
+    let hf = HfAuto::new(n, 512);
+    group.bench_function("hfauto_16k", |b| b.iter(|| hf.apply(&data, 5, q)));
+    group.bench_function("naive_16k", |b| b.iter(|| hf.apply_naive(&data, 5, q)));
+    // Lane-width ablation: the paper's Fig. 11 axis at the operator level.
+    for lanes in [64usize, 128, 256, 512] {
+        let hf = HfAuto::new(n, lanes);
+        group.bench_with_input(BenchmarkId::new("hfauto_lanes", lanes), &lanes, |b, _| {
+            b.iter(|| hf.apply(&data, 5, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ntt, bench_modmul, bench_automorphism
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark-harness library: table/figure regenerators and timing helpers
+//! shared by the `tables` binary and the Criterion benches.
+
+pub mod cpu_baseline;
+pub mod tables;

@@ -1,0 +1,51 @@
+//! Every program file shipped in `programs/` must parse and simulate.
+
+use std::path::PathBuf;
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs")
+}
+
+#[test]
+fn all_shipped_programs_parse_and_simulate() {
+    let dir = programs_dir();
+    let mut found = 0;
+    for entry in std::fs::read_dir(&dir).expect("programs dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pos") {
+            continue;
+        }
+        found += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = poseidon_sim::program::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!trace.entries().is_empty(), "{}", path.display());
+        let sim = poseidon_sim::Simulator::new(poseidon_sim::AcceleratorConfig::poseidon_u280());
+        let r = sim.run(&trace);
+        assert!(r.seconds > 0.0, "{}", path.display());
+    }
+    assert!(found >= 3, "expected shipped programs, found {found}");
+}
+
+#[test]
+fn shipped_programs_round_trip_through_format() {
+    for entry in std::fs::read_dir(programs_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pos") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let t1 = poseidon_sim::program::parse(&text).unwrap();
+        let t2 = poseidon_sim::program::parse(&poseidon_sim::program::format(&t1)).unwrap();
+        assert_eq!(t1, t2, "{}", path.display());
+    }
+}
+
+#[test]
+fn streaming_program_is_bandwidth_bound() {
+    let text = std::fs::read_to_string(programs_dir().join("hadd_stream.pos")).unwrap();
+    let trace = poseidon_sim::program::parse(&text).unwrap();
+    let sim = poseidon_sim::Simulator::new(poseidon_sim::AcceleratorConfig::poseidon_u280());
+    let r = sim.run(&trace);
+    assert!(r.bandwidth_utilisation > 0.95, "{}", r.bandwidth_utilisation);
+}

@@ -1,0 +1,536 @@
+//! Packed CKKS bootstrapping (the paper's most complex workload, [30]).
+//!
+//! Pipeline, for a ciphertext exhausted down to the single prime `q_0`:
+//!
+//! 1. **ModRaise** — reinterpret the centred residues modulo the full chain
+//!    `Q`. The plaintext becomes `m + q_0·I` for a small integer polynomial
+//!    `I` (bounded by the secret's Hamming weight).
+//! 2. **SubSum** — for `n' < N/2` sparse slots, apply the trace onto the
+//!    subring `Z[X^s]` (`s = N/(2n')`): `log2(N/(2n'))` rotation-adds. This
+//!    zeroes every coefficient off the sparse support and multiplies the
+//!    rest by `D = N/(2n')`.
+//! 3. **CoeffToSlot** — homomorphic linear transform moving the `2n'`
+//!    meaningful coefficients into the slots of two ciphertexts, using
+//!    one conjugation plus diagonal (BSGS-free) matrix-vector products.
+//! 4. **EvalMod** — approximate `x mod q_0` by `(q_0/2πD)·sin(2πD·x/q_0)`:
+//!    scale down, evaluate a degree-7 Taylor sine and degree-6 cosine of
+//!    the divided angle, then apply `r` double-angle iterations.
+//! 5. **SlotToCoeff** — the inverse linear transform, recombining both
+//!    halves into a refreshed ciphertext at a high level.
+//!
+//! The linear-transform matrices are derived *numerically from the encoder
+//! itself* (evaluating unit coefficient vectors), so every convention
+//! (bit-reversal, 5^j ordering, replication) is captured by construction.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::encoding::Complex;
+use crate::eval::Evaluator;
+use crate::keys::KeySet;
+use crate::polyeval::evaluate_monomial;
+use he_rns::RnsPoly;
+
+/// Degree-7 Taylor coefficients of sin(x).
+const SIN_COEFFS: [f64; 8] = [
+    0.0,
+    1.0,
+    0.0,
+    -1.0 / 6.0,
+    0.0,
+    1.0 / 120.0,
+    0.0,
+    -1.0 / 5040.0,
+];
+
+/// Degree-6 Taylor coefficients of cos(x).
+const COS_COEFFS: [f64; 7] = [1.0, 0.0, -0.5, 0.0, 1.0 / 24.0, 0.0, -1.0 / 720.0];
+
+/// Precomputed bootstrapping context for a fixed sparse slot count.
+///
+/// # Examples
+///
+/// See `crates/ckks/tests` and the `bootstrapping` example binary — a full
+/// run needs sparse-secret keys and rotation/conjugation keys from
+/// [`Bootstrapper::required_rotations`].
+#[derive(Debug, Clone)]
+pub struct Bootstrapper {
+    ctx: CkksContext,
+    /// Sparse slot count `n'`.
+    slots: usize,
+    /// Double-angle iterations.
+    doublings: u32,
+    /// `q_0` as float.
+    q0: f64,
+    /// Coefficient→slot matrices: low/high half from `w` and `conj(w)`.
+    a_low_w: Vec<Vec<Complex>>,
+    a_low_cw: Vec<Vec<Complex>>,
+    a_high_w: Vec<Vec<Complex>>,
+    a_high_cw: Vec<Vec<Complex>>,
+    /// Slot→coefficient matrices (columns of the forward map F).
+    f_low: Vec<Vec<Complex>>,
+    f_high: Vec<Vec<Complex>>,
+}
+
+impl Bootstrapper {
+    /// Builds the bootstrapping context for `slots` sparse slots (a power
+    /// of two dividing `N/2`) and `doublings` double-angle iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` does not divide `N/2` or is not ≥ 2.
+    pub fn new(ctx: &CkksContext, slots: usize, doublings: u32) -> Self {
+        let n = ctx.n();
+        assert!(
+            slots >= 2 && slots.is_power_of_two() && (n / 2) % slots == 0,
+            "slots must be a power of two dividing N/2"
+        );
+        let stride = n / (2 * slots);
+        let enc = ctx.encoder();
+
+        // Forward map F: 2n' strided unit coefficients → n' slots, derived
+        // from the encoder itself.
+        let two_np = 2 * slots;
+        let mut f_cols: Vec<Vec<Complex>> = Vec::with_capacity(two_np);
+        for k in 0..two_np {
+            let mut coeffs = vec![0.0f64; n];
+            coeffs[k * stride] = 1.0;
+            f_cols.push(enc.decode_from_coeffs(&coeffs, 1.0, slots));
+        }
+
+        // Real 2n'×2n' system: m̃ → (Re w, Im w); invert by Gaussian
+        // elimination.
+        let dim = two_np;
+        let mut m = vec![vec![0.0f64; dim]; dim];
+        for (k, col) in f_cols.iter().enumerate() {
+            for j in 0..slots {
+                m[j][k] = col[j].re;
+                m[slots + j][k] = col[j].im;
+            }
+        }
+        let minv = invert_real(&m);
+
+        // Blocks P1..P4 combine into complex matrices applied to w and
+        // conj(w): m̃_low = A_lw·w + A_lcw·w̄, m̃_high likewise. The trace
+        // factor D = N/(2n') left behind by SubSum is divided away here, so
+        // the slots after CoeffToSlot hold `m + q_0·I` directly — keeping
+        // the EvalMod sine argument within the double-angle budget.
+        let d_factor = stride as f64;
+        let build = |rows: std::ops::Range<usize>| {
+            let mut aw = vec![vec![Complex::default(); slots]; slots];
+            let mut acw = vec![vec![Complex::default(); slots]; slots];
+            for (out_i, r) in rows.enumerate() {
+                for j in 0..slots {
+                    let p_re = minv[r][j] / d_factor; // multiplies Re w_j
+                    let p_im = minv[r][slots + j] / d_factor; // multiplies Im w_j
+                    aw[out_i][j] = Complex::new(p_re / 2.0, -p_im / 2.0);
+                    acw[out_i][j] = Complex::new(p_re / 2.0, p_im / 2.0);
+                }
+            }
+            (aw, acw)
+        };
+        let (a_low_w, a_low_cw) = build(0..slots);
+        let (a_high_w, a_high_cw) = build(slots..two_np);
+
+        // Slot→coeff: w_out = F_low·m̃_low + F_high·m̃_high, with F_low/high
+        // the column blocks of F as n'×n' matrices.
+        let mut f_low = vec![vec![Complex::default(); slots]; slots];
+        let mut f_high = vec![vec![Complex::default(); slots]; slots];
+        for j in 0..slots {
+            for k in 0..slots {
+                f_low[j][k] = f_cols[k][j];
+                f_high[j][k] = f_cols[slots + k][j];
+            }
+        }
+
+        Self {
+            ctx: ctx.clone(),
+            slots,
+            doublings,
+            q0: ctx.chain_basis().primes()[0] as f64,
+            a_low_w,
+            a_low_cw,
+            a_high_w,
+            a_high_cw,
+            f_low,
+            f_high,
+        }
+    }
+
+    /// Sparse slot count `n'`.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The rotation steps whose Galois keys must be generated before
+    /// calling [`bootstrap`] (conjugation key needed as well).
+    ///
+    /// [`bootstrap`]: Self::bootstrap
+    pub fn required_rotations(&self) -> Vec<i64> {
+        let mut steps: Vec<i64> = (1..self.slots as i64).collect();
+        // SubSum trace rotations.
+        let total = self.ctx.n() / 2;
+        let mut s = self.slots;
+        while s < total {
+            steps.push(s as i64);
+            s *= 2;
+        }
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// ModRaise: reinterpret a level-0 ciphertext modulo the full chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ciphertext is at level 0.
+    pub fn mod_raise(&self, ct: &Ciphertext) -> Ciphertext {
+        assert_eq!(ct.level(), 0, "ModRaise expects an exhausted ciphertext");
+        let full = self.ctx.chain_basis();
+        let raise = |p: &RnsPoly| {
+            let centered = p.to_centered_coeffs();
+            RnsPoly::from_i64_coeffs(full, &centered)
+        };
+        Ciphertext::new(raise(ct.c0()), raise(ct.c1()), ct.scale())
+    }
+
+    /// Homomorphic diagonal matrix-vector product `M·v` on the slot vector
+    /// of `ct` (n'-periodic diagonals). Consumes one level.
+    fn matvec(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        rotated: &[Ciphertext],
+        m: &[Vec<Complex>],
+    ) -> Ciphertext {
+        let _ = keys;
+        let scale = self.ctx.default_scale();
+        let mut acc: Option<Ciphertext> = None;
+        for (d, ct_d) in rotated.iter().enumerate() {
+            let diag: Vec<Complex> = (0..self.slots)
+                .map(|i| m[i][(i + d) % self.slots])
+                .collect();
+            if diag.iter().all(|c| c.abs() < 1e-300) {
+                continue;
+            }
+            let pt = eval.encode_at_level(&diag, scale, ct_d.level());
+            let term = eval.mul_plain(ct_d, &pt);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => eval.add(&a, &term),
+            });
+        }
+        eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))
+    }
+
+    /// All left-rotations `0..n'` of a ciphertext (index 0 = the input).
+    fn all_rotations(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Vec<Ciphertext> {
+        let mut out = Vec::with_capacity(self.slots);
+        out.push(ct.clone());
+        for d in 1..self.slots {
+            out.push(eval.rotate(ct, d as i64, keys));
+        }
+        out
+    }
+
+    /// SubSum: trace onto the sparse subring (step 2).
+    pub fn subsum(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        let total = self.ctx.n() / 2;
+        let mut acc = ct.clone();
+        let mut s = self.slots;
+        while s < total {
+            let rot = eval.rotate(&acc, s as i64, keys);
+            acc = eval.add(&acc, &rot);
+            s *= 2;
+        }
+        acc
+    }
+
+    /// CoeffToSlot (step 3): returns `(ct_low, ct_high)` whose slots hold
+    /// the low/high halves of the sparse coefficient vector.
+    pub fn coeff_to_slot(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        ct: &Ciphertext,
+    ) -> (Ciphertext, Ciphertext) {
+        let conj = eval.conjugate(ct, keys);
+        let rot_w = self.all_rotations(eval, keys, ct);
+        let rot_cw = self.all_rotations(eval, keys, &conj);
+        let low = eval.add(
+            &self.matvec(eval, keys, &rot_w, &self.a_low_w),
+            &self.matvec(eval, keys, &rot_cw, &self.a_low_cw),
+        );
+        let high = eval.add(
+            &self.matvec(eval, keys, &rot_w, &self.a_high_w),
+            &self.matvec(eval, keys, &rot_cw, &self.a_high_cw),
+        );
+        (low, high)
+    }
+
+    /// SlotToCoeff (step 5).
+    pub fn slot_to_coeff(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        low: &Ciphertext,
+        high: &Ciphertext,
+    ) -> Ciphertext {
+        let level = low.level().min(high.level());
+        let scale = low.scale();
+        let low = eval.adjust(low, level, scale);
+        let high = eval.adjust(high, level, scale);
+        let rot_low = self.all_rotations(eval, keys, &low);
+        let rot_high = self.all_rotations(eval, keys, &high);
+        eval.add(
+            &self.matvec(eval, keys, &rot_low, &self.f_low),
+            &self.matvec(eval, keys, &rot_high, &self.f_high),
+        )
+    }
+
+    /// EvalMod (step 4): approximates `x mod q_0` on the slot values of
+    /// `ct`, accounting for the trace factor `D = N/(2n')`.
+    pub fn eval_mod(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        let r_pow = 2f64.powi(self.doublings as i32);
+        // CoeffToSlot leaves slot *values* x = (m + q0·I)/Δ (the natural
+        // at-scale-Δ representation), so the effective modulus seen by the
+        // value pipeline is q0/Δ. Scale the sine argument accordingly:
+        // y = 2π·x / ((q0/Δ)·2^r); the integer multiple 2π·I drops out of
+        // the sine after the doublings.
+        let q0_eff = self.q0 / self.ctx.default_scale();
+        let c = 2.0 * std::f64::consts::PI / (q0_eff * r_pow);
+        let half = c.sqrt();
+        let mut y = ct.clone();
+        for _ in 0..2 {
+            let pt = eval.encode_at_level(
+                &[Complex::new(half, 0.0)],
+                self.ctx.default_scale(),
+                y.level(),
+            );
+            y = eval.rescale(&eval.mul_plain(&y, &pt));
+        }
+
+        // Taylor sine and cosine of the divided angle.
+        let mut s = evaluate_monomial(eval, keys, &y, &SIN_COEFFS);
+        let mut co = evaluate_monomial(eval, keys, &y, &COS_COEFFS);
+
+        // r double-angle iterations: s ← 2sc, c ← 1 − 2s².
+        for _ in 0..self.doublings {
+            let level = s.level().min(co.level());
+            let scale = s.scale();
+            let s_al = eval.adjust(&s, level, scale);
+            let c_al = eval.adjust(&co, level, scale);
+            let sc = eval.rescale(&eval.mul(&s_al, &c_al, keys));
+            let s2 = eval.rescale(&eval.square(&s_al, keys));
+            // 2·sc and 1 − 2·s²: doubling by self-addition is exact.
+            let mut s_next = eval.add(&sc, &sc);
+            let s2_doubled = eval.add(&s2, &s2);
+            let one = eval.encode_at_level(
+                &[Complex::new(1.0, 0.0)],
+                s2_doubled.scale(),
+                s2_doubled.level(),
+            );
+            let mut c_next = eval.neg(&eval.sub_plain(&s2_doubled, &one));
+            let level = s_next.level().min(c_next.level());
+            s_next = eval.adjust(&s_next, level, s_next.scale());
+            c_next = eval.adjust(&c_next, level, c_next.scale());
+            s = s_next;
+            co = c_next;
+        }
+
+        // Multiply back: x ≈ sin(2πx'/q0_eff)·q0_eff/(2π). With q0 only a
+        // few bits above Δ the constant is O(1) and encodes at the working
+        // scale without precision loss.
+        let back = q0_eff / (2.0 * std::f64::consts::PI);
+        let pt = eval.encode_at_level(
+            &[Complex::new(back, 0.0)],
+            self.ctx.default_scale(),
+            s.level(),
+        );
+        eval.rescale(&eval.mul_plain(&s, &pt))
+    }
+
+    /// Runs the full bootstrapping pipeline on an exhausted (level 0)
+    /// ciphertext, returning a refreshed ciphertext at a high level whose
+    /// slots approximate the original message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if required rotation/conjugation keys are missing or the
+    /// input is not at level 0.
+    pub fn bootstrap(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        let raised = self.mod_raise(ct);
+        let traced = self.subsum(eval, keys, &raised);
+        let (low, high) = self.coeff_to_slot(eval, keys, &traced);
+        let low = self.eval_mod(eval, keys, &low);
+        let high = self.eval_mod(eval, keys, &high);
+        self.slot_to_coeff(eval, keys, &low, &high)
+    }
+}
+
+/// Inverts a small dense real matrix by Gauss–Jordan with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if the matrix is singular (the embedding map never is).
+fn invert_real(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = m.len();
+    let mut a: Vec<Vec<f64>> = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).unwrap())
+            .unwrap();
+        assert!(a[pivot][col].abs() > 1e-12, "singular matrix");
+        a.swap(col, pivot);
+        let p = a[col][col];
+        for v in &mut a[col] {
+            *v /= p;
+        }
+        for row in 0..n {
+            if row != col {
+                let f = a[row][col];
+                if f != 0.0 {
+                    for j in 0..2 * n {
+                        a[row][j] -= f * a[col][j];
+                    }
+                }
+            }
+        }
+    }
+    a.into_iter().map(|row| row[n..].to_vec()).collect()
+}
+
+/// Truncates a ciphertext to level 0 — test/demo utility producing the
+/// "exhausted" input bootstrapping expects.
+pub fn exhaust_to_level0(eval: &Evaluator, ct: &Ciphertext) -> Ciphertext {
+    eval.drop_to_level(ct, 0)
+}
+
+/// Encrypt-ready plaintext helper used by the bootstrapping demo binaries.
+pub fn encode_for_bootstrap(
+    ctx: &CkksContext,
+    z: &[Complex],
+) -> Plaintext {
+    Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), z, ctx.default_scale()),
+        ctx.default_scale(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invert_real_matches_identity() {
+        let m = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ];
+        let inv = invert_real(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|k| m[i][k] * inv[k][j]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn c2s_matrices_invert_the_encoder() {
+        // Plain (non-homomorphic) check: F applied to strided unit coeffs,
+        // then the A-matrices, returns the coefficients.
+        let ctx = CkksContext::new(CkksParams::toy());
+        let bs = Bootstrapper::new(&ctx, 4, 2);
+        let slots = 4usize;
+        let stride = ctx.n() / (2 * slots);
+        // Random sparse coefficient vector.
+        let coeffs_small: Vec<f64> = (0..2 * slots).map(|i| (i as f64 - 3.5) * 0.25).collect();
+        let mut coeffs = vec![0.0f64; ctx.n()];
+        for (k, &v) in coeffs_small.iter().enumerate() {
+            coeffs[k * stride] = v;
+        }
+        let w = ctx.encoder().decode_from_coeffs(&coeffs, 1.0, slots);
+        // m̃_low = A_lw·w + A_lcw·conj(w)
+        let apply = |m: &[Vec<Complex>], v: &[Complex]| -> Vec<Complex> {
+            (0..slots)
+                .map(|i| {
+                    let mut acc = Complex::default();
+                    for j in 0..slots {
+                        acc = acc + m[i][j] * v[j];
+                    }
+                    acc
+                })
+                .collect()
+        };
+        let cw: Vec<Complex> = w.iter().map(|c| c.conj()).collect();
+        let low: Vec<Complex> = apply(&bs.a_low_w, &w)
+            .iter()
+            .zip(apply(&bs.a_low_cw, &cw))
+            .map(|(a, b)| *a + b)
+            .collect();
+        let high: Vec<Complex> = apply(&bs.a_high_w, &w)
+            .iter()
+            .zip(apply(&bs.a_high_cw, &cw))
+            .map(|(a, b)| *a + b)
+            .collect();
+        // The matrices fold in the 1/D trace correction (D = stride).
+        let d = stride as f64;
+        for k in 0..slots {
+            assert!((low[k].re - coeffs_small[k] / d).abs() < 1e-9, "low {k}");
+            assert!(low[k].im.abs() < 1e-9);
+            assert!(
+                (high[k].re - coeffs_small[slots + k] / d).abs() < 1e-9,
+                "high {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod_raise_preserves_message_mod_q0() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let keys = KeySet::generate_sparse(&ctx, 8, &mut rng);
+        let eval = Evaluator::new(&ctx);
+        let bs = Bootstrapper::new(&ctx, 4, 2);
+        let z = vec![Complex::new(0.5, 0.0); 4];
+        let pt = encode_for_bootstrap(&ctx, &z);
+        let ct = keys.public().encrypt(&pt, &mut rng);
+        let exhausted = exhaust_to_level0(&eval, &ct);
+        let raised = bs.mod_raise(&exhausted);
+        assert_eq!(raised.level(), ctx.max_level());
+        // Decrypting the raised ciphertext yields m + q0·I; check mod q0.
+        let dec = keys.secret().decrypt(&raised);
+        let q0 = ctx.chain_basis().primes()[0];
+        let coeffs = dec.poly().to_centered_coeffs();
+        let direct = keys.secret().decrypt(&exhausted).poly().to_centered_coeffs();
+        for (a, b) in coeffs.iter().zip(&direct) {
+            assert_eq!(a.rem_euclid(q0 as i64), b.rem_euclid(q0 as i64));
+        }
+    }
+
+    #[test]
+    fn required_rotations_cover_subsum_and_matvec() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let bs = Bootstrapper::new(&ctx, 4, 2);
+        let rots = bs.required_rotations();
+        // matvec rotations 1..4 and subsum 4,8,...,N/4.
+        for d in [1i64, 2, 3, 4, 8, 16, 32, 64, 128, 256] {
+            assert!(rots.contains(&d), "missing rotation {d}");
+        }
+    }
+}

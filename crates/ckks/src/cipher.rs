@@ -1,0 +1,208 @@
+//! Plaintext and ciphertext containers.
+
+use he_rns::{Form, RnsPoly};
+
+/// An encoded message: a ring polynomial together with its scale Δ.
+///
+/// Stored in coefficient form; the evaluator converts on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    poly: RnsPoly,
+    scale: f64,
+}
+
+impl Plaintext {
+    /// Wraps a coefficient-form polynomial at scale Δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is in evaluation form.
+    pub fn new(poly: RnsPoly, scale: f64) -> Self {
+        assert_eq!(poly.form(), Form::Coeff, "plaintexts store coefficients");
+        Self { poly, scale }
+    }
+
+    /// The underlying polynomial.
+    #[inline]
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// Consumes into the underlying polynomial.
+    #[inline]
+    pub fn into_poly(self) -> RnsPoly {
+        self.poly
+    }
+
+    /// The encoding scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Level (chain index of the highest prime present).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.poly.level_count() - 1
+    }
+}
+
+/// A CKKS ciphertext `(c_0, c_1)` with `c_0 + c_1·s ≈ Δ·m (mod Q_level)`.
+///
+/// Both components are kept in coefficient form between operations; the
+/// evaluator performs the explicit NTT/INTT conversions — matching the
+/// operator-level dataflow the Poseidon trace layer instruments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+    scale: f64,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from components at scale Δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components disagree in basis or form, or are in
+    /// evaluation form.
+    pub fn new(c0: RnsPoly, c1: RnsPoly, scale: f64) -> Self {
+        assert_eq!(c0.basis(), c1.basis(), "components must share a basis");
+        assert_eq!(c0.form(), Form::Coeff, "ciphertexts store coefficients");
+        assert_eq!(c1.form(), Form::Coeff, "ciphertexts store coefficients");
+        Self { c0, c1, scale }
+    }
+
+    /// The `c_0` component.
+    #[inline]
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The `c_1` component.
+    #[inline]
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// The current scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Overrides the tracked scale (used by rescale / constant folding).
+    #[inline]
+    pub fn set_scale(&mut self, scale: f64) {
+        self.scale = scale;
+    }
+
+    /// Level: number of remaining scale primes (0 = only `q_0` left).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.c0.level_count() - 1
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.c0.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use he_rns::RnsBasis;
+
+    #[test]
+    fn level_tracks_basis_length() {
+        let b = RnsBasis::generate(16, 28, 3);
+        let z = RnsPoly::from_i64_coeffs(&b, &[0i64; 16]);
+        let ct = Ciphertext::new(z.clone(), z, 2.0_f64.powi(28));
+        assert_eq!(ct.level(), 2);
+        assert_eq!(ct.n(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficients")]
+    fn rejects_eval_form_components() {
+        let b = RnsBasis::generate(16, 28, 2);
+        let z = RnsPoly::from_i64_coeffs(&b, &[0i64; 16]);
+        let e = z.clone().into_eval();
+        let _ = Ciphertext::new(e.clone(), e, 1.0);
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Serde support (feature `serde`): ciphertexts/plaintexts serialise
+    //! as their polynomials plus the tracked scale; structural invariants
+    //! are revalidated through the constructors on deserialise.
+    use super::{Ciphertext, Plaintext};
+    use he_rns::RnsPoly;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct CiphertextRepr {
+        c0: RnsPoly,
+        c1: RnsPoly,
+        scale: f64,
+    }
+
+    impl Serialize for Ciphertext {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            CiphertextRepr {
+                c0: self.c0.clone(),
+                c1: self.c1.clone(),
+                scale: self.scale,
+            }
+            .serialize(s)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Ciphertext {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let r = CiphertextRepr::deserialize(d)?;
+            if r.c0.basis() != r.c1.basis() || r.c0.form() != r.c1.form() {
+                return Err(serde::de::Error::custom("mismatched ciphertext components"));
+            }
+            if r.c0.form() != he_rns::Form::Coeff {
+                return Err(serde::de::Error::custom("ciphertexts store coefficients"));
+            }
+            if !(r.scale.is_finite() && r.scale > 0.0) {
+                return Err(serde::de::Error::custom("scale must be finite and positive"));
+            }
+            Ok(Ciphertext::new(r.c0, r.c1, r.scale))
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct PlaintextRepr {
+        poly: RnsPoly,
+        scale: f64,
+    }
+
+    impl Serialize for Plaintext {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            PlaintextRepr {
+                poly: self.poly.clone(),
+                scale: self.scale,
+            }
+            .serialize(s)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Plaintext {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let r = PlaintextRepr::deserialize(d)?;
+            if r.poly.form() != he_rns::Form::Coeff {
+                return Err(serde::de::Error::custom("plaintexts store coefficients"));
+            }
+            if !(r.scale.is_finite() && r.scale > 0.0) {
+                return Err(serde::de::Error::custom("scale must be finite and positive"));
+            }
+            Ok(Plaintext::new(r.poly, r.scale))
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The CKKS context: validated parameters plus every precomputed object the
+//! scheme operations share (modulus chain, special basis, encoder tables).
+
+use he_math::prime::is_prime;
+use he_rns::RnsBasis;
+
+use crate::encoding::Encoder;
+use crate::params::CkksParams;
+
+/// Precomputed CKKS context.
+///
+/// Construction generates the NTT prime chain (first prime, scale primes,
+/// special keyswitching primes — all distinct, all `≡ 1 mod 2N`), builds the
+/// RNS bases, and prepares the canonical-embedding encoder.
+///
+/// # Examples
+///
+/// ```
+/// use he_ckks::prelude::*;
+/// let ctx = CkksContext::new(CkksParams::toy());
+/// assert_eq!(ctx.chain_basis().len(), 4);
+/// assert_eq!(ctx.special_basis().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    params: CkksParams,
+    chain_basis: RnsBasis,
+    special_basis: RnsBasis,
+    full_basis: RnsBasis,
+    encoder: Encoder,
+}
+
+impl CkksContext {
+    /// Builds a context for validated parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`CkksParams::validate`] or not enough
+    /// NTT primes of the requested sizes exist.
+    pub fn new(params: CkksParams) -> Self {
+        params.validate().expect("invalid CKKS parameters");
+        let n = params.n;
+        let step = 2 * n as u64;
+
+        let mut taken: Vec<u64> = Vec::new();
+        let gen = |bits: u32, count: usize, taken: &mut Vec<u64>| -> Vec<u64> {
+            let mut out = Vec::with_capacity(count);
+            let mut cand = (((1u64 << bits) - 2) / step) * step + 1;
+            while out.len() < count {
+                assert!(cand > step, "not enough {bits}-bit NTT primes for N={n}");
+                if is_prime(cand) && !taken.contains(&cand) {
+                    out.push(cand);
+                    taken.push(cand);
+                }
+                cand -= step;
+            }
+            out
+        };
+
+        // Special primes first (largest), then q0, then the scale chain.
+        let special = gen(params.special_prime_bits, params.special_len, &mut taken);
+        let mut chain = gen(params.first_prime_bits, 1, &mut taken);
+        chain.extend(gen(
+            params.scale_prime_bits,
+            params.chain_len - 1,
+            &mut taken,
+        ));
+
+        let chain_basis = RnsBasis::new(n, chain);
+        let special_basis = RnsBasis::new(n, special);
+        let full_basis = chain_basis.concat(&special_basis);
+        let encoder = Encoder::new(n);
+        Self {
+            params,
+            chain_basis,
+            special_basis,
+            full_basis,
+            encoder,
+        }
+    }
+
+    /// The validated parameters.
+    #[inline]
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.params.n
+    }
+
+    /// The ciphertext modulus chain `q_0 … q_L`.
+    #[inline]
+    pub fn chain_basis(&self) -> &RnsBasis {
+        &self.chain_basis
+    }
+
+    /// The keyswitching special basis `P`.
+    #[inline]
+    pub fn special_basis(&self) -> &RnsBasis {
+        &self.special_basis
+    }
+
+    /// The extended basis `Q ∪ P` keys live in.
+    #[inline]
+    pub fn full_basis(&self) -> &RnsBasis {
+        &self.full_basis
+    }
+
+    /// The canonical-embedding encoder.
+    #[inline]
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The default encoding scale Δ.
+    #[inline]
+    pub fn default_scale(&self) -> f64 {
+        self.params.scale
+    }
+
+    /// Basis for a ciphertext at `level` (level L = full chain, level 0 =
+    /// just `q_0`): the first `level + 1` chain primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the chain.
+    pub fn level_basis(&self, level: usize) -> RnsBasis {
+        self.chain_basis.prefix(level + 1)
+    }
+
+    /// Maximum level (chain length − 1).
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.params.chain_len - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_are_distinct_and_ntt_friendly() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut all = ctx.full_basis().primes().to_vec();
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "primes must be distinct");
+        for &q in ctx.full_basis().primes() {
+            assert_eq!((q - 1) % (2 * ctx.n() as u64), 0);
+        }
+    }
+
+    #[test]
+    fn special_primes_dominate_scale_primes() {
+        // Keyswitching noise control requires P ≥ each scale prime.
+        let ctx = CkksContext::new(CkksParams::small());
+        let max_chain = ctx.chain_basis().primes()[1..].iter().max().copied().unwrap();
+        let min_special = ctx.special_basis().primes().iter().min().copied().unwrap();
+        assert!(min_special > max_chain);
+    }
+
+    #[test]
+    fn level_basis_is_prefix() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let b1 = ctx.level_basis(1);
+        assert_eq!(b1.primes(), &ctx.chain_basis().primes()[..2]);
+        assert_eq!(ctx.max_level(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CKKS parameters")]
+    fn rejects_invalid_params() {
+        let mut p = CkksParams::toy();
+        p.n = 12;
+        let _ = CkksContext::new(p);
+    }
+}

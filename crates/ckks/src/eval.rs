@@ -1,0 +1,575 @@
+//! The homomorphic evaluator: every CKKS basic operation of the paper's
+//! §II-A, implemented over the RNS substrates.
+//!
+//! | paper operation | method |
+//! |---|---|
+//! | HAdd (ct+ct, ct+pt)   | [`Evaluator::add`], [`Evaluator::add_plain`] |
+//! | PMult                 | [`Evaluator::mul_plain`], [`Evaluator::mul_const`] |
+//! | CMult + relinearise   | [`Evaluator::mul`] |
+//! | Rescale               | [`Evaluator::rescale`] |
+//! | Keyswitch (Modup/RNSconv/Moddown) | [`Evaluator::keyswitch`] |
+//! | Rotation (automorphism + keyswitch) | [`Evaluator::rotate`] |
+//! | Conjugation           | [`Evaluator::conjugate`] |
+
+use he_rns::conv::{moddown, rescale as rns_rescale};
+use he_rns::RnsPoly;
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::encoding::Complex;
+use crate::keys::{KeySet, KeySwitchKey};
+
+/// Stateless evaluator bound to a context.
+///
+/// # Examples
+///
+/// ```
+/// use he_ckks::prelude::*;
+/// use he_ckks::encoding::Complex;
+/// let ctx = CkksContext::new(CkksParams::toy());
+/// let mut rng = rand::thread_rng();
+/// let keys = KeySet::generate(&ctx, &mut rng);
+/// let eval = Evaluator::new(&ctx);
+/// let z = vec![Complex::new(2.0, 0.0); 4];
+/// let ct = keys.public().encrypt(&ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()).into(), &mut rng);
+/// # let _ = (eval, ct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    ctx: CkksContext,
+}
+
+impl From<he_rns::RnsPoly> for Plaintext {
+    /// Wraps a coefficient polynomial at scale 1 — prefer
+    /// [`CkksContext::encoder`] paths, which track the scale.
+    fn from(poly: he_rns::RnsPoly) -> Self {
+        Plaintext::new(poly, 1.0)
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator for `ctx`.
+    pub fn new(ctx: &CkksContext) -> Self {
+        Self { ctx: ctx.clone() }
+    }
+
+    /// The bound context.
+    #[inline]
+    pub fn context(&self) -> &CkksContext {
+        &self.ctx
+    }
+
+    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let level = a.level().min(b.level());
+        (self.drop_to_level(a, level), self.drop_to_level(b, level))
+    }
+
+    /// Drops a ciphertext to a lower level without rescaling (modulus
+    /// truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the current level.
+    pub fn drop_to_level(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
+        assert!(level <= ct.level(), "cannot raise level by truncation");
+        if level == ct.level() {
+            return ct.clone();
+        }
+        Ciphertext::new(
+            ct.c0().truncate_basis(level + 1),
+            ct.c1().truncate_basis(level + 1),
+            ct.scale(),
+        )
+    }
+
+    /// Homomorphic addition (paper HAdd, ct+ct). Operands are aligned to
+    /// the lower level; scales must match to within floating slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales differ by more than 0.01 %.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        assert_scales_match(a.scale(), b.scale());
+        Ciphertext::new(a.c0().add(b.c0()), a.c1().add(b.c1()), a.scale())
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        assert_scales_match(a.scale(), b.scale());
+        Ciphertext::new(a.c0().sub(b.c0()), a.c1().sub(b.c1()), a.scale())
+    }
+
+    /// Negation.
+    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext::new(a.c0().neg(), a.c1().neg(), a.scale())
+    }
+
+    /// Ciphertext + plaintext addition (paper HAdd, ct+pt): adds `m` to
+    /// `c_0` only.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_scales_match(a.scale(), pt.scale());
+        let m = pt.poly().truncate_basis(a.level() + 1);
+        Ciphertext::new(a.c0().add(&m), a.c1().clone(), a.scale())
+    }
+
+    /// Ciphertext − plaintext.
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_scales_match(a.scale(), pt.scale());
+        let m = pt.poly().truncate_basis(a.level() + 1);
+        Ciphertext::new(a.c0().sub(&m), a.c1().clone(), a.scale())
+    }
+
+    /// Plaintext multiplication (paper PMult): `(c_0·m, c_1·m)` with scale
+    /// Δ_ct · Δ_pt. Rescale afterwards to restore the working scale.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let m = pt
+            .poly()
+            .truncate_basis(a.level() + 1)
+            .into_eval();
+        let c0 = a.c0().clone().into_eval().mul(&m).into_coeff();
+        let c1 = a.c1().clone().into_eval().mul(&m).into_coeff();
+        Ciphertext::new(c0, c1, a.scale() * pt.scale())
+    }
+
+    /// Multiplies by a complex constant, encoding it at the context scale.
+    /// Rescale afterwards.
+    pub fn mul_const(&self, a: &Ciphertext, c: Complex) -> Ciphertext {
+        let scale = self.ctx.default_scale();
+        let pt = self.encode_at_level(&[c], scale, a.level());
+        self.mul_plain(a, &pt)
+    }
+
+    /// Encodes a (replicated) slot vector at a specific level.
+    pub fn encode_at_level(&self, z: &[Complex], scale: f64, level: usize) -> Plaintext {
+        let basis = self.ctx.level_basis(level);
+        Plaintext::new(
+            self.ctx.encoder().encode_rns(&basis, z, scale),
+            scale,
+        )
+    }
+
+    /// Ciphertext multiplication with relinearisation (paper CMult):
+    /// computes `(d_0, d_1, d_2)` and folds `d_2` back with the relin key.
+    /// Result scale is Δ_a · Δ_b; rescale afterwards.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        let a0 = a.c0().clone().into_eval();
+        let a1 = a.c1().clone().into_eval();
+        let b0 = b.c0().clone().into_eval();
+        let b1 = b.c1().clone().into_eval();
+        let d0 = a0.mul(&b0).into_coeff();
+        let d1 = a0.mul(&b1).add(&a1.mul(&b0)).into_coeff();
+        let d2 = a1.mul(&b1).into_coeff();
+        let (k0, k1) = self.keyswitch(&d2, keys.relin());
+        Ciphertext::new(d0.add(&k0), d1.add(&k1), a.scale() * b.scale())
+    }
+
+    /// Squares a ciphertext (saves one eval-form product vs [`mul`]).
+    ///
+    /// [`mul`]: Self::mul
+    pub fn square(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let a0 = a.c0().clone().into_eval();
+        let a1 = a.c1().clone().into_eval();
+        let d0 = a0.mul(&a0).into_coeff();
+        let cross = a0.mul(&a1);
+        let d1 = cross.add(&cross).into_coeff();
+        let d2 = a1.mul(&a1).into_coeff();
+        let (k0, k1) = self.keyswitch(&d2, keys.relin());
+        Ciphertext::new(d0.add(&k0), d1.add(&k1), a.scale() * a.scale())
+    }
+
+    /// The raw keyswitch primitive (paper Keyswitch): given `d` in the
+    /// level basis, returns `(e_0, e_1)` with `e_0 + e_1·s ≈ d·s'`.
+    ///
+    /// Per RNS digit (α = 1, one digit per chain prime): lift `[d]_{q_j}`
+    /// exactly to the extended basis `Q_l ∪ P` (a degenerate Modup, Eq. 3),
+    /// multiply by key pair `j`, accumulate, then Moddown (Eq. 2) divides
+    /// the `P` factor away.
+    pub fn keyswitch(&self, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+        let level = d.level_count() - 1;
+        let ext_basis = self.ctx.level_basis(level).concat(self.ctx.special_basis());
+        let mut acc0: Option<RnsPoly> = None;
+        let mut acc1: Option<RnsPoly> = None;
+        for j in 0..=level {
+            // Exact lift of the single-prime residue vector to ext_basis.
+            let t = d.residues(j);
+            let residues: Vec<Vec<u64>> = ext_basis
+                .primes()
+                .iter()
+                .map(|&f| t.iter().map(|&v| v % f).collect())
+                .collect();
+            let lifted =
+                RnsPoly::from_residues(&ext_basis, residues, he_rns::Form::Coeff).into_eval();
+            let (kb, ka) = key.sliced(&self.ctx, j, level);
+            let p0 = lifted.clone().mul(&kb.into_eval());
+            let p1 = lifted.mul(&ka.into_eval());
+            acc0 = Some(match acc0 {
+                None => p0,
+                Some(a) => a.add(&p0),
+            });
+            acc1 = Some(match acc1 {
+                None => p1,
+                Some(a) => a.add(&p1),
+            });
+        }
+        let q_len = level + 1;
+        (
+            moddown(&acc0.expect("level ≥ 0").into_coeff(), q_len),
+            moddown(&acc1.expect("level ≥ 0").into_coeff(), q_len),
+        )
+    }
+
+    /// Rescale (paper Rescale): divides by the last chain prime and drops a
+    /// level; the tracked scale shrinks by exactly that prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 0 (no prime left to drop).
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        assert!(a.level() >= 1, "cannot rescale at level 0");
+        let dropped = *a.c0().basis().primes().last().expect("non-empty") as f64;
+        Ciphertext::new(
+            rns_rescale(a.c0()),
+            rns_rescale(a.c1()),
+            a.scale() / dropped,
+        )
+    }
+
+    /// Rescales until the scale is within a factor of 2 of the default
+    /// working scale (utility for deep circuits).
+    pub fn rescale_to_default(&self, a: &Ciphertext) -> Ciphertext {
+        let mut ct = a.clone();
+        while ct.level() >= 1 && ct.scale() > 2.0 * self.ctx.default_scale() {
+            ct = self.rescale(&ct);
+        }
+        ct
+    }
+
+    /// Sums many ciphertexts (aligning levels/scales to the weakest
+    /// operand via [`adjust`]).
+    ///
+    /// [`adjust`]: Self::adjust
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cts` is empty.
+    pub fn add_many(&self, cts: &[Ciphertext]) -> Ciphertext {
+        assert!(!cts.is_empty(), "need at least one ciphertext");
+        let level = cts.iter().map(Ciphertext::level).min().expect("non-empty");
+        let scale = cts
+            .iter()
+            .find(|c| c.level() == level)
+            .expect("non-empty")
+            .scale();
+        let mut acc = self.adjust(&cts[0], level, scale);
+        for ct in &cts[1..] {
+            acc = self.add(&acc, &self.adjust(ct, level, scale));
+        }
+        acc
+    }
+
+    /// Slot-wise linear combination `Σ w_i · ct_i` with plaintext scalar
+    /// weights — one PMult per operand, one rescale total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are zero.
+    pub fn linear_combination(&self, cts: &[Ciphertext], weights: &[f64]) -> Ciphertext {
+        assert_eq!(cts.len(), weights.len(), "one weight per ciphertext");
+        assert!(!cts.is_empty(), "need at least one term");
+        let scale = self.ctx.default_scale();
+        let level = cts.iter().map(Ciphertext::level).min().expect("non-empty");
+        let ct_scale = cts
+            .iter()
+            .find(|c| c.level() == level)
+            .expect("non-empty")
+            .scale();
+        let mut acc: Option<Ciphertext> = None;
+        for (ct, &w) in cts.iter().zip(weights) {
+            let aligned = self.adjust(ct, level, ct_scale);
+            let pt = self.encode_at_level(&[Complex::new(w, 0.0)], scale, level);
+            let term = self.mul_plain(&aligned, &pt);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => self.add(&a, &term),
+            });
+        }
+        self.rescale(&acc.expect("non-empty"))
+    }
+
+    /// Brings a ciphertext to exactly (`target_level`, ≈`target_scale`) by
+    /// modulus truncation plus, when the scales disagree, one multiplication
+    /// by the constant 1 encoded at the correcting scale followed by a
+    /// rescale. Used to align circuit branches of different depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_level` exceeds the current level, or if a scale
+    /// correction is needed at level 0.
+    pub fn adjust(&self, ct: &Ciphertext, target_level: usize, target_scale: f64) -> Ciphertext {
+        assert!(target_level <= ct.level(), "cannot raise level");
+        let rel = (ct.scale() - target_scale).abs() / target_scale;
+        if rel <= 1e-9 || ct.level() == target_level {
+            // Either already matched, or no spare level to correct with:
+            // accept the (small, by construction) approximate-rescaling
+            // drift. Tolerating large drift here would silently corrupt
+            // values, so it stays asserted.
+            assert!(
+                rel <= 1e-4,
+                "scale drift {rel} too large to absorb without a spare level"
+            );
+            let mut out = self.drop_to_level(ct, target_level);
+            out.set_scale(target_scale);
+            return out;
+        }
+        // Drop to one level above the target, multiply by 1 at the
+        // correcting scale, rescale down onto the target level.
+        let staged = self.drop_to_level(ct, target_level + 1);
+        let dropped = *staged.c0().basis().primes().last().expect("non-empty") as f64;
+        let correction = target_scale * dropped / staged.scale();
+        assert!(correction > 1.0, "scale correction must be an up-scaling");
+        let one = self.encode_at_level(&[Complex::new(1.0, 0.0)], correction, staged.level());
+        let mut out = self.rescale(&self.mul_plain(&staged, &one));
+        out.set_scale(target_scale);
+        out
+    }
+
+    /// Applies Galois element `g` to both components and keyswitches back
+    /// to `s` using `key` (which must match `g`).
+    pub fn apply_galois(&self, a: &Ciphertext, g: u64, key: &KeySwitchKey) -> Ciphertext {
+        let t0 = a.c0().automorphism(g);
+        let t1 = a.c1().automorphism(g);
+        let (k0, k1) = self.keyswitch(&t1, key);
+        Ciphertext::new(t0.add(&k0), k1, a.scale())
+    }
+
+    /// Rotation (paper Rotation): left-rotates the slot vector by `steps`
+    /// (automorphism with `g = 5^steps` + keyswitch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rotation key for `steps` is missing.
+    pub fn rotate(&self, a: &Ciphertext, steps: i64, keys: &KeySet) -> Ciphertext {
+        let g = keys.galois_element(steps);
+        let key = keys
+            .galois_key(g)
+            .unwrap_or_else(|| panic!("missing rotation key for {steps} steps"));
+        self.apply_galois(a, g, key)
+    }
+
+    /// Complex conjugation of every slot (`g = 2N − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conjugation key is missing.
+    pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let g = keys.conjugation_element();
+        let key = keys.galois_key(g).expect("missing conjugation key");
+        self.apply_galois(a, g, key)
+    }
+}
+
+fn assert_scales_match(a: f64, b: f64) {
+    assert!(
+        (a - b).abs() <= 1e-4 * a.abs().max(b.abs()),
+        "scale mismatch: {a} vs {b}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, KeySet, Evaluator, rand::rngs::StdRng) {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let keys = KeySet::generate(&ctx, &mut rng);
+        let eval = Evaluator::new(&ctx);
+        (ctx, keys, eval, rng)
+    }
+
+    fn encrypt(
+        ctx: &CkksContext,
+        keys: &KeySet,
+        rng: &mut rand::rngs::StdRng,
+        vals: &[f64],
+    ) -> Ciphertext {
+        let z: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let pt = Plaintext::new(
+            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        keys.public().encrypt(&pt, rng)
+    }
+
+    fn decrypt(ctx: &CkksContext, keys: &KeySet, ct: &Ciphertext, n: usize) -> Vec<f64> {
+        let pt = keys.secret().decrypt(ct);
+        ctx.encoder()
+            .decode_rns(pt.poly(), pt.scale(), n)
+            .iter()
+            .map(|c| c.re)
+            .collect()
+    }
+
+    #[test]
+    fn add_sub_neg_are_slotwise() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0, 2.0, -3.0, 0.5]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[0.25, -1.0, 7.0, 2.0]);
+        let sum = decrypt(&ctx, &keys, &eval.add(&a, &b), 4);
+        let diff = decrypt(&ctx, &keys, &eval.sub(&a, &b), 4);
+        let neg = decrypt(&ctx, &keys, &eval.neg(&a), 4);
+        for (g, w) in sum.iter().zip([1.25, 1.0, 4.0, 2.5]) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+        for (g, w) in diff.iter().zip([0.75, 3.0, -10.0, -1.5]) {
+            assert!((g - w).abs() < 1e-4);
+        }
+        for (g, w) in neg.iter().zip([-1.0, -2.0, 3.0, -0.5]) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn plain_ops_match_semantics() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0, -2.0]);
+        let pt = eval.encode_at_level(
+            &[Complex::new(0.5, 0.0), Complex::new(4.0, 0.0)],
+            ctx.default_scale(),
+            a.level(),
+        );
+        let got = decrypt(&ctx, &keys, &eval.add_plain(&a, &pt), 2);
+        assert!((got[0] - 1.5).abs() < 1e-4 && (got[1] - 2.0).abs() < 1e-4);
+        let prod = eval.rescale(&eval.mul_plain(&a, &pt));
+        let got = decrypt(&ctx, &keys, &prod, 2);
+        assert!((got[0] - 0.5).abs() < 1e-3 && (got[1] + 8.0).abs() < 1e-3, "{got:?}");
+    }
+
+    #[test]
+    fn cmult_with_relin_multiplies_slotwise() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.5, -2.0, 0.0, 3.0]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[2.0, 2.5, 5.0, -1.0]);
+        let prod = eval.rescale(&eval.mul(&a, &b, &keys));
+        let got = decrypt(&ctx, &keys, &prod, 4);
+        for (g, w) in got.iter().zip([3.0, -5.0, 0.0, -3.0]) {
+            assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn square_matches_mul_self() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.25, -0.5]);
+        let s1 = decrypt(&ctx, &keys, &eval.rescale(&eval.square(&a, &keys)), 2);
+        let s2 = decrypt(&ctx, &keys, &eval.rescale(&eval.mul(&a, &a, &keys)), 2);
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-2);
+        }
+        assert!((s1[0] - 1.5625).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rotation_shifts_slots_left() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let mut keys = keys;
+        keys.add_rotation_key(1, &mut rng);
+        // Use a full-slot vector so rotation is a clean cyclic shift.
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| (i % 17) as f64 / 4.0).collect();
+        let a = encrypt(&ctx, &keys, &mut rng, &vals);
+        let rot = eval.rotate(&a, 1, &keys);
+        let got = decrypt(&ctx, &keys, &rot, slots);
+        for i in 0..8 {
+            let want = vals[(i + 1) % slots];
+            assert!((got[i] - want).abs() < 1e-3, "slot {i}: {} vs {want}", got[i]);
+        }
+    }
+
+    #[test]
+    fn conjugation_flips_imaginary_parts() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let mut keys = keys;
+        keys.add_conjugation_key(&mut rng);
+        let z = vec![Complex::new(1.0, 2.0), Complex::new(-0.5, -1.5)];
+        let pt = Plaintext::new(
+            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        let ct = keys.public().encrypt(&pt, &mut rng);
+        let conj = eval.conjugate(&ct, &keys);
+        let dec = keys.secret().decrypt(&conj);
+        let got = ctx.encoder().decode_rns(dec.poly(), dec.scale(), 2);
+        assert!((got[0].im + 2.0).abs() < 1e-3);
+        assert!((got[1].im - 1.5).abs() < 1e-3);
+        assert!((got[0].re - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rescale_preserves_value_and_drops_level() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[4.0]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[0.25]);
+        let prod = eval.mul(&a, &b, &keys);
+        let level_before = prod.level();
+        let rs = eval.rescale(&prod);
+        assert_eq!(rs.level(), level_before - 1);
+        let got = decrypt(&ctx, &keys, &rs, 1);
+        assert!((got[0] - 1.0).abs() < 1e-2, "{}", got[0]);
+    }
+
+    #[test]
+    fn deep_circuit_three_multiplications() {
+        let (ctx, keys, eval, mut rng) = setup();
+        // ((2·1.5)·0.5) = 1.5 over 3 CMults on the toy 4-prime chain.
+        let a = encrypt(&ctx, &keys, &mut rng, &[2.0]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[1.5]);
+        let c = encrypt(&ctx, &keys, &mut rng, &[0.5]);
+        let ab = eval.rescale(&eval.mul(&a, &b, &keys));
+        let abc = eval.rescale(&eval.mul(&ab, &c, &keys));
+        let got = decrypt(&ctx, &keys, &abc, 1);
+        assert!((got[0] - 1.5).abs() < 0.05, "{}", got[0]);
+    }
+
+    #[test]
+    fn add_many_sums_across_levels() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[2.0]);
+        // Put c at a lower level via a rescaled multiplication by 1.
+        let one = eval.encode_at_level(
+            &[Complex::new(1.0, 0.0)],
+            ctx.default_scale(),
+            a.level(),
+        );
+        let c = eval.rescale(&eval.mul_plain(&encrypt(&ctx, &keys, &mut rng, &[3.0]), &one));
+        let sum = eval.add_many(&[a, b, c]);
+        let got = decrypt(&ctx, &keys, &sum, 1);
+        assert!((got[0] - 6.0).abs() < 0.02, "{}", got[0]);
+    }
+
+    #[test]
+    fn linear_combination_weights_slots() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[2.0]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[-1.0]);
+        let lc = eval.linear_combination(&[a, b], &[0.5, 3.0]);
+        let got = decrypt(&ctx, &keys, &lc, 1);
+        assert!((got[0] - (-2.0)).abs() < 0.02, "{}", got[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale mismatch")]
+    fn add_rejects_scale_mismatch() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0]);
+        let mut b = encrypt(&ctx, &keys, &mut rng, &[1.0]);
+        b.set_scale(b.scale() * 3.0);
+        let _ = eval.add(&a, &b);
+    }
+}

@@ -1,0 +1,103 @@
+//! Randomness for key generation and encryption: uniform ring elements,
+//! ternary secrets, and discrete Gaussian errors.
+
+use he_rns::{Form, RnsBasis, RnsPoly};
+use rand::Rng;
+
+/// Samples a polynomial with residues uniform per prime (the public `a`
+/// component of keys).
+pub fn uniform_poly<R: Rng + ?Sized>(basis: &RnsBasis, form: Form, rng: &mut R) -> RnsPoly {
+    let residues = basis
+        .primes()
+        .iter()
+        .map(|&q| (0..basis.n()).map(|_| rng.gen_range(0..q)).collect())
+        .collect();
+    RnsPoly::from_residues(basis, residues, form)
+}
+
+/// Samples a uniform ternary polynomial with coefficients in `{−1, 0, 1}`
+/// (the secret-key distribution).
+pub fn ternary_coeffs<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples a sparse ternary polynomial with exactly `hamming` non-zero
+/// coefficients — the bootstrap-friendly secret distribution whose `I`
+/// bound the paper's packed-bootstrapping workload depends on.
+///
+/// # Panics
+///
+/// Panics if `hamming > n`.
+pub fn sparse_ternary_coeffs<R: Rng + ?Sized>(n: usize, hamming: usize, rng: &mut R) -> Vec<i64> {
+    assert!(hamming <= n, "hamming weight cannot exceed degree");
+    let mut coeffs = vec![0i64; n];
+    let mut placed = 0;
+    while placed < hamming {
+        let idx = rng.gen_range(0..n);
+        if coeffs[idx] == 0 {
+            coeffs[idx] = if rng.gen::<bool>() { 1 } else { -1 };
+            placed += 1;
+        }
+    }
+    coeffs
+}
+
+/// Samples discrete-Gaussian-ish error coefficients (rounded continuous
+/// Gaussian via Box–Muller, σ = `std`), clamped at 6σ.
+pub fn gaussian_coeffs<R: Rng + ?Sized>(n: usize, std: f64, rng: &mut R) -> Vec<i64> {
+    let clamp = (6.0 * std).ceil();
+    (0..n)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (g * std).round().clamp(-clamp, clamp) as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ternary_values_in_range() {
+        let c = ternary_coeffs(1000, &mut rng());
+        assert!(c.iter().all(|&v| (-1..=1).contains(&v)));
+        // All three values should occur over 1000 draws.
+        for want in [-1i64, 0, 1] {
+            assert!(c.contains(&want));
+        }
+    }
+
+    #[test]
+    fn sparse_ternary_has_exact_weight() {
+        let c = sparse_ternary_coeffs(256, 64, &mut rng());
+        assert_eq!(c.iter().filter(|&&v| v != 0).count(), 64);
+    }
+
+    #[test]
+    fn gaussian_is_centred_and_bounded() {
+        let std = 3.2;
+        let c = gaussian_coeffs(10_000, std, &mut rng());
+        let mean: f64 = c.iter().map(|&v| v as f64).sum::<f64>() / c.len() as f64;
+        assert!(mean.abs() < 0.5, "mean {mean} too far from 0");
+        assert!(c.iter().all(|&v| v.abs() <= (6.0 * std).ceil() as i64));
+        let var: f64 = c.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / c.len() as f64;
+        assert!((var.sqrt() - std).abs() < 0.5, "σ̂ = {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_poly_is_reduced() {
+        let b = RnsBasis::generate(32, 28, 2);
+        let p = uniform_poly(&b, Form::Coeff, &mut rng());
+        for (j, &q) in b.primes().iter().enumerate() {
+            assert!(p.residues(j).iter().all(|&v| v < q));
+        }
+    }
+}

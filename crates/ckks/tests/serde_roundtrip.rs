@@ -1,0 +1,61 @@
+//! Serde round trips for ciphertexts: serialise after encryption,
+//! deserialise, keep computing, decrypt (feature `serde`).
+#![cfg(feature = "serde")]
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::encoding::Complex;
+use he_ckks::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn ciphertext_survives_json_round_trip_and_still_computes() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    let keys = KeySet::generate(&ctx, &mut rng);
+    let eval = Evaluator::new(&ctx);
+    let z = vec![Complex::new(1.25, 0.0), Complex::new(-2.0, 0.0)];
+    let pt = Plaintext::new(
+        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+
+    let json = serde_json::to_string(&ct).unwrap();
+    let back: Ciphertext = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ct);
+
+    // The deserialised ciphertext is fully usable.
+    let sq = eval.rescale(&eval.square(&back, &keys));
+    let dec = keys.secret().decrypt(&sq);
+    let got = ctx.encoder().decode_rns(dec.poly(), dec.scale(), 2);
+    assert!((got[0].re - 1.5625).abs() < 0.01);
+    assert!((got[1].re - 4.0).abs() < 0.01);
+}
+
+#[test]
+fn plaintext_round_trips() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let z = vec![Complex::new(0.5, -0.25); 4];
+    let pt = Plaintext::new(
+        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let back: Plaintext = serde_json::from_str(&serde_json::to_string(&pt).unwrap()).unwrap();
+    assert_eq!(back, pt);
+}
+
+#[test]
+fn corrupted_scale_is_rejected() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(405);
+    let keys = KeySet::generate(&ctx, &mut rng);
+    let z = vec![Complex::new(1.0, 0.0)];
+    let pt = Plaintext::new(
+        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+    let mut v: serde_json::Value = serde_json::to_value(&ct).unwrap();
+    v["scale"] = serde_json::json!(-1.0);
+    assert!(serde_json::from_value::<Ciphertext>(v).is_err());
+}

@@ -1,0 +1,180 @@
+//! The five-operator vocabulary and its count algebra.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// One of Poseidon's five reusable operators (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operator {
+    /// Modular Addition — element-wise add with compare-and-correct.
+    Ma,
+    /// Modular Multiplication — element-wise multiply + Barrett reduce.
+    Mm,
+    /// Number Theoretic Transform (forward or inverse, counted together as
+    /// the paper's tables do).
+    Ntt,
+    /// Coordinate-mapping Automorphism.
+    Automorphism,
+    /// Shared Barrett Reduction — the reduction datapath shared by MM and
+    /// NTT (counted separately so the sharing ratio is visible).
+    Sbt,
+}
+
+impl Operator {
+    /// All operators, in display order.
+    pub const ALL: [Operator; 5] = [
+        Operator::Ma,
+        Operator::Mm,
+        Operator::Ntt,
+        Operator::Automorphism,
+        Operator::Sbt,
+    ];
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Operator::Ma => "MA",
+            Operator::Mm => "MM",
+            Operator::Ntt => "NTT/INTT",
+            Operator::Automorphism => "Automorphism",
+            Operator::Sbt => "SBT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Element-level operator counts for one operation (or a whole workload).
+///
+/// Every count is in units of *element operations*: one MA count is one
+/// modular addition of a single coefficient; one NTT count is one butterfly
+/// input element processed for one phase. With `lanes` parallel lanes a
+/// core retires `lanes` element operations per cycle — the conversion the
+/// simulator applies.
+///
+/// # Examples
+///
+/// ```
+/// use poseidon_core::OperatorCounts;
+/// let a = OperatorCounts { ma: 10, ..OperatorCounts::ZERO };
+/// let b = OperatorCounts { mm: 4, ..OperatorCounts::ZERO };
+/// let c = a + b * 2;
+/// assert_eq!(c.ma, 10);
+/// assert_eq!(c.mm, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OperatorCounts {
+    /// Modular additions.
+    pub ma: u64,
+    /// Modular multiplications.
+    pub mm: u64,
+    /// NTT/INTT element-phase operations.
+    pub ntt: u64,
+    /// Automorphism element mappings.
+    pub auto: u64,
+    /// Shared Barrett reductions (issued by MM and NTT, plus standalone).
+    pub sbt: u64,
+}
+
+impl OperatorCounts {
+    /// The zero count.
+    pub const ZERO: OperatorCounts = OperatorCounts {
+        ma: 0,
+        mm: 0,
+        ntt: 0,
+        auto: 0,
+        sbt: 0,
+    };
+
+    /// Count for a given operator.
+    pub fn get(&self, op: Operator) -> u64 {
+        match op {
+            Operator::Ma => self.ma,
+            Operator::Mm => self.mm,
+            Operator::Ntt => self.ntt,
+            Operator::Automorphism => self.auto,
+            Operator::Sbt => self.sbt,
+        }
+    }
+
+    /// Whether a given operator is used at all — a Table I checkmark.
+    pub fn uses(&self, op: Operator) -> bool {
+        self.get(op) > 0
+    }
+
+    /// Total element operations across all operators.
+    pub fn total(&self) -> u64 {
+        Operator::ALL.iter().map(|&op| self.get(op)).sum()
+    }
+}
+
+impl Add for OperatorCounts {
+    type Output = OperatorCounts;
+    fn add(self, o: OperatorCounts) -> OperatorCounts {
+        OperatorCounts {
+            ma: self.ma + o.ma,
+            mm: self.mm + o.mm,
+            ntt: self.ntt + o.ntt,
+            auto: self.auto + o.auto,
+            sbt: self.sbt + o.sbt,
+        }
+    }
+}
+
+impl AddAssign for OperatorCounts {
+    fn add_assign(&mut self, o: OperatorCounts) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<u64> for OperatorCounts {
+    type Output = OperatorCounts;
+    fn mul(self, k: u64) -> OperatorCounts {
+        OperatorCounts {
+            ma: self.ma * k,
+            mm: self.mm * k,
+            ntt: self.ntt * k,
+            auto: self.auto * k,
+            sbt: self.sbt * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algebra_is_componentwise() {
+        let a = OperatorCounts {
+            ma: 1,
+            mm: 2,
+            ntt: 3,
+            auto: 4,
+            sbt: 5,
+        };
+        let s = a + a;
+        assert_eq!(s, a * 2);
+        assert_eq!(s.total(), 30);
+        let mut b = OperatorCounts::ZERO;
+        b += a;
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn uses_reflects_nonzero() {
+        let a = OperatorCounts {
+            ma: 1,
+            ..OperatorCounts::ZERO
+        };
+        assert!(a.uses(Operator::Ma));
+        assert!(!a.uses(Operator::Mm));
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Operator::Ma.to_string(), "MA");
+        assert_eq!(Operator::Ntt.to_string(), "NTT/INTT");
+        assert_eq!(Operator::Sbt.to_string(), "SBT");
+    }
+}

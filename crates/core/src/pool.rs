@@ -1,0 +1,319 @@
+//! The operator pool: one functional core per operator, shared and
+//! time-multiplexed — the software analogue of Fig. 2's datapath.
+//!
+//! Each core performs real arithmetic through the substrate crates and
+//! counts how many element operations it has retired. Higher layers (the
+//! simulator's functional mode, the examples) execute CKKS dataflows
+//! through the pool, so the "operator reuse" claim is observable: the same
+//! five cores serve every basic operation.
+
+use he_math::BarrettReducer;
+use he_ntt::{FusedNtt, NttTable};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::auto::HfAuto;
+use crate::operator::{Operator, OperatorCounts};
+
+/// A pool of the five operator cores for one `(N, lanes, fusion-k)`
+/// configuration, serving any modulus (tables are cached per prime).
+///
+/// # Examples
+///
+/// ```
+/// use poseidon_core::OperatorPool;
+/// let q = he_math::prime::ntt_prime(28, 64).unwrap();
+/// let mut pool = OperatorPool::new(32, 8, 3);
+/// let a = vec![1u64; 32];
+/// let b = vec![5u64; 32];
+/// let s = pool.ma(&a, &b, q);
+/// assert_eq!(s[0], 6);
+/// assert!(pool.usage().ma >= 32);
+/// ```
+#[derive(Debug)]
+pub struct OperatorPool {
+    n: usize,
+    lanes: usize,
+    fusion_k: u32,
+    /// Cached per-prime NTT machinery (the twiddle BRAM contents).
+    tables: HashMap<u64, (NttTable, FusedNtt)>,
+    reducers: HashMap<u64, BarrettReducer>,
+    auto: HfAuto,
+    usage: Cell<OperatorCounts>,
+}
+
+impl OperatorPool {
+    /// Creates a pool for degree `n`, `lanes` vector lanes, and NTT fusion
+    /// degree `fusion_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n`/`lanes` are not powers of two or `fusion_k` is out of
+    /// range for `n`.
+    pub fn new(n: usize, lanes: usize, fusion_k: u32) -> Self {
+        assert!(fusion_k >= 1 && fusion_k <= n.trailing_zeros(), "bad fusion degree");
+        Self {
+            n,
+            lanes: lanes.min(n),
+            fusion_k,
+            tables: HashMap::new(),
+            reducers: HashMap::new(),
+            auto: HfAuto::new(n, lanes.min(n)),
+            usage: Cell::new(OperatorCounts::ZERO),
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Vector lane width `C`.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cumulative element operations retired per operator core.
+    pub fn usage(&self) -> OperatorCounts {
+        self.usage.get()
+    }
+
+    /// Resets the usage counters.
+    pub fn reset_usage(&mut self) {
+        self.usage.set(OperatorCounts::ZERO);
+    }
+
+    fn bump(&self, op: Operator, elems: u64) {
+        let mut u = self.usage.get();
+        match op {
+            Operator::Ma => u.ma += elems,
+            Operator::Mm => u.mm += elems,
+            Operator::Ntt => u.ntt += elems,
+            Operator::Automorphism => u.auto += elems,
+            Operator::Sbt => u.sbt += elems,
+        }
+        self.usage.set(u);
+    }
+
+    fn reducer(&mut self, q: u64) -> BarrettReducer {
+        *self
+            .reducers
+            .entry(q)
+            .or_insert_with(|| BarrettReducer::new(q))
+    }
+
+    fn ensure_tables(&mut self, q: u64) {
+        if !self.tables.contains_key(&q) {
+            let table = NttTable::new(self.n, q);
+            let fused = FusedNtt::new(&table, self.fusion_k);
+            self.tables.insert(q, (table, fused));
+        }
+    }
+
+    /// MA core: element-wise modular addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn ma(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        self.bump(Operator::Ma, a.len() as u64);
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| he_math::modops::add_mod(x, y, q))
+            .collect()
+    }
+
+    /// MM core: element-wise modular multiplication through the shared
+    /// Barrett reducer (each product issues one SBT).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn mm(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        let red = self.reducer(q);
+        self.bump(Operator::Mm, a.len() as u64);
+        self.bump(Operator::Sbt, a.len() as u64);
+        a.iter().zip(b).map(|(&x, &y)| red.mul(x, y)).collect()
+    }
+
+    /// NTT core: forward transform through the fused radix-2^k kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N` or `q` is not an NTT prime for `N`.
+    pub fn ntt(&mut self, data: &mut [u64], q: u64) {
+        self.ensure_tables(q);
+        let (_, fused) = &self.tables[&q];
+        fused.forward(data);
+        let phases = fused.phases() as u64;
+        self.bump(Operator::Ntt, data.len() as u64 * phases);
+        // One shared reduction per element per fused phase.
+        self.bump(Operator::Sbt, data.len() as u64 * phases);
+    }
+
+    /// INTT core (inverse transform; same counting as forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N` or `q` is not an NTT prime for `N`.
+    pub fn intt(&mut self, data: &mut [u64], q: u64) {
+        self.ensure_tables(q);
+        let (table, fused) = &self.tables[&q];
+        table.inverse(data);
+        let phases = fused.phases() as u64;
+        self.bump(Operator::Ntt, data.len() as u64 * phases);
+        self.bump(Operator::Sbt, data.len() as u64 * phases);
+    }
+
+    /// Automorphism core (HFAuto schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N` or `g` is even.
+    pub fn automorphism(&mut self, data: &[u64], g: u64, q: u64) -> Vec<u64> {
+        self.bump(Operator::Automorphism, data.len() as u64);
+        self.bump(Operator::Sbt, data.len() as u64); // sign comparisons
+        self.auto.apply(data, g, q)
+    }
+
+    /// Negacyclic polynomial product through the pooled cores: NTT both
+    /// inputs, MM pointwise, INTT back — the PMult datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand lengths differ from `N`.
+    pub fn poly_mul(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.ntt(&mut fa, q);
+        self.ntt(&mut fb, q);
+        let mut prod = self.mm(&fa, &fb, q);
+        self.intt(&mut prod, q);
+        prod
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: usize) -> u64 {
+        he_math::prime::ntt_prime(28, 2 * n as u64).unwrap()
+    }
+
+    #[test]
+    fn cores_compute_correct_arithmetic() {
+        let n = 32;
+        let q = q(n);
+        let mut pool = OperatorPool::new(n, 8, 3);
+        let a: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 3) % q).collect();
+        let s = pool.ma(&a, &b, q);
+        for i in 0..n {
+            assert_eq!(s[i], he_math::modops::add_mod(a[i], b[i], q));
+        }
+        let m = pool.mm(&a, &b, q);
+        for i in 0..n {
+            assert_eq!(m[i], he_math::modops::mul_mod(a[i], b[i], q));
+        }
+    }
+
+    #[test]
+    fn poly_mul_matches_schoolbook() {
+        let n = 32;
+        let q = q(n);
+        let mut pool = OperatorPool::new(n, 8, 3);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i + 1) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * i + 2) % q).collect();
+        assert_eq!(
+            pool.poly_mul(&a, &b, q),
+            he_ntt::naive::negacyclic_mul_schoolbook(&a, &b, q)
+        );
+    }
+
+    #[test]
+    fn usage_counters_accumulate_across_operations() {
+        let n = 64;
+        let q = q(n);
+        let mut pool = OperatorPool::new(n, 8, 3);
+        let a = vec![1u64; n];
+        let _ = pool.ma(&a, &a, q);
+        let _ = pool.mm(&a, &a, q);
+        let _ = pool.automorphism(&a, 3, q);
+        let u = pool.usage();
+        assert_eq!(u.ma, 64);
+        assert_eq!(u.mm, 64);
+        assert_eq!(u.auto, 64);
+        // SBT serves both MM and automorphism sign logic.
+        assert_eq!(u.sbt, 128);
+        let mut pool = pool;
+        pool.reset_usage();
+        assert_eq!(pool.usage(), OperatorCounts::ZERO);
+    }
+
+    #[test]
+    fn ntt_usage_counts_fused_phases() {
+        let n = 64; // log2 = 6, k = 3 → 2 fused phases
+        let q = q(n);
+        let mut pool = OperatorPool::new(n, 8, 3);
+        let mut d = vec![1u64; n];
+        pool.ntt(&mut d, q);
+        assert_eq!(pool.usage().ntt, 64 * 2);
+    }
+
+    #[test]
+    fn tables_are_cached_per_prime() {
+        let n = 32;
+        let mut pool = OperatorPool::new(n, 8, 3);
+        let primes = he_math::prime::ntt_prime_chain(28, 2 * n as u64, 2);
+        let mut d = vec![1u64; n];
+        pool.ntt(&mut d, primes[0]);
+        pool.ntt(&mut d, primes[1]);
+        pool.ntt(&mut d, primes[0]);
+        assert_eq!(pool.tables.len(), 2);
+    }
+}
+
+impl OperatorPool {
+    /// MA core in subtract mode (hardware MA handles add and subtract via
+    /// operand negation on the same datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn sub(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        self.bump(Operator::Ma, a.len() as u64);
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| he_math::modops::sub_mod(x, y, q))
+            .collect()
+    }
+
+    /// MM core in vector-scalar mode (the RNSconv cascade of Fig. 4 feeds
+    /// one scalar operand per prime).
+    pub fn mm_scalar(&mut self, a: &[u64], s: u64, q: u64) -> Vec<u64> {
+        let red = self.reducer(q);
+        let s = s % q;
+        self.bump(Operator::Mm, a.len() as u64);
+        self.bump(Operator::Sbt, a.len() as u64);
+        a.iter().map(|&x| red.mul(x, s)).collect()
+    }
+
+    /// MA core in accumulate mode: `acc += a (mod q)`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn ma_acc(&mut self, acc: &mut [u64], a: &[u64], q: u64) {
+        assert_eq!(acc.len(), a.len(), "operand length mismatch");
+        self.bump(Operator::Ma, a.len() as u64);
+        for (x, &y) in acc.iter_mut().zip(a) {
+            *x = he_math::modops::add_mod(*x, y, q);
+        }
+    }
+}

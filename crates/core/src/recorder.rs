@@ -1,0 +1,200 @@
+//! Trace recording: run a real CKKS computation and capture the basic-
+//! operation stream it performed, ready for the accelerator model.
+//!
+//! This closes the loop between the functional library and the simulator:
+//! instead of hand-writing a workload (as `poseidon-sim::workloads` does
+//! for the paper's benchmarks), wrap the evaluator, run *your actual
+//! program*, and simulate the recorded trace.
+
+use std::cell::RefCell;
+
+use he_ckks::cipher::{Ciphertext, Plaintext};
+use he_ckks::eval::Evaluator;
+use he_ckks::keys::KeySet;
+
+use crate::decompose::{BasicOp, OpParams, OpTrace};
+
+/// An evaluator wrapper that records every basic operation it executes.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use he_ckks::prelude::*;
+/// # use poseidon_core::recorder::RecordingEvaluator;
+/// # let ctx = CkksContext::new(CkksParams::toy());
+/// # let mut rng = rand::thread_rng();
+/// # let keys = KeySet::generate(&ctx, &mut rng);
+/// # let ct: Ciphertext = unimplemented!();
+/// let rec = RecordingEvaluator::new(Evaluator::new(&ctx), 1);
+/// let sum = rec.add(&ct, &ct);
+/// let prod = rec.mul(&ct, &ct, &keys);
+/// let trace = rec.into_trace(); // feed to poseidon_sim::Simulator::run
+/// ```
+#[derive(Debug)]
+pub struct RecordingEvaluator {
+    inner: Evaluator,
+    special: usize,
+    dnum: usize,
+    trace: RefCell<OpTrace>,
+}
+
+impl RecordingEvaluator {
+    /// Wraps an evaluator; `dnum` sets the keyswitch digit count recorded
+    /// for the *hardware* cost of keyswitch-bearing operations (the
+    /// software library itself uses per-prime digits).
+    pub fn new(inner: Evaluator, dnum: usize) -> Self {
+        let special = inner.context().special_basis().len();
+        Self {
+            inner,
+            special,
+            dnum,
+            trace: RefCell::new(OpTrace::new()),
+        }
+    }
+
+    /// The wrapped evaluator (for operations that need no recording).
+    pub fn inner(&self) -> &Evaluator {
+        &self.inner
+    }
+
+    /// The recorded trace so far (cloned).
+    pub fn trace(&self) -> OpTrace {
+        self.trace.borrow().clone()
+    }
+
+    /// Consumes the recorder, returning the trace.
+    pub fn into_trace(self) -> OpTrace {
+        self.trace.into_inner()
+    }
+
+    fn record(&self, op: BasicOp, ct: &Ciphertext) {
+        let p = OpParams::with_dnum(
+            ct.n(),
+            ct.level() + 1,
+            self.special,
+            self.dnum.min(ct.level() + 1),
+        );
+        self.trace.borrow_mut().push(op, p, 1);
+    }
+
+    /// Recorded HAdd.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.record(BasicOp::HAdd, a);
+        self.inner.add(a, b)
+    }
+
+    /// Recorded HAdd (subtraction variant — same operator cost).
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.record(BasicOp::HAdd, a);
+        self.inner.sub(a, b)
+    }
+
+    /// Recorded ciphertext-plaintext addition.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.record(BasicOp::HAdd, a);
+        self.inner.add_plain(a, pt)
+    }
+
+    /// Recorded PMult.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.record(BasicOp::PMult, a);
+        self.inner.mul_plain(a, pt)
+    }
+
+    /// Recorded CMult (with relinearisation).
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.record(BasicOp::CMult, a);
+        self.inner.mul(a, b, keys)
+    }
+
+    /// Recorded squaring (CMult cost class).
+    pub fn square(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.record(BasicOp::CMult, a);
+        self.inner.square(a, keys)
+    }
+
+    /// Recorded Rescale.
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        self.record(BasicOp::Rescale, a);
+        self.inner.rescale(a)
+    }
+
+    /// Recorded Rotation.
+    pub fn rotate(&self, a: &Ciphertext, steps: i64, keys: &KeySet) -> Ciphertext {
+        self.record(BasicOp::Rotation, a);
+        self.inner.rotate(a, steps, keys)
+    }
+
+    /// Recorded conjugation (Rotation cost class).
+    pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.record(BasicOp::Rotation, a);
+        self.inner.conjugate(a, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use he_ckks::encoding::Complex;
+    use he_ckks::prelude::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, KeySet, rand::rngs::StdRng) {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7EC0);
+        let mut keys = KeySet::generate(&ctx, &mut rng);
+        keys.add_rotation_key(1, &mut rng);
+        (ctx, keys, rng)
+    }
+
+    fn encrypt(ctx: &CkksContext, keys: &KeySet, rng: &mut rand::rngs::StdRng, v: f64) -> Ciphertext {
+        let z = vec![Complex::new(v, 0.0)];
+        let pt = Plaintext::new(
+            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        keys.public().encrypt(&pt, rng)
+    }
+
+    #[test]
+    fn records_the_operations_it_executes() {
+        let (ctx, keys, mut rng) = setup();
+        let rec = RecordingEvaluator::new(Evaluator::new(&ctx), 1);
+        let a = encrypt(&ctx, &keys, &mut rng, 2.0);
+        let b = encrypt(&ctx, &keys, &mut rng, 3.0);
+        let s = rec.add(&a, &b);
+        let p = rec.mul(&s, &a, &keys);
+        let r = rec.rescale(&p);
+        let _ = rec.rotate(&r, 1, &keys);
+        let trace = rec.into_trace();
+        let ops: Vec<BasicOp> = trace.entries().iter().map(|(op, _, _)| *op).collect();
+        assert_eq!(
+            ops,
+            vec![BasicOp::HAdd, BasicOp::CMult, BasicOp::Rescale, BasicOp::Rotation]
+        );
+        // Levels were captured per entry: rescale ran at the pre-drop level.
+        assert_eq!(trace.entries()[2].1.components, a.level() + 1);
+        assert_eq!(trace.entries()[3].1.components, a.level());
+    }
+
+    #[test]
+    fn recorded_results_match_unrecorded_evaluator() {
+        let (ctx, keys, mut rng) = setup();
+        let eval = Evaluator::new(&ctx);
+        let rec = RecordingEvaluator::new(eval.clone(), 1);
+        let a = encrypt(&ctx, &keys, &mut rng, 1.5);
+        let b = encrypt(&ctx, &keys, &mut rng, -0.5);
+        assert_eq!(rec.add(&a, &b), eval.add(&a, &b));
+        assert_eq!(rec.mul(&a, &b, &keys), eval.mul(&a, &b, &keys));
+    }
+
+    #[test]
+    fn dnum_is_clamped_to_available_components() {
+        let (ctx, keys, mut rng) = setup();
+        let rec = RecordingEvaluator::new(Evaluator::new(&ctx), 99);
+        let a = encrypt(&ctx, &keys, &mut rng, 1.0);
+        let _ = rec.mul(&a, &a, &keys);
+        let trace = rec.into_trace();
+        assert!(trace.entries()[0].1.dnum <= trace.entries()[0].1.components);
+    }
+}

@@ -1,0 +1,200 @@
+//! Barrett reduction — the scalar model of Poseidon's *Shared Barrett
+//! Reduction (SBT)* operator core.
+//!
+//! The paper shares one Barrett-reduction datapath among the MM and NTT
+//! cores (§IV-A). Here a [`BarrettReducer`] plays that role: every operator
+//! model that needs `x mod q` for a product `x < q²` funnels through the same
+//! precomputed constant, so the functional semantics of "sharing" the SBT
+//! core is a shared `BarrettReducer` value.
+//!
+//! The classic Barrett scheme precomputes `u = floor(2^(2k) / q)` for a
+//! modulus of bit width `k`; the quotient estimate `p = (x * u) >> 2k` is off
+//! by at most 2, so at most two correction subtractions complete the
+//! reduction (paper Fig. 3 uses the same split into an upper/lower half).
+
+use crate::modops;
+
+/// A precomputed Barrett reducer for a fixed modulus `q < 2^62`.
+///
+/// # Examples
+///
+/// ```
+/// use he_math::BarrettReducer;
+/// let r = BarrettReducer::new(0x7fff_ffff); // 2^31 - 1 (Mersenne prime)
+/// assert_eq!(r.reduce((0x7fff_fffeu64 as u128) * 0x7fff_fffe), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrettReducer {
+    q: u64,
+    /// `floor(2^(2·shift) / q)` where `shift = bitlen(q)`.
+    factor: u128,
+    /// `2 · bitlen(q)`.
+    shift2: u32,
+}
+
+impl BarrettReducer {
+    /// Creates a reducer for modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q >= 2^62` (products must fit `u128` with the
+    /// quotient-estimate slack).
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        assert!(q < (1u64 << 62), "modulus must be below 2^62");
+        let shift = 64 - q.leading_zeros(); // bitlen(q)
+        let shift2 = 2 * shift;
+        // factor = floor(2^shift2 / q). shift2 <= 124 so this fits u128.
+        let factor = (1u128 << shift2) / q as u128;
+        Self { q, factor, shift2 }
+    }
+
+    /// The modulus this reducer was built for.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Reduces `x` to `x mod q`.
+    ///
+    /// The quotient estimate never overshoots, so the result is correct for
+    /// any `x`; it is *fast* (≤ 2 corrections) when `x < q²`, and the fused
+    /// NTT kernels exploit the graceful degradation by accumulating up to
+    /// `2^k` products before a single reduction (≤ `2^k + 1` corrections).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let r = he_math::BarrettReducer::new(97);
+    /// assert_eq!(r.reduce(96 * 96), 1);
+    /// ```
+    #[inline]
+    pub fn reduce(&self, x: u128) -> u64 {
+        // Quotient estimate: p = floor(x · factor / 2^shift2) <= floor(x/q).
+        let p = mul_shift(x, self.factor, self.shift2);
+        let mut r = (x - p * self.q as u128) as u64;
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Multiplies two reduced residues modulo `q`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let r = he_math::BarrettReducer::new(97);
+    /// assert_eq!(r.mul(50, 2), 3);
+    /// ```
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce(a as u128 * b as u128)
+    }
+
+    /// Adds two reduced residues modulo `q` (delegates to the MA scheme).
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        modops::add_mod(a, b, self.q)
+    }
+
+    /// Subtracts two reduced residues modulo `q`.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        modops::sub_mod(a, b, self.q)
+    }
+
+    /// Raises `base` to `exp` modulo `q` using the Barrett multiply.
+    pub fn pow(&self, base: u64, exp: u64) -> u64 {
+        let mut base = base % self.q;
+        let mut exp = exp;
+        let mut acc = 1u64 % self.q;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+/// Computes `floor(a · b / 2^shift)` for `a < 2^126`, `b < 2^63`, splitting
+/// `a` into 64-bit halves so the partial products fit `u128`.
+///
+/// The floor of the sum of shifted halves may undercount by the carry lost
+/// between halves; to stay exact we recombine through the identity
+/// `floor(x / 2^s) = floor((hi·2^64 + lo) / 2^s)` computed with explicit
+/// carry propagation.
+#[inline]
+fn mul_shift(a: u128, b: u128, shift: u32) -> u128 {
+    let a_lo = a as u64 as u128;
+    let a_hi = a >> 64;
+    let lo = a_lo * b; // < 2^127
+    let hi = a_hi * b; // < 2^125
+    if shift >= 64 {
+        // a·b = (hi + (lo >> 64))·2^64 + (lo mod 2^64); dividing by
+        // 2^(64+s) is exactly (hi + (lo >> 64)) >> s because the remaining
+        // low part is strictly below 2^(64+s).
+        (hi + (lo >> 64)) >> (shift - 64)
+    } else {
+        // shift < 64 implies the modulus is below 2^32, hence a < 2^66 and
+        // hi < 2^2·b, so the shifted hi contribution still fits u128.
+        (lo >> shift) + (hi << (64 - shift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modops::mul_mod;
+
+    #[test]
+    fn matches_reference_small() {
+        let r = BarrettReducer::new(97);
+        for a in 0..97u64 {
+            for b in 0..97u64 {
+                assert_eq!(r.mul(a, b), mul_mod(a, b, 97));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_large_modulus() {
+        let q = (1u64 << 61) - 1; // Mersenne prime 2^61 - 1
+        let r = BarrettReducer::new(q);
+        let samples = [0u64, 1, 2, q / 2, q - 2, q - 1, 123_456_789_012_345];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(r.mul(a, b), mul_mod(a, b, q), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_handles_full_square_range() {
+        let q = 0xFFFF_FFFBu64; // largest 32-bit prime
+        let r = BarrettReducer::new(q);
+        assert_eq!(r.reduce((q as u128 - 1) * (q as u128 - 1)), 1);
+        assert_eq!(r.reduce(0), 0);
+        assert_eq!(r.reduce(q as u128), 0);
+        assert_eq!(r.reduce(q as u128 + 1), 1);
+    }
+
+    #[test]
+    fn pow_matches_modops() {
+        let q = 786_433u64; // 3·2^18 + 1
+        let r = BarrettReducer::new(q);
+        for (base, exp) in [(5u64, 0u64), (5, 1), (5, 100), (q - 1, 2), (7, q - 1)] {
+            assert_eq!(r.pow(base, exp), modops::pow_mod(base, exp, q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be at least 2")]
+    fn rejects_tiny_modulus() {
+        let _ = BarrettReducer::new(1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Montgomery multiplication: the classic alternative to Barrett for
+//! repeated modular products under a fixed odd modulus.
+//!
+//! Included as a substrate alternative so the reproduction can compare the
+//! two reduction datapaths the accelerator literature debates (the paper
+//! chooses Barrett for its shared SBT core; Montgomery avoids the
+//! double-width quotient multiply at the cost of domain conversions).
+
+use crate::modops;
+
+/// Montgomery context for an odd modulus `q < 2^63`, with `R = 2^64`.
+///
+/// Values are converted into the Montgomery domain (`x·R mod q`) once,
+/// multiplied cheaply many times, and converted back once.
+///
+/// # Examples
+///
+/// ```
+/// use he_math::montgomery::Montgomery;
+/// let m = Montgomery::new(0x7fff_ffff); // 2^31 − 1
+/// let a = m.to_mont(12345);
+/// let b = m.to_mont(67890);
+/// let p = m.mont_mul(a, b);
+/// assert_eq!(m.from_mont(p), he_math::modops::mul_mod(12345, 67890, 0x7fff_ffff));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Montgomery {
+    q: u64,
+    /// `−q⁻¹ mod 2^64`.
+    q_neg_inv: u64,
+    /// `R² mod q` for the into-domain conversion.
+    r2: u64,
+}
+
+impl Montgomery {
+    /// Creates a context for odd modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is even, `< 3`, or `≥ 2^63`.
+    pub fn new(q: u64) -> Self {
+        assert!(q % 2 == 1, "Montgomery requires an odd modulus");
+        assert!(q >= 3 && q < (1u64 << 63), "modulus out of range");
+        // Newton iteration for q⁻¹ mod 2^64 (5 steps double the bits).
+        let mut inv: u64 = q; // q⁻¹ ≡ q (mod 2^3) for odd q
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        // R mod q, then R² mod q via repeated doubling-free square.
+        let r_mod_q = (u64::MAX % q) + 1; // 2^64 mod q (q < 2^63 so no wrap to 0 issue)
+        let r2 = modops::mul_mod(r_mod_q % q, r_mod_q % q, q);
+        Self {
+            q,
+            q_neg_inv: inv.wrapping_neg(),
+            r2,
+        }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Montgomery reduction of a 128-bit product: returns `t·R⁻¹ mod q`.
+    ///
+    /// Requires `t < q·2^64` (any product of two reduced values qualifies),
+    /// which guarantees the 128-bit accumulation below cannot overflow.
+    #[inline]
+    pub fn reduce(&self, t: u128) -> u64 {
+        debug_assert!(t < self.q as u128 * (1u128 << 64), "input too large");
+        let m = (t as u64).wrapping_mul(self.q_neg_inv);
+        let mq = m as u128 * self.q as u128;
+        // t + m·q ≡ 0 (mod 2^64) by construction and < q·2^64 + q·2^64
+        // ≤ 2^63·2^65 = 2^128 − ε, so the sum fits u128.
+        let (sum, carry) = t.overflowing_add(mq);
+        debug_assert!(!carry, "reduction accumulator overflow");
+        let mut r = (sum >> 64) as u64;
+        if r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Converts into the Montgomery domain.
+    #[inline]
+    pub fn to_mont(&self, x: u64) -> u64 {
+        debug_assert!(x < self.q);
+        self.reduce(x as u128 * self.r2 as u128)
+    }
+
+    /// Converts out of the Montgomery domain.
+    #[inline]
+    pub fn from_mont(&self, x: u64) -> u64 {
+        self.reduce(x as u128)
+    }
+
+    /// Multiplies two Montgomery-domain values (result stays in domain).
+    #[inline]
+    pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce(a as u128 * b as u128)
+    }
+
+    /// Plain-domain modular multiplication through Montgomery (two
+    /// conversions; only worthwhile for long product chains).
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.from_mont(self.mont_mul(self.to_mont(a), self.to_mont(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modops::mul_mod;
+
+    #[test]
+    fn matches_reference_small_exhaustive() {
+        let q = 97u64;
+        let m = Montgomery::new(q);
+        for a in 0..q {
+            for b in 0..q {
+                assert_eq!(m.mul(a, b), mul_mod(a, b, q), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_large() {
+        let q = (1u64 << 61) - 1;
+        let m = Montgomery::new(q);
+        let samples = [0u64, 1, 2, q / 3, q / 2, q - 2, q - 1];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(m.mul(a, b), mul_mod(a, b, q));
+            }
+        }
+    }
+
+    #[test]
+    fn domain_round_trip() {
+        let q = 786_433u64;
+        let m = Montgomery::new(q);
+        for x in [0u64, 1, 2, q / 2, q - 1] {
+            assert_eq!(m.from_mont(m.to_mont(x)), x);
+        }
+    }
+
+    #[test]
+    fn chained_products_stay_in_domain() {
+        // x^5 computed with one conversion each way.
+        let q = 1_000_000_007u64;
+        let m = Montgomery::new(q);
+        let x = 123_456_789u64;
+        let xm = m.to_mont(x);
+        let mut acc = xm;
+        for _ in 0..4 {
+            acc = m.mont_mul(acc, xm);
+        }
+        assert_eq!(m.from_mont(acc), crate::modops::pow_mod(x, 5, q));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn rejects_even_modulus() {
+        let _ = Montgomery::new(100);
+    }
+}

@@ -1,0 +1,112 @@
+//! Shoup multiplication: fast modular multiplication by a *fixed* operand.
+//!
+//! Inside an NTT butterfly the twiddle factor `w` is known ahead of time, so
+//! the quotient constant `w' = floor(w · 2^64 / q)` can be precomputed. The
+//! reduction then costs one high multiply, one low multiply, and one
+//! conditional subtraction — the structure Poseidon hard-codes into its NTT
+//! core RTL. We use it both for speed in the software library and to count
+//! "one modular reduction" per fused TAM faithfully in the operator models.
+
+/// Multiplier for a fixed operand `w` modulo `q < 2^63`.
+///
+/// # Examples
+///
+/// ```
+/// use he_math::ShoupMul;
+/// let m = ShoupMul::new(3, 17);
+/// assert_eq!(m.mul(10), 13); // 30 mod 17
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    w: u64,
+    /// `floor(w · 2^64 / q)`.
+    w_shoup: u64,
+    q: u64,
+}
+
+impl ShoupMul {
+    /// Precomputes the Shoup constant for operand `w` under modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= q` or `q >= 2^63`.
+    #[inline]
+    pub fn new(w: u64, q: u64) -> Self {
+        assert!(q < (1u64 << 63), "modulus must be below 2^63");
+        assert!(w < q, "operand must be reduced");
+        let w_shoup = (((w as u128) << 64) / q as u128) as u64;
+        Self { w, w_shoup, q }
+    }
+
+    /// The fixed operand `w`.
+    #[inline]
+    pub fn operand(&self) -> u64 {
+        self.w
+    }
+
+    /// Computes `a · w mod q` for reduced `a`.
+    ///
+    /// The result of the core step lies in `[0, 2q)`; one conditional
+    /// subtraction completes the reduction.
+    #[inline]
+    pub fn mul(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        let quot = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
+        let r = (self.w.wrapping_mul(a)).wrapping_sub(quot.wrapping_mul(self.q));
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Computes `a · w mod q` leaving the result in `[0, 2q)` (lazy form),
+    /// for pipelines that defer the final correction — mirroring how the
+    /// hardware SBT core is shared across butterfly stages.
+    #[inline]
+    pub fn mul_lazy(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        let quot = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
+        (self.w.wrapping_mul(a)).wrapping_sub(quot.wrapping_mul(self.q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modops::mul_mod;
+
+    #[test]
+    fn matches_reference_exhaustively_small() {
+        let q = 97u64;
+        for w in 0..q {
+            let m = ShoupMul::new(w, q);
+            for a in 0..q {
+                assert_eq!(m.mul(a), mul_mod(a, w, q), "w={w} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_large() {
+        let q = (1u64 << 62) + 135; // not prime; Shoup does not require it
+        let samples = [0u64, 1, q / 3, q / 2, q - 2, q - 1];
+        for &w in &samples {
+            let m = ShoupMul::new(w, q);
+            for &a in &samples {
+                assert_eq!(m.mul(a), mul_mod(a, w, q), "w={w} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_form_is_within_2q() {
+        let q = 786_433u64;
+        let m = ShoupMul::new(q - 1, q);
+        for a in [0u64, 1, q / 2, q - 1] {
+            let lazy = m.mul_lazy(a);
+            assert!(lazy < 2 * q);
+            assert_eq!(lazy % q, mul_mod(a, q - 1, q));
+        }
+    }
+}

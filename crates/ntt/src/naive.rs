@@ -1,0 +1,107 @@
+//! Quadratic-time reference implementations used as testing oracles.
+//!
+//! These are deliberately simple: direct evaluation of the negacyclic DFT
+//! definition and schoolbook polynomial multiplication with the `X^N = -1`
+//! wraparound. Every fast path in this crate is validated against them.
+
+use he_math::modops::{add_mod, mul_mod, pow_mod, sub_mod};
+use he_math::prime::root_of_unity;
+use crate::table::bit_reverse;
+
+/// Evaluates the negacyclic NTT by its definition, O(N²).
+///
+/// Output ordering matches [`crate::NttTable::forward`]: entry `j` holds the
+/// evaluation of `a` at `ψ^(2·brv(j)+1)`, where ψ is the 2N-th primitive
+/// root used by the tables and `brv` reverses `log2(N)` bits.
+///
+/// # Examples
+///
+/// ```
+/// let q = he_math::prime::ntt_prime(20, 8).unwrap();
+/// let out = he_ntt::naive::negacyclic_ntt(&[3, 0, 0, 0], q);
+/// assert_eq!(out, vec![3, 3, 3, 3]);
+/// ```
+pub fn negacyclic_ntt(a: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    let log_n = n.trailing_zeros();
+    let psi = root_of_unity(2 * n as u64, q);
+    (0..n)
+        .map(|j| {
+            let e = 2 * bit_reverse(j as u64, log_n) + 1;
+            let base = pow_mod(psi, e, q);
+            let mut acc = 0u64;
+            let mut pw = 1u64;
+            for &c in a {
+                acc = add_mod(acc, mul_mod(c, pw, q), q);
+                pw = mul_mod(pw, base, q);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Schoolbook negacyclic product `a · b mod (X^N + 1, q)`, O(N²).
+///
+/// # Panics
+///
+/// Panics if `a` and `b` differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let q = 97u64;
+/// // (1 + X)·X³ = X³ + X⁴ = X³ - 1 in Z_q[X]/(X⁴+1)
+/// let p = he_ntt::naive::negacyclic_mul_schoolbook(&[1, 1, 0, 0], &[0, 0, 0, 1], q);
+/// assert_eq!(p, vec![96, 0, 0, 1]);
+/// ```
+pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operands must have equal degree");
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            let p = mul_mod(x, y, q);
+            let k = i + j;
+            if k < n {
+                out[k] = add_mod(out[k], p, q);
+            } else {
+                out[k - n] = sub_mod(out[k - n], p, q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_product_wraps_with_sign() {
+        let q = 97u64;
+        let n = 8;
+        let mut x7 = vec![0u64; n];
+        x7[7] = 1;
+        let mut x2 = vec![0u64; n];
+        x2[2] = 1;
+        // X^7 · X^2 = X^9 = -X
+        let p = negacyclic_mul_schoolbook(&x7, &x2, q);
+        assert_eq!(p[1], q - 1);
+        assert_eq!(p.iter().filter(|&&v| v != 0).count(), 1);
+    }
+
+    #[test]
+    fn schoolbook_is_commutative() {
+        let q = 786_433u64;
+        let a: Vec<u64> = (0..16u64).map(|i| i * 3 + 1).collect();
+        let b: Vec<u64> = (0..16u64).map(|i| i * i + 2).collect();
+        assert_eq!(
+            negacyclic_mul_schoolbook(&a, &b, q),
+            negacyclic_mul_schoolbook(&b, &a, q)
+        );
+    }
+}

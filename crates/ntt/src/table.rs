@@ -1,0 +1,219 @@
+//! Precomputed twiddle tables for the negacyclic NTT.
+
+use he_math::modops::{inv_mod_prime, pow_mod};
+use he_math::prime::root_of_unity;
+use he_math::{BarrettReducer, ShoupMul};
+
+/// Precomputed transform tables for one `(N, q)` pair.
+///
+/// Holds the powers of the 2N-th primitive root ψ (and its inverse) in
+/// bit-reversed order together with their Shoup constants, plus `N⁻¹ mod q`
+/// for the inverse transform.
+///
+/// # Examples
+///
+/// ```
+/// use he_ntt::NttTable;
+/// let q = he_math::prime::ntt_prime(30, 1 << 9).unwrap();
+/// let t = NttTable::new(256, q);
+/// let mut a: Vec<u64> = (0..256u64).collect();
+/// let orig = a.clone();
+/// t.forward(&mut a);
+/// t.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    q: u64,
+    log_n: u32,
+    /// ψ^brv(i) with Shoup constants, for the forward CT transform.
+    psi_rev: Vec<ShoupMul>,
+    /// ψ^{-brv(i)} with Shoup constants, for the inverse GS transform.
+    inv_psi_rev: Vec<ShoupMul>,
+    /// N⁻¹ mod q.
+    n_inv: ShoupMul,
+    /// Shared Barrett reducer (the crate-level stand-in for the SBT core).
+    reducer: BarrettReducer,
+}
+
+impl NttTable {
+    /// Builds tables for ring degree `n` (a power of two ≥ 2) and NTT prime
+    /// `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q` is not an NTT prime for
+    /// this degree.
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+        assert!(
+            (q - 1) % (2 * n as u64) == 0,
+            "q must satisfy q ≡ 1 (mod 2n)"
+        );
+        let log_n = n.trailing_zeros();
+        let psi = root_of_unity(2 * n as u64, q);
+        let psi_inv = inv_mod_prime(psi, q).expect("psi is a unit");
+        let mut psi_rev = Vec::with_capacity(n);
+        let mut inv_psi_rev = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let r = bit_reverse(i, log_n);
+            psi_rev.push(ShoupMul::new(pow_mod(psi, r, q), q));
+            inv_psi_rev.push(ShoupMul::new(pow_mod(psi_inv, r, q), q));
+        }
+        let n_inv = ShoupMul::new(inv_mod_prime(n as u64, q).expect("n is a unit"), q);
+        Self {
+            n,
+            q,
+            log_n,
+            psi_rev,
+            inv_psi_rev,
+            n_inv,
+            reducer: BarrettReducer::new(q),
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus `q`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// `log2(N)`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The shared Barrett reducer for this modulus.
+    #[inline]
+    pub fn reducer(&self) -> &BarrettReducer {
+        &self.reducer
+    }
+
+    /// Raw ψ^brv(i) value at table index `i` (used by the fused kernels).
+    #[inline]
+    pub(crate) fn psi_rev_value(&self, i: usize) -> u64 {
+        self.psi_rev[i].operand()
+    }
+
+    /// Forward negacyclic NTT, in place (coefficient → evaluation order).
+    ///
+    /// Output is in bit-reversed evaluation order, matched by [`inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    ///
+    /// [`inverse`]: Self::inverse
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal N");
+        crate::negacyclic::forward_in_place(a, &self.psi_rev, self.q);
+    }
+
+    /// Inverse negacyclic NTT, in place (evaluation → coefficient order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal N");
+        crate::negacyclic::inverse_in_place(a, &self.inv_psi_rev, &self.n_inv, self.q);
+    }
+
+    /// Negacyclic polynomial product `a · b mod (X^N + 1, q)` via three
+    /// transforms (the CMult datapath of the paper's Fig. 2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use he_ntt::NttTable;
+    /// let q = he_math::prime::ntt_prime(30, 64).unwrap();
+    /// let t = NttTable::new(32, q);
+    /// let mut x = vec![0u64; 32];
+    /// x[31] = 1; // X^31
+    /// let y = x.clone();
+    /// let p = t.multiply(&x, &y); // X^62 = -X^30
+    /// assert_eq!(p[30], q - 1);
+    /// ```
+    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = self.reducer.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Reverses the lowest `bits` bits of `v`.
+#[inline]
+pub fn bit_reverse(v: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        v.reverse_bits() >> (64 - bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_basics() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(5, 0), 0);
+        assert_eq!(bit_reverse(1, 1), 1);
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let q = he_math::prime::ntt_prime(30, 1 << 5).unwrap();
+        let t = NttTable::new(16, q);
+        let orig: Vec<u64> = (0..16u64).map(|i| (i * i * 37 + 11) % q).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig, "transform must not be identity");
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn constant_transforms_to_constant_vector() {
+        let q = he_math::prime::ntt_prime(28, 1 << 4).unwrap();
+        let t = NttTable::new(8, q);
+        let mut a = vec![0u64; 8];
+        a[0] = 5;
+        t.forward(&mut a);
+        assert!(a.iter().all(|&v| v == 5), "constant poly evaluates to itself");
+    }
+
+    #[test]
+    #[should_panic(expected = "q must satisfy")]
+    fn rejects_bad_modulus() {
+        let _ = NttTable::new(16, 101); // 101 ≢ 1 mod 32
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^(N/2) · X^(N/2) = X^N = -1 in the ring.
+        let q = he_math::prime::ntt_prime(30, 1 << 7).unwrap();
+        let t = NttTable::new(64, q);
+        let mut x = vec![0u64; 64];
+        x[32] = 1;
+        let p = t.multiply(&x, &x);
+        assert_eq!(p[0], q - 1);
+        assert!(p[1..].iter().all(|&v| v == 0));
+    }
+}

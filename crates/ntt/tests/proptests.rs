@@ -1,0 +1,91 @@
+//! Property-based tests for the NTT layer: transform identities, fused ≡
+//! radix-2 equivalence, and convolution semantics over random inputs.
+
+use he_ntt::{naive, FusedNtt, NttTable};
+use proptest::prelude::*;
+
+fn arb_poly(n: usize, q: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..q, n)
+}
+
+fn table(log_n: u32) -> NttTable {
+    let n = 1usize << log_n;
+    let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+    NttTable::new(n, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn forward_inverse_identity(log_n in 3u32..8, seed in any::<u64>()) {
+        let t = table(log_n);
+        let n = t.n();
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(seed | 1)) % q).collect();
+        let mut b = a.clone();
+        t.forward(&mut b);
+        t.inverse(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transform_is_linear(log_n in 3u32..7, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let t = table(log_n);
+        let n = t.n();
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(s1 | 1) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(s2 | 3) % q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| he_math::modops::add_mod(x, y, q)).collect();
+        let mut fa = a;
+        let mut fb = b;
+        let mut fs = sum;
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        for i in 0..n {
+            prop_assert_eq!(fs[i], he_math::modops::add_mod(fa[i], fb[i], q));
+        }
+    }
+
+    #[test]
+    fn multiply_matches_schoolbook(log_n in 3u32..6, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let t = table(log_n);
+        let n = t.n();
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(s1) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(s2) % q).collect();
+        prop_assert_eq!(t.multiply(&a, &b), naive::negacyclic_mul_schoolbook(&a, &b, q));
+    }
+
+    #[test]
+    fn fused_equals_radix2_for_all_radices(log_n in 4u32..8, k in 1u32..6, seed in any::<u64>()) {
+        let k = k.min(log_n);
+        let t = table(log_n);
+        let n = t.n();
+        let q = t.modulus();
+        let fused = FusedNtt::new(&t, k);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i ^ seed).wrapping_mul(2654435761) % q).collect();
+        let mut r2 = a.clone();
+        let mut rf = a;
+        t.forward(&mut r2);
+        fused.forward(&mut rf);
+        prop_assert_eq!(r2, rf);
+    }
+
+    #[test]
+    fn random_polys_via_proptest_vectors(log_n in 3u32..6, data in arb_poly(8, 1 << 20)) {
+        // Exercise arbitrary residue vectors padded into the ring.
+        let t = table(log_n);
+        let n = t.n();
+        let q = t.modulus();
+        let mut a = vec![0u64; n];
+        for (i, v) in data.iter().enumerate() {
+            a[i % n] = v % q;
+        }
+        let orig = a.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        prop_assert_eq!(a, orig);
+    }
+}

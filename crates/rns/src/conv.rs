@@ -1,0 +1,313 @@
+//! Fast basis conversion and the Modup/Moddown/Rescale kernels.
+//!
+//! These implement the paper's Eq. 1–3 exactly:
+//!
+//! * `RNSconv(a_B → C)` — the HPS *approximate* fast basis conversion:
+//!   `a_C[i] = Σ_j ([a_j · q̂_j⁻¹]_{q_j} · q̂_j) mod p_i`. The result equals
+//!   `a + e·Q` for some small `0 ≤ e < L`, which downstream Moddown divides
+//!   away (the classic RNS-CKKS noise argument).
+//! * `Modup(a_Q) → a_{Q∪P}` — extend a polynomial to the keyswitching basis.
+//! * `Moddown(ã_{Q∪P}) → ((ã_Q − conv(ã_P)) · P⁻¹)_Q` — exact scaled
+//!   reduction back to the ciphertext basis.
+//! * `rescale` — drop the last chain prime and rescale by its inverse,
+//!   the RNS realisation of CKKS's `Rescale` (paper §II-A.3).
+//!
+//! All kernels operate on **coefficient-form** polynomials (the conversion
+//! mixes residues across primes, which is only meaningful on coefficients);
+//! they assert this precondition.
+
+use crate::basis::RnsBasis;
+use crate::poly::{Form, RnsPoly};
+use he_math::modops::{inv_mod_prime, sub_mod};
+
+/// Converts `a` from its basis `B` into basis `target` (paper Eq. 1).
+///
+/// The output is the HPS approximation `a + e·Q_B (mod target)` with
+/// `0 ≤ e < |B|`; callers that need exactness follow up with a Moddown-style
+/// correction.
+///
+/// # Panics
+///
+/// Panics if `a` is not in coefficient form or ring degrees differ.
+///
+/// # Examples
+///
+/// ```
+/// use he_rns::{RnsBasis, RnsPoly};
+/// use he_rns::conv::rns_convert;
+/// let b = RnsBasis::generate(16, 28, 2);
+/// let p = RnsBasis::new(16, he_math::prime::ntt_prime_chain(30, 32, 1));
+/// let a = RnsPoly::from_i64_coeffs(&b, &[42i64; 16]);
+/// let out = rns_convert(&a, &p);
+/// // The result is congruent to 42 + e·Q for some small e ≥ 0.
+/// let p0 = p.primes()[0];
+/// let q_mod = b.modulus_product().rem_u64(p0);
+/// let got = out.residues(0)[0];
+/// assert!((0..2u64).any(|e| (42 + e as u128 * q_mod as u128) % p0 as u128 == got as u128));
+/// ```
+pub fn rns_convert(a: &RnsPoly, target: &RnsBasis) -> RnsPoly {
+    assert_eq!(a.form(), Form::Coeff, "RNSconv operates on coefficients");
+    assert_eq!(a.basis().n(), target.n(), "ring degrees must match");
+    let src = a.basis();
+    let n = src.n();
+    let hat_inv = src.qhat_inv_mod_self();
+    let hat_in_target = src.qhat_mod_other(target);
+
+    // t_j = [a_j · q̂_j⁻¹]_{q_j}, computed once per source prime.
+    let t: Vec<Vec<u64>> = (0..src.len())
+        .map(|j| {
+            let red = &src.reducers()[j];
+            a.residues(j).iter().map(|&x| red.mul(x, hat_inv[j])).collect()
+        })
+        .collect();
+
+    let residues: Vec<Vec<u64>> = (0..target.len())
+        .map(|i| {
+            let red = &target.reducers()[i];
+            let hats = &hat_in_target[i];
+            (0..n)
+                .map(|c| {
+                    // Accumulate Σ_j t_j[c]·(q̂_j mod p_i) in 128 bits, one
+                    // shared Barrett reduction at the end (SBT reuse).
+                    let mut acc: u128 = 0;
+                    for j in 0..src.len() {
+                        acc += t[j][c] as u128 * hats[j] as u128;
+                    }
+                    red.reduce(acc)
+                })
+                .collect()
+        })
+        .collect();
+    RnsPoly::from_residues(target, residues, Form::Coeff)
+}
+
+/// `Modup` (paper Eq. 3): extends `a` from basis `Q` to `Q ∪ P`.
+///
+/// Returns the polynomial in the concatenated basis with the original
+/// residues preserved and the `P` residues produced by [`rns_convert`].
+///
+/// # Panics
+///
+/// Panics if `a` is not in coefficient form or the bases overlap.
+pub fn modup(a: &RnsPoly, special: &RnsBasis) -> RnsPoly {
+    assert_eq!(a.form(), Form::Coeff, "Modup operates on coefficients");
+    let converted = rns_convert(a, special);
+    let full = a.basis().concat(special);
+    let mut residues = a.all_residues().to_vec();
+    residues.extend(converted.all_residues().iter().cloned());
+    RnsPoly::from_residues(&full, residues, Form::Coeff)
+}
+
+/// `Moddown` (paper Eq. 2): reduces `a` from basis `Q ∪ P` back to `Q`,
+/// dividing by `P` — `((a_Q − conv(a_P → Q)) · P⁻¹) mod Q`.
+///
+/// `q_len` is the number of leading primes that form `Q`.
+///
+/// # Panics
+///
+/// Panics if `a` is not in coefficient form or `q_len` is out of range.
+pub fn moddown(a: &RnsPoly, q_len: usize) -> RnsPoly {
+    assert_eq!(a.form(), Form::Coeff, "Moddown operates on coefficients");
+    let total = a.level_count();
+    assert!(q_len >= 1 && q_len < total, "q_len must split the basis");
+    let q_basis = a.basis().prefix(q_len);
+    let p_primes = a.basis().primes()[q_len..].to_vec();
+    let p_basis = RnsBasis::new(a.basis().n(), p_primes);
+
+    // Split a into its Q part and P part.
+    let a_q = RnsPoly::from_residues(
+        &q_basis,
+        a.all_residues()[..q_len].to_vec(),
+        Form::Coeff,
+    );
+    let a_p = RnsPoly::from_residues(
+        &p_basis,
+        a.all_residues()[q_len..].to_vec(),
+        Form::Coeff,
+    );
+
+    let conv = rns_convert(&a_p, &q_basis);
+    let p_inv = p_basis.product_inv_mod_other(&q_basis);
+    a_q.sub(&conv).mul_scalar_per_prime(&p_inv)
+}
+
+/// RNS `Rescale`: drops the last chain prime `q_l` and scales by `q_l⁻¹` —
+/// `c'_j = [q_l⁻¹]_{q_j} · (c_j − c_l) mod q_j` (paper §II-A.3).
+///
+/// # Panics
+///
+/// Panics if `a` is not in coefficient form or has a single component.
+pub fn rescale(a: &RnsPoly) -> RnsPoly {
+    assert_eq!(a.form(), Form::Coeff, "Rescale operates on coefficients");
+    let l = a.level_count();
+    assert!(l >= 2, "cannot rescale a single-prime polynomial");
+    let last_prime = a.basis().primes()[l - 1];
+    let lower = a.basis().prefix(l - 1);
+    let last = a.residues(l - 1);
+
+    let residues: Vec<Vec<u64>> = (0..l - 1)
+        .map(|j| {
+            let qj = lower.primes()[j];
+            let red = &lower.reducers()[j];
+            let ql_inv = inv_mod_prime(last_prime % qj, qj).expect("distinct primes");
+            a.residues(j)
+                .iter()
+                .zip(last)
+                .map(|(&cj, &cl)| red.mul(sub_mod(cj, cl % qj, qj), ql_inv))
+                .collect()
+        })
+        .collect();
+    RnsPoly::from_residues(&lower, residues, Form::Coeff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bases(n: usize) -> (RnsBasis, RnsBasis) {
+        // Q from 28-bit primes, P from 30-bit primes (disjoint by size).
+        let q = RnsBasis::generate(n, 28, 3);
+        let p = RnsBasis::new(n, he_math::prime::ntt_prime_chain(30, 2 * n as u64, 2));
+        (q, p)
+    }
+
+    #[test]
+    fn convert_is_congruent_for_small_values() {
+        // For any value, conversion returns a + e·Q for small e ≥ 0; for a
+        // centred negative value the representative is Q + a, so the same
+        // bound applies with the representative.
+        let (q, p) = bases(16);
+        let coeffs: Vec<i64> = (0..16).map(|i| i * 100).collect();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let out = rns_convert(&a, &p);
+        let l = q.len() as u64;
+        for (i, &pi) in p.primes().iter().enumerate() {
+            let q_mod = q.modulus_product().rem_u64(pi);
+            for (c, &v) in coeffs.iter().enumerate() {
+                let got = out.residues(i)[c];
+                let ok = (0..=l).any(|e| {
+                    ((v as u128 + e as u128 * q_mod as u128) % pi as u128) as u64 == got
+                });
+                assert!(ok, "coefficient {c} prime {pi}: conversion off by more than L·Q");
+            }
+        }
+    }
+
+    #[test]
+    fn convert_error_is_multiple_of_q() {
+        // For values near Q/2 the approximate conversion may be off by e·Q,
+        // 0 ≤ e < L. Check residue-wise that out − a ≡ e·Q (mod p_i) with a
+        // consistent small e per coefficient.
+        let (q, p) = bases(16);
+        let big = q.modulus_product().half(); // ~Q/2, worst case
+        // Build a polynomial whose coefficient 0 is ~Q/2 via residues.
+        let residues: Vec<Vec<u64>> = q
+            .primes()
+            .iter()
+            .map(|&qi| {
+                let mut v = vec![0u64; 16];
+                v[0] = big.rem_u64(qi);
+                v
+            })
+            .collect();
+        let a = RnsPoly::from_residues(&q, residues, Form::Coeff);
+        let out = rns_convert(&a, &p);
+        let l = q.len() as u64;
+        for (i, &pi) in p.primes().iter().enumerate() {
+            let expect_base = big.rem_u64(pi);
+            let got = out.residues(i)[0];
+            let q_mod = q.modulus_product().rem_u64(pi);
+            // got = expect_base + e·Q (mod p_i) for some 0 ≤ e < L.
+            let mut ok = false;
+            for e in 0..l {
+                let cand = (expect_base as u128 + e as u128 * q_mod as u128) % pi as u128;
+                if cand as u64 == got {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "conversion error must be a small multiple of Q");
+        }
+    }
+
+    #[test]
+    fn modup_preserves_original_residues() {
+        let (q, p) = bases(16);
+        let a = RnsPoly::from_i64_coeffs(&q, &[12345i64; 16]);
+        let up = modup(&a, &p);
+        assert_eq!(up.level_count(), q.len() + p.len());
+        for j in 0..q.len() {
+            assert_eq!(up.residues(j), a.residues(j));
+        }
+    }
+
+    #[test]
+    fn moddown_inverts_modup_times_p() {
+        // moddown(modup(a) scaled by P) should return a (exactly, because
+        // multiplying by P before the division makes the value divisible).
+        let (q, p) = bases(16);
+        let coeffs: Vec<i64> = (0..16).map(|i| 37 * i - 290).collect();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let up = modup(&a, &p);
+        // Multiply by P in the full basis.
+        let full = up.basis().clone();
+        let p_prod: Vec<u64> = full
+            .primes()
+            .iter()
+            .map(|&f| {
+                p.primes()
+                    .iter()
+                    .fold(1u64, |acc, &pi| he_math::modops::mul_mod(acc, pi % f, f))
+            })
+            .collect();
+        let scaled = up.mul_scalar_per_prime(&p_prod);
+        let down = moddown(&scaled, q.len());
+        assert_eq!(down.to_centered_coeffs(), coeffs);
+    }
+
+    #[test]
+    fn moddown_of_small_noise_rounds_away() {
+        // For a value v = P·x + r with |r| small, moddown returns x plus a
+        // rounding term bounded by the conversion error. With v = P·x
+        // exactly, the result is exactly x.
+        let (q, p) = bases(16);
+        let x = 777i64;
+        let p_prod_i128: i128 = p.primes().iter().map(|&v| v as i128).product();
+        let v: i128 = p_prod_i128 * x as i128;
+        // Build v in the full basis via i128 reduction.
+        let full = q.concat(&p);
+        let residues: Vec<Vec<u64>> = full
+            .primes()
+            .iter()
+            .map(|&f| vec![(v.rem_euclid(f as i128)) as u64; 16])
+            .collect();
+        let poly = RnsPoly::from_residues(&full, residues, Form::Coeff);
+        let down = moddown(&poly, q.len());
+        assert_eq!(down.to_centered_coeffs(), vec![x; 16]);
+    }
+
+    #[test]
+    fn rescale_divides_by_last_prime() {
+        let (q, _) = bases(16);
+        let ql = *q.primes().last().unwrap() as i64;
+        // Choose coefficients divisible by q_l so rescale is exact.
+        let coeffs: Vec<i64> = (0..16).map(|i| ql * (i - 8)).collect();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let r = rescale(&a);
+        assert_eq!(r.level_count(), q.len() - 1);
+        let want: Vec<i64> = (0..16).map(|i| i - 8).collect();
+        assert_eq!(r.to_centered_coeffs(), want);
+    }
+
+    #[test]
+    fn rescale_rounds_non_divisible_values() {
+        let (q, _) = bases(16);
+        let ql = *q.primes().last().unwrap() as i64;
+        // v = 5·q_l + 3 → rescale gives 5 + (3 - 3)·q_l⁻¹ pattern: exact
+        // CKKS analysis says result = round-ish (v - [v]_{q_l}) / q_l = 5.
+        let coeffs = vec![5 * ql + 3; 16];
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let r = rescale(&a);
+        assert_eq!(r.to_centered_coeffs(), vec![5i64; 16]);
+    }
+}

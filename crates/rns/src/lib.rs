@@ -1,0 +1,35 @@
+//! Residue Number System (RNS) layer for RNS-CKKS.
+//!
+//! Large ciphertext moduli `Q = q_0 · q_1 · … · q_L` are never materialised;
+//! every polynomial is stored as one residue vector per prime (the *RNS
+//! components* of the paper's §II-A.3). This crate provides:
+//!
+//! * [`basis::RnsBasis`] — an ordered set of NTT primes with per-prime
+//!   transform tables and the precomputed constants (`q̂_j`, `q̂_j⁻¹ mod
+//!   q_j`, cross-basis `q̂_j mod p_i`) that fast basis conversion needs.
+//! * [`poly::RnsPoly`] — a polynomial in `Z_Q[X]/(X^N+1)` held residue-wise,
+//!   in either coefficient or evaluation (NTT) form.
+//! * [`conv`] — `RNSconv` (paper Eq. 1, the HPS fast basis conversion),
+//!   `Modup` (Eq. 3), `Moddown` (Eq. 2), and the RNS `Rescale` step — the
+//!   arithmetic backbone of Keyswitch and Rescale.
+//!
+//! # Examples
+//!
+//! ```
+//! use he_rns::basis::RnsBasis;
+//! use he_rns::poly::RnsPoly;
+//!
+//! let basis = RnsBasis::generate(64, 30, 3);
+//! let a = RnsPoly::from_i64_coeffs(&basis, &[2i64; 64]);
+//! let sq = a.clone().into_eval().mul(&a.clone().into_eval()).into_coeff();
+//! // (2·(1+X+…))² has constant coefficient 4 - cross terms wrap, but the
+//! // residues stay consistent across all primes:
+//! assert_eq!(sq.basis().len(), 3);
+//! ```
+
+pub mod basis;
+pub mod conv;
+pub mod poly;
+
+pub use basis::RnsBasis;
+pub use poly::{Form, RnsPoly};

@@ -1,0 +1,554 @@
+//! RNS polynomials: ring elements stored residue-wise per prime.
+
+use he_math::modops::{add_mod, neg_mod, reduce_i64, sub_mod};
+use he_math::BigUint;
+
+use crate::basis::RnsBasis;
+
+/// Representation of the residue vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Form {
+    /// Coefficients of the polynomial (power basis).
+    Coeff,
+    /// Pointwise evaluations (NTT domain, bit-reversed order).
+    Eval,
+}
+
+/// A polynomial in `Z_Q[X]/(X^N + 1)` with `Q` given by an [`RnsBasis`].
+///
+/// The value is stored as one length-N residue vector per basis prime.
+/// Pointwise operations require both operands in the same form and basis;
+/// form conversions are explicit ([`into_eval`] / [`into_coeff`]) so that
+/// operator-level instrumentation (the Poseidon trace layer) sees every NTT.
+///
+/// [`into_eval`]: Self::into_eval
+/// [`into_coeff`]: Self::into_coeff
+///
+/// # Examples
+///
+/// ```
+/// use he_rns::{RnsBasis, RnsPoly};
+/// let basis = RnsBasis::generate(32, 28, 2);
+/// let x = RnsPoly::from_i64_coeffs(&basis, &{
+///     let mut c = vec![0i64; 32];
+///     c[1] = 1;
+///     c
+/// });
+/// let x2 = x.clone().into_eval().mul(&x.into_eval()).into_coeff();
+/// assert_eq!(x2.to_centered_coeffs()[2], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    basis: RnsBasis,
+    residues: Vec<Vec<u64>>,
+    form: Form,
+}
+
+impl RnsPoly {
+    /// The all-zero polynomial in the given form.
+    pub fn zero(basis: &RnsBasis, form: Form) -> Self {
+        Self {
+            basis: basis.clone(),
+            residues: vec![vec![0; basis.n()]; basis.len()],
+            form,
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (reduced per prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    pub fn from_i64_coeffs(basis: &RnsBasis, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), basis.n(), "coefficient count must equal N");
+        let residues = basis
+            .primes()
+            .iter()
+            .map(|&q| coeffs.iter().map(|&c| reduce_i64(c, q)).collect())
+            .collect();
+        Self {
+            basis: basis.clone(),
+            residues,
+            form: Form::Coeff,
+        }
+    }
+
+    /// Builds a polynomial from raw residues (must already be reduced).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or unreduced residues.
+    pub fn from_residues(basis: &RnsBasis, residues: Vec<Vec<u64>>, form: Form) -> Self {
+        assert_eq!(residues.len(), basis.len(), "one residue vector per prime");
+        for (r, &q) in residues.iter().zip(basis.primes()) {
+            assert_eq!(r.len(), basis.n(), "residue vector must have length N");
+            debug_assert!(r.iter().all(|&v| v < q), "residues must be reduced");
+        }
+        Self {
+            basis: basis.clone(),
+            residues,
+            form,
+        }
+    }
+
+    /// The basis this polynomial lives in.
+    #[inline]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// Current representation form.
+    #[inline]
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.basis.n()
+    }
+
+    /// Number of RNS components (basis length).
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Residue vector for prime index `j`.
+    #[inline]
+    pub fn residues(&self, j: usize) -> &[u64] {
+        &self.residues[j]
+    }
+
+    /// All residue vectors.
+    #[inline]
+    pub fn all_residues(&self) -> &[Vec<u64>] {
+        &self.residues
+    }
+
+    /// Mutable residue vectors (for in-place kernels; invariants are the
+    /// caller's responsibility, enforced by debug assertions downstream).
+    #[inline]
+    pub fn all_residues_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.residues
+    }
+
+    /// Converts to evaluation form (applies the forward NTT per prime).
+    /// No-op if already in evaluation form.
+    pub fn into_eval(mut self) -> Self {
+        if self.form == Form::Coeff {
+            for (r, t) in self.residues.iter_mut().zip(self.basis.tables()) {
+                t.forward(r);
+            }
+            self.form = Form::Eval;
+        }
+        self
+    }
+
+    /// Converts to coefficient form (applies the inverse NTT per prime).
+    /// No-op if already in coefficient form.
+    pub fn into_coeff(mut self) -> Self {
+        if self.form == Form::Eval {
+            for (r, t) in self.residues.iter_mut().zip(self.basis.tables()) {
+                t.inverse(r);
+            }
+            self.form = Form::Coeff;
+        }
+        self
+    }
+
+    fn assert_compatible(&self, other: &Self) {
+        assert_eq!(self.basis, other.basis, "operands must share a basis");
+        assert_eq!(self.form, other.form, "operands must share a form");
+    }
+
+    /// Element-wise modular addition (the MA operator), any form.
+    pub fn add(&self, other: &Self) -> Self {
+        self.assert_compatible(other);
+        let residues = self
+            .residues
+            .iter()
+            .zip(&other.residues)
+            .zip(self.basis.primes())
+            .map(|((a, b), &q)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| add_mod(x, y, q))
+                    .collect()
+            })
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: self.form,
+        }
+    }
+
+    /// Element-wise modular subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.assert_compatible(other);
+        let residues = self
+            .residues
+            .iter()
+            .zip(&other.residues)
+            .zip(self.basis.primes())
+            .map(|((a, b), &q)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| sub_mod(x, y, q))
+                    .collect()
+            })
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: self.form,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        let residues = self
+            .residues
+            .iter()
+            .zip(self.basis.primes())
+            .map(|(a, &q)| a.iter().map(|&x| neg_mod(x, q)).collect())
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: self.form,
+        }
+    }
+
+    /// Element-wise modular multiplication (the MM operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are in evaluation form — pointwise
+    /// multiplication of coefficients is not ring multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.assert_compatible(other);
+        assert_eq!(self.form, Form::Eval, "ring product requires eval form");
+        let residues = self
+            .residues
+            .iter()
+            .zip(&other.residues)
+            .zip(self.basis.reducers())
+            .map(|((a, b), red)| {
+                a.iter().zip(b).map(|(&x, &y)| red.mul(x, y)).collect()
+            })
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: self.form,
+        }
+    }
+
+    /// Multiplies every residue of prime `j` by the per-prime scalar
+    /// `scalars[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the basis length.
+    pub fn mul_scalar_per_prime(&self, scalars: &[u64]) -> Self {
+        assert_eq!(scalars.len(), self.basis.len(), "one scalar per prime");
+        let residues = self
+            .residues
+            .iter()
+            .zip(self.basis.reducers())
+            .zip(scalars)
+            .map(|((a, red), &s)| a.iter().map(|&x| red.mul(x, s % red.modulus())).collect())
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: self.form,
+        }
+    }
+
+    /// Restricts to the first `count` RNS components (level truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the current component count.
+    pub fn truncate_basis(&self, count: usize) -> Self {
+        let basis = self.basis.prefix(count);
+        Self {
+            basis,
+            residues: self.residues[..count].to_vec(),
+            form: self.form,
+        }
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` for odd `g` (paper Eq. 4):
+    /// coefficient `i` moves to index `i·g mod N` with sign `−1` whenever
+    /// `i·g mod 2N ≥ N` (the negacyclic wraparound).
+    ///
+    /// This is the *Automorphism* operator of the paper — the reference
+    /// implementation that `poseidon-core`'s HFAuto is validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless in coefficient form, or if `g` is even.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use he_rns::{RnsBasis, RnsPoly};
+    /// let b = RnsBasis::generate(16, 28, 1);
+    /// let mut c = vec![0i64; 16];
+    /// c[1] = 1; // X
+    /// let x = RnsPoly::from_i64_coeffs(&b, &c);
+    /// // X ↦ X^3 under g = 3.
+    /// let y = x.automorphism(3);
+    /// assert_eq!(y.to_centered_coeffs()[3], 1);
+    /// ```
+    pub fn automorphism(&self, g: u64) -> Self {
+        assert_eq!(self.form, Form::Coeff, "automorphism operates on coefficients");
+        assert_eq!(g % 2, 1, "Galois element must be odd");
+        let n = self.n() as u64;
+        let two_n = 2 * n;
+        let residues = self
+            .residues
+            .iter()
+            .zip(self.basis.primes())
+            .map(|(r, &q)| {
+                let mut out = vec![0u64; n as usize];
+                for (i, &v) in r.iter().enumerate() {
+                    let e = (i as u64 * g) % two_n;
+                    if e < n {
+                        out[e as usize] = v;
+                    } else {
+                        out[(e - n) as usize] = neg_mod(v, q);
+                    }
+                }
+                out
+            })
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: Form::Coeff,
+        }
+    }
+
+    /// CRT-reconstructs coefficient `idx` as a centred big integer in
+    /// `(-Q/2, Q/2]`, returned as `(sign_negative, magnitude)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless in coefficient form.
+    pub fn coeff_to_centered_bigint(&self, idx: usize) -> (bool, BigUint) {
+        assert_eq!(self.form, Form::Coeff, "reconstruction needs coeff form");
+        let q = self.basis.modulus_product();
+        let hat_inv = self.basis.qhat_inv_mod_self();
+        // v = Σ_j [a_j · q̂_j⁻¹ mod q_j] · q̂_j, then reduce mod Q.
+        let mut acc = BigUint::zero();
+        for j in 0..self.basis.len() {
+            let _qj = self.basis.primes()[j];
+            let t = self.basis.reducers()[j].mul(self.residues[j][idx], hat_inv[j]);
+            let mut qhat = BigUint::one();
+            for (i, &p) in self.basis.primes().iter().enumerate() {
+                if i != j {
+                    qhat.mul_u64_assign(p);
+                }
+            }
+            qhat.mul_u64_assign(t);
+            acc.add_assign(&qhat);
+        }
+        // acc < L·Q; reduce by subtracting Q at most L times.
+        while acc >= q {
+            acc.sub_assign(&q);
+        }
+        let half = q.half();
+        if acc > half {
+            (true, q - &acc)
+        } else {
+            (false, acc)
+        }
+    }
+
+    /// Centred coefficients as `i64` (values must fit; intended for tests
+    /// and small-noise polynomials).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless in coefficient form, or if a centred value exceeds
+    /// `i64`.
+    pub fn to_centered_coeffs(&self) -> Vec<i64> {
+        (0..self.n())
+            .map(|i| {
+                let (neg, mag) = self.coeff_to_centered_bigint(i);
+                assert!(mag.bits() <= 63, "coefficient does not fit i64");
+                let v = mag.limbs().first().copied().unwrap_or(0) as i64;
+                if neg {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    /// Centred coefficients as `f64` (with precision loss for huge values);
+    /// used by the CKKS decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless in coefficient form.
+    pub fn to_centered_f64(&self) -> Vec<f64> {
+        (0..self.n())
+            .map(|i| {
+                let (neg, mag) = self.coeff_to_centered_bigint(i);
+                let v = mag.to_f64();
+                if neg {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis() -> RnsBasis {
+        RnsBasis::generate(16, 28, 3)
+    }
+
+    #[test]
+    fn add_matches_signed_semantics() {
+        let b = basis();
+        let x = RnsPoly::from_i64_coeffs(&b, &[3i64; 16]);
+        let y = RnsPoly::from_i64_coeffs(&b, &[-5i64; 16]);
+        assert_eq!(x.add(&y).to_centered_coeffs(), vec![-2i64; 16]);
+        assert_eq!(x.sub(&y).to_centered_coeffs(), vec![8i64; 16]);
+        assert_eq!(y.neg().to_centered_coeffs(), vec![5i64; 16]);
+    }
+
+    #[test]
+    fn eval_round_trip_preserves_value() {
+        let b = basis();
+        let coeffs: Vec<i64> = (0..16).map(|i| i * i - 40).collect();
+        let x = RnsPoly::from_i64_coeffs(&b, &coeffs);
+        let y = x.clone().into_eval().into_coeff();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn ring_multiplication_via_eval() {
+        let b = basis();
+        // (1 + X) · (1 - X) = 1 - X²
+        let mut c1 = vec![0i64; 16];
+        c1[0] = 1;
+        c1[1] = 1;
+        let mut c2 = vec![0i64; 16];
+        c2[0] = 1;
+        c2[1] = -1;
+        let p = RnsPoly::from_i64_coeffs(&b, &c1)
+            .into_eval()
+            .mul(&RnsPoly::from_i64_coeffs(&b, &c2).into_eval())
+            .into_coeff();
+        let got = p.to_centered_coeffs();
+        let mut want = vec![0i64; 16];
+        want[0] = 1;
+        want[2] = -1;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn centered_reconstruction_handles_negatives() {
+        let b = basis();
+        let coeffs: Vec<i64> = (0..16).map(|i| if i % 2 == 0 { -1000 } else { 1000 }).collect();
+        let x = RnsPoly::from_i64_coeffs(&b, &coeffs);
+        assert_eq!(x.to_centered_coeffs(), coeffs);
+    }
+
+    #[test]
+    fn truncate_drops_highest_components() {
+        let b = basis();
+        let x = RnsPoly::from_i64_coeffs(&b, &[7i64; 16]);
+        let t = x.truncate_basis(2);
+        assert_eq!(t.level_count(), 2);
+        assert_eq!(t.to_centered_coeffs(), vec![7i64; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "eval form")]
+    fn mul_rejects_coeff_form() {
+        let b = basis();
+        let x = RnsPoly::from_i64_coeffs(&b, &[1i64; 16]);
+        let _ = x.mul(&x);
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Serde support: residues plus basis plus form, with residue-range
+    //! validation on deserialise.
+    use super::{Form, RnsPoly};
+    use crate::basis::RnsBasis;
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl Serialize for Form {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Form::Coeff => "coeff".serialize(s),
+                Form::Eval => "eval".serialize(s),
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Form {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match String::deserialize(d)?.as_str() {
+                "coeff" => Ok(Form::Coeff),
+                "eval" => Ok(Form::Eval),
+                other => Err(D::Error::custom(format!("unknown form `{other}`"))),
+            }
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct PolyRepr {
+        basis: RnsBasis,
+        residues: Vec<Vec<u64>>,
+        form: Form,
+    }
+
+    impl Serialize for RnsPoly {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            PolyRepr {
+                basis: self.basis.clone(),
+                residues: self.residues.clone(),
+                form: self.form,
+            }
+            .serialize(s)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for RnsPoly {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let repr = PolyRepr::deserialize(d)?;
+            if repr.residues.len() != repr.basis.len() {
+                return Err(D::Error::custom("residue vector count mismatch"));
+            }
+            for (r, &q) in repr.residues.iter().zip(repr.basis.primes()) {
+                if r.len() != repr.basis.n() {
+                    return Err(D::Error::custom("residue length mismatch"));
+                }
+                if r.iter().any(|&v| v >= q) {
+                    return Err(D::Error::custom("unreduced residue"));
+                }
+            }
+            Ok(RnsPoly::from_residues(&repr.basis, repr.residues, repr.form))
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the RNS layer: CRT reconstruction, ring
+//! semantics, automorphism group laws, and conversion error bounds.
+
+use he_rns::conv::{moddown, modup, rescale, rns_convert};
+use he_rns::{RnsBasis, RnsPoly};
+use proptest::prelude::*;
+
+const N: usize = 16;
+
+fn bases() -> (RnsBasis, RnsBasis) {
+    let q = RnsBasis::generate(N, 28, 3);
+    let p = RnsBasis::new(N, he_math::prime::ntt_prime_chain(30, 2 * N as u64, 2));
+    (q, p)
+}
+
+fn arb_coeffs() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-(1i64 << 20)..(1i64 << 20), N)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn centered_reconstruction_round_trips(coeffs in arb_coeffs()) {
+        let (q, _) = bases();
+        let poly = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        prop_assert_eq!(poly.to_centered_coeffs(), coeffs);
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in arb_coeffs(), b in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a);
+        let pb = RnsPoly::from_i64_coeffs(&q, &b);
+        prop_assert_eq!(pa.add(&pb).sub(&pb), pa);
+    }
+
+    #[test]
+    fn ring_multiplication_is_commutative(a in arb_coeffs(), b in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a).into_eval();
+        let pb = RnsPoly::from_i64_coeffs(&q, &b).into_eval();
+        prop_assert_eq!(pa.mul(&pb), pb.mul(&pa));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_coeffs(), b in arb_coeffs(), c in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a).into_eval();
+        let pb = RnsPoly::from_i64_coeffs(&q, &b).into_eval();
+        let pc = RnsPoly::from_i64_coeffs(&q, &c).into_eval();
+        let lhs = pa.mul(&pb.add(&pc));
+        let rhs = pa.mul(&pb).add(&pa.mul(&pc));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorphism_composes_multiplicatively(coeffs in arb_coeffs(), g1e in 0u64..5, g2e in 0u64..5) {
+        // τ_{g1} ∘ τ_{g2} = τ_{g1·g2 mod 2N} for g = 5^e.
+        let (q, _) = bases();
+        let two_n = 2 * N as u64;
+        let g1 = he_math::modops::pow_mod(5, g1e, two_n);
+        let g2 = he_math::modops::pow_mod(5, g2e, two_n);
+        let p = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let lhs = p.automorphism(g2).automorphism(g1);
+        let rhs = p.automorphism((g1 * g2) % two_n);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorphism_preserves_addition(a in arb_coeffs(), b in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a);
+        let pb = RnsPoly::from_i64_coeffs(&q, &b);
+        prop_assert_eq!(
+            pa.add(&pb).automorphism(3),
+            pa.automorphism(3).add(&pb.automorphism(3))
+        );
+    }
+
+    #[test]
+    fn conversion_error_is_bounded_multiple_of_q(coeffs in arb_coeffs()) {
+        let (q, p) = bases();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let out = rns_convert(&a, &p);
+        let l = q.len() as u64;
+        // Check every coefficient's residue against a + e·Q, 0 ≤ e ≤ L,
+        // where a's representative lies in [0, Q).
+        for (i, &pi) in p.primes().iter().enumerate() {
+            let q_mod = q.modulus_product().rem_u64(pi);
+            for c in 0..N {
+                // Representative of the signed coefficient in [0, Q).
+                let rep = {
+                    let (neg, mag) = a.coeff_to_centered_bigint(c);
+                    if neg {
+                        let mut qq = q.modulus_product();
+                        qq.sub_assign(&mag);
+                        qq.rem_u64(pi)
+                    } else {
+                        mag.rem_u64(pi)
+                    }
+                };
+                let got = out.residues(i)[c];
+                let ok = (0..=l).any(|e| {
+                    ((rep as u128 + e as u128 * q_mod as u128) % pi as u128) as u64 == got
+                });
+                prop_assert!(ok, "coeff {c}, prime {pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn moddown_inverts_scaled_modup(coeffs in arb_coeffs()) {
+        let (q, p) = bases();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let up = modup(&a, &p);
+        let full = up.basis().clone();
+        let p_prod: Vec<u64> = full
+            .primes()
+            .iter()
+            .map(|&f| {
+                p.primes()
+                    .iter()
+                    .fold(1u64, |acc, &pi| he_math::modops::mul_mod(acc, pi % f, f))
+            })
+            .collect();
+        let down = moddown(&up.mul_scalar_per_prime(&p_prod), q.len());
+        prop_assert_eq!(down.to_centered_coeffs(), coeffs);
+    }
+
+    #[test]
+    fn rescale_approximates_division(scale_mult in 1i64..1000, noise in -3i64..4) {
+        let (q, _) = bases();
+        let ql = *q.primes().last().unwrap() as i64;
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| scale_mult * ql * (i - 8) + noise).collect();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let r = rescale(&a);
+        let got = r.to_centered_coeffs();
+        for (i, &g) in got.iter().enumerate() {
+            let want = scale_mult * (i as i64 - 8);
+            prop_assert!((g - want).abs() <= 1, "coeff {i}: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_small_values(coeffs in arb_coeffs()) {
+        let (q, _) = bases();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        prop_assert_eq!(a.truncate_basis(2).to_centered_coeffs(), coeffs);
+    }
+}

@@ -1,0 +1,43 @@
+//! Serde round-trip tests for the RNS types (feature `serde`).
+#![cfg(feature = "serde")]
+
+use he_rns::{RnsBasis, RnsPoly};
+
+#[test]
+fn basis_round_trips_through_json() {
+    let b = RnsBasis::generate(32, 28, 3);
+    let json = serde_json::to_string(&b).unwrap();
+    let back: RnsBasis = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, b);
+}
+
+#[test]
+fn poly_round_trips_through_json() {
+    let b = RnsBasis::generate(16, 28, 2);
+    let p = RnsPoly::from_i64_coeffs(&b, &(0..16).map(|i| i * 7 - 50).collect::<Vec<_>>());
+    let json = serde_json::to_string(&p).unwrap();
+    let back: RnsPoly = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+    // Eval form survives too.
+    let e = p.into_eval();
+    let back: RnsPoly = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+    assert_eq!(back, e);
+}
+
+#[test]
+fn tampered_payloads_are_rejected() {
+    let b = RnsBasis::generate(16, 28, 2);
+    let p = RnsPoly::from_i64_coeffs(&b, &[1i64; 16]);
+    let mut v: serde_json::Value = serde_json::to_value(&p).unwrap();
+    // Oversized residue must be rejected.
+    v["residues"][0][0] = serde_json::json!(u64::MAX);
+    assert!(serde_json::from_value::<RnsPoly>(v).is_err());
+    // Non-NTT prime in the basis must be rejected.
+    let mut bv: serde_json::Value = serde_json::to_value(&b).unwrap();
+    bv["primes"][0] = serde_json::json!(101u64); // 101 - 1 is not divisible by 2N = 32
+    assert!(serde_json::from_value::<RnsBasis>(bv).is_err());
+    // Residue-count mismatch must be rejected.
+    let mut v: serde_json::Value = serde_json::to_value(&p).unwrap();
+    v["residues"].as_array_mut().unwrap().pop();
+    assert!(serde_json::from_value::<RnsPoly>(v).is_err());
+}

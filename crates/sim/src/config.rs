@@ -1,0 +1,135 @@
+//! The accelerator machine description.
+
+/// Automorphism core flavour (paper Tables VIII/IX ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AutoMode {
+    /// Naive element-at-a-time index mapping (one element per cycle).
+    Naive,
+    /// HFAuto: four C-wide stages over `R = N/C` sub-vectors.
+    HfAuto,
+}
+
+/// Configuration of the modelled accelerator.
+///
+/// Defaults reproduce the paper's Poseidon instance on the Alveo U280
+/// (§IV-A, §V-A): 512 lanes, NTT fusion k = 3, 8.6 MB scratchpad, two HBM2
+/// stacks totalling 32 channels at 460 GB/s peak, 32-bit words. The clock
+/// (not stated in the paper) is modelled at 300 MHz — typical U280 timing
+/// closure for a wide datapath.
+///
+/// # Examples
+///
+/// ```
+/// use poseidon_sim::AcceleratorConfig;
+/// let cfg = AcceleratorConfig::poseidon_u280();
+/// assert_eq!(cfg.lanes, 512);
+/// let narrow = AcceleratorConfig { lanes: 64, ..cfg };
+/// assert_eq!(narrow.lanes, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Vector lanes `C` (elements processed per cycle per operator core).
+    pub lanes: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// NTT fusion degree `k` (radix `2^k`).
+    pub ntt_fusion_k: u32,
+    /// Scratchpad capacity in bytes (8.6 MB in the paper).
+    pub scratchpad_bytes: u64,
+    /// Peak HBM bandwidth in bytes/second (460 GB/s theoretical).
+    pub hbm_bytes_per_sec: f64,
+    /// Number of HBM channels (two stacks × 16).
+    pub hbm_channels: u32,
+    /// Word size in bytes (32-bit datapath → 4).
+    pub word_bytes: u64,
+    /// Automorphism core flavour.
+    pub auto_mode: AutoMode,
+}
+
+impl AcceleratorConfig {
+    /// The paper's Poseidon instance.
+    pub fn poseidon_u280() -> Self {
+        Self {
+            lanes: 512,
+            clock_hz: 300.0e6,
+            ntt_fusion_k: 3,
+            scratchpad_bytes: (8.6 * 1024.0 * 1024.0) as u64,
+            hbm_bytes_per_sec: 460.0e9,
+            hbm_channels: 32,
+            word_bytes: 4,
+            auto_mode: AutoMode::HfAuto,
+        }
+    }
+
+    /// The Table IX ablation: Poseidon with the naive automorphism core.
+    pub fn poseidon_naive_auto() -> Self {
+        Self {
+            auto_mode: AutoMode::Naive,
+            ..Self::poseidon_u280()
+        }
+    }
+
+    /// Achievable HBM bandwidth after channel/access inefficiency (the
+    /// model grants 85 % of peak to sequential polynomial streams).
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.hbm_bytes_per_sec * 0.85
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.lanes.is_power_of_two() || self.lanes == 0 {
+            return Err("lanes must be a nonzero power of two".into());
+        }
+        if self.clock_hz <= 0.0 || self.hbm_bytes_per_sec <= 0.0 {
+            return Err("clock and bandwidth must be positive".into());
+        }
+        if self.ntt_fusion_k == 0 || self.ntt_fusion_k > 8 {
+            return Err("fusion degree must be in 1..=8".into());
+        }
+        if self.word_bytes == 0 {
+            return Err("word size must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::poseidon_u280()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_instance() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.lanes, 512);
+        assert_eq!(c.hbm_channels, 32);
+        assert_eq!(c.word_bytes, 4);
+        assert_eq!(c.auto_mode, AutoMode::HfAuto);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = AcceleratorConfig::default();
+        c.lanes = 100;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::default();
+        c.ntt_fusion_k = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let c = AcceleratorConfig::default();
+        assert!(c.effective_bandwidth() < c.hbm_bytes_per_sec);
+    }
+}

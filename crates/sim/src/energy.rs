@@ -1,0 +1,142 @@
+//! Energy model: per-element operator energies plus HBM access energy.
+//!
+//! Constants are model calibrations for a 16 nm FPGA datapath (DSP-based
+//! 32-bit multiply ≈ 3 pJ, LUT add ≈ 0.4 pJ, HBM2 access ≈ 14 pJ/byte —
+//! consistent with the paper's Fig. 12 shape: memory dominates, MM and NTT
+//! dominate the compute share, MA is negligible).
+
+use poseidon_core::operator::OperatorCounts;
+
+/// Energy per element operation, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// MA: compare-and-correct adder.
+    pub ma_pj: f64,
+    /// MM: 32-bit multiply + Barrett reduce (DSP path).
+    pub mm_pj: f64,
+    /// NTT: one butterfly element-phase (multiply + add + reduce).
+    pub ntt_pj: f64,
+    /// Automorphism: one element mapping (mux/permute network).
+    pub auto_pj: f64,
+    /// SBT: one shared Barrett reduction issued standalone.
+    pub sbt_pj: f64,
+    /// HBM access energy per byte.
+    pub hbm_pj_per_byte: f64,
+    /// Static power of the configured design, in watts.
+    pub static_watts: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            ma_pj: 0.8,
+            mm_pj: 8.0,
+            ntt_pj: 6.0,
+            auto_pj: 1.2,
+            sbt_pj: 2.0,
+            hbm_pj_per_byte: 25.0,
+            static_watts: 3.0,
+        }
+    }
+}
+
+/// Energy breakdown in joules (Fig. 12's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// MA core energy.
+    pub ma: f64,
+    /// MM core energy.
+    pub mm: f64,
+    /// NTT core energy.
+    pub ntt: f64,
+    /// Automorphism core energy.
+    pub auto: f64,
+    /// Standalone SBT energy.
+    pub sbt: f64,
+    /// HBM access energy.
+    pub memory: f64,
+    /// Static energy over the run.
+    pub static_energy: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.ma + self.mm + self.ntt + self.auto + self.sbt + self.memory + self.static_energy
+    }
+
+    /// Energy-delay product for a run of `seconds`.
+    pub fn edp(&self, seconds: f64) -> f64 {
+        self.total() * seconds
+    }
+}
+
+impl EnergyModel {
+    /// Energy for `counts` element operations, `hbm_bytes` of traffic, and
+    /// a run of `seconds`.
+    pub fn energy(
+        &self,
+        counts: &OperatorCounts,
+        hbm_bytes: u64,
+        seconds: f64,
+    ) -> EnergyBreakdown {
+        const PJ: f64 = 1e-12;
+        // SBT issues attached to MM/NTT are inside those cores' figures;
+        // only the standalone share (sign logic etc.) is counted here.
+        let standalone_sbt = counts.sbt.saturating_sub(counts.mm + counts.ntt);
+        EnergyBreakdown {
+            ma: counts.ma as f64 * self.ma_pj * PJ,
+            mm: counts.mm as f64 * self.mm_pj * PJ,
+            ntt: counts.ntt as f64 * self.ntt_pj * PJ,
+            auto: counts.auto as f64 * self.auto_pj * PJ,
+            sbt: standalone_sbt as f64 * self.sbt_pj * PJ,
+            memory: hbm_bytes as f64 * self.hbm_pj_per_byte * PJ,
+            static_energy: self.static_watts * seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poseidon_core::decompose::{BasicOp, OpParams};
+
+    #[test]
+    fn memory_dominates_streaming_ops() {
+        // Fig. 12: memory access takes the largest share.
+        let p = OpParams::new(1 << 16, 44, 2);
+        let counts = BasicOp::HAdd.operator_counts(&p);
+        let bytes = crate::timing::hbm_words(BasicOp::HAdd, &p) * 4;
+        let e = EnergyModel::default().energy(&counts, bytes, 0.0);
+        assert!(e.memory > e.ma + e.mm + e.ntt + e.auto + e.sbt);
+    }
+
+    #[test]
+    fn mm_and_ntt_dominate_compute_energy() {
+        let p = OpParams::new(1 << 16, 44, 2);
+        let counts = BasicOp::CMult.operator_counts(&p);
+        let e = EnergyModel::default().energy(&counts, 0, 0.0);
+        assert!(e.mm + e.ntt > e.ma + e.auto + e.sbt);
+    }
+
+    #[test]
+    fn edp_scales_with_both_factors() {
+        let counts = poseidon_core::OperatorCounts {
+            mm: 1000,
+            ..poseidon_core::OperatorCounts::ZERO
+        };
+        let m = EnergyModel::default();
+        let e = m.energy(&counts, 1000, 1.0);
+        assert!(e.edp(2.0) > e.edp(1.0));
+        assert!(e.total() > 0.0);
+    }
+
+    #[test]
+    fn sbt_not_double_counted() {
+        // For a pure-MM op, sbt == mm and the standalone share is zero.
+        let p = OpParams::new(1 << 13, 4, 1);
+        let counts = BasicOp::PMult.operator_counts(&p);
+        let e = EnergyModel::default().energy(&counts, 0, 0.0);
+        assert_eq!(e.sbt, 0.0);
+    }
+}

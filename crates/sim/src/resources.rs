@@ -1,0 +1,192 @@
+//! FPGA resource cost model: FF / LUT / DSP / BRAM per operator core,
+//! scaling with lane count, NTT fusion degree, and automorphism flavour.
+//!
+//! The constants are calibrated so the 512-lane, k = 3 configuration lands
+//! in the neighbourhood of the paper's Table XI totals and so the fusion
+//! sweep shows the Fig. 10 inflection at k = 3: fewer fused phases shrink
+//! the inter-phase buffering (a per-phase register/control cost) while the
+//! denser fused kernels grow multiplier and twiddle-storage cost — the sum
+//! is minimised at a moderate radix.
+
+use he_ntt::FusionAnalysis;
+
+use crate::config::{AcceleratorConfig, AutoMode};
+
+/// Resource counts for one core (or the whole design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Flip-flops.
+    pub ff: u64,
+    /// Look-up tables.
+    pub lut: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// BRAM tiles (36 Kb).
+    pub bram: u64,
+}
+
+impl Resources {
+    fn scale(self, k: u64) -> Resources {
+        Resources {
+            ff: self.ff * k,
+            lut: self.lut * k,
+            dsp: self.dsp * k,
+            bram: self.bram * k,
+        }
+    }
+
+    fn add(self, o: Resources) -> Resources {
+        Resources {
+            ff: self.ff + o.ff,
+            lut: self.lut + o.lut,
+            dsp: self.dsp + o.dsp,
+            bram: self.bram + o.bram,
+        }
+    }
+}
+
+/// Per-lane MA core cost (compare-and-correct adder).
+pub fn ma_core_per_lane() -> Resources {
+    Resources {
+        ff: 70,
+        lut: 95,
+        dsp: 0,
+        bram: 0,
+    }
+}
+
+/// Per-lane MM core cost (32-bit multiplier + Barrett datapath).
+pub fn mm_core_per_lane() -> Resources {
+    Resources {
+        ff: 210,
+        lut: 260,
+        dsp: 3,
+        bram: 0,
+    }
+}
+
+/// Per-lane standalone SBT core cost (shared reduction issue port).
+pub fn sbt_core_per_lane() -> Resources {
+    Resources {
+        ff: 90,
+        lut: 130,
+        dsp: 1,
+        bram: 0,
+    }
+}
+
+/// Per-lane NTT core cost at fusion degree `k` for transform length `n`.
+///
+/// Structure: `phase_cost · ceil(log2 n / k)` (inter-phase buffering and
+/// control) plus `mult_cost · (2^k − 1)` (fused-kernel multipliers per
+/// lane) plus twiddle storage proportional to the fused twiddle count.
+pub fn ntt_core_per_lane(k: u32, n: usize) -> Resources {
+    let a = FusionAnalysis::for_radix(k);
+    let log_n = n.trailing_zeros() as u64;
+    let phases = log_n.div_ceil(k as u64);
+    let mults = (1u64 << k) - 1;
+    let twiddles = a.twiddles_fused_paper;
+    Resources {
+        ff: 160 * phases + 18 * twiddles + 30 * mults,
+        lut: 200 * phases + 22 * twiddles + 40 * mults,
+        dsp: phases + mults,
+        // Twiddle/stage BRAM is shared by the 8 lanes of one 8-input core.
+        bram: (phases + twiddles / 4).div_ceil(8).max(1),
+    }
+}
+
+/// Automorphism core cost for the whole design (not per lane): the naive
+/// core is a single index datapath; HFAuto adds the C-wide permutation
+/// network, FIFOs, and address selection (paper Table VIII's trade).
+pub fn auto_core(mode: AutoMode, lanes: usize) -> Resources {
+    match mode {
+        AutoMode::Naive => Resources {
+            ff: 88,
+            lut: 1_100,
+            dsp: 0,
+            bram: 1,
+        },
+        AutoMode::HfAuto => Resources {
+            ff: 572,
+            lut: 25_751,
+            dsp: 0,
+            bram: 1 + lanes as u64 / 8, // FIFO + diagonal BRAM banking
+        },
+    }
+}
+
+/// Whole-design resource estimate for a configuration at degree `n`.
+pub fn design_resources(cfg: &AcceleratorConfig, n: usize) -> Resources {
+    let lanes = cfg.lanes as u64;
+    ma_core_per_lane()
+        .scale(lanes)
+        .add(mm_core_per_lane().scale(lanes))
+        .add(sbt_core_per_lane().scale(lanes))
+        .add(ntt_core_per_lane(cfg.ntt_fusion_k, n).scale(lanes))
+        .add(auto_core(cfg.auto_mode, cfg.lanes))
+}
+
+/// Modelled average NTT execution time (µs) at fusion degree `k` — the
+/// Fig. 10 bottom-right panel: fewer phases help until the fused kernel's
+/// multiplier latency dominates.
+pub fn ntt_time_us(k: u32, n: usize, cfg: &AcceleratorConfig) -> f64 {
+    let log_n = n.trailing_zeros() as u64;
+    let phases = log_n.div_ceil(k as u64) as f64;
+    let elems_per_phase = n as f64 / cfg.lanes as f64;
+    // Kernel issue penalty grows with the fused multiplier chain.
+    let penalty = 1.0 + 0.08 * ((1u64 << k) - 1) as f64;
+    phases * elems_per_phase * penalty / cfg.clock_hz * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_inflection_at_k3() {
+        let cfg = AcceleratorConfig::poseidon_u280();
+        let n = 4096;
+        let cost: Vec<(u32, u64, u64, u64, f64)> = (2..=6)
+            .map(|k| {
+                let r = ntt_core_per_lane(k, n);
+                (k, r.ff, r.lut, r.dsp, ntt_time_us(k, n, &cfg))
+            })
+            .collect();
+        // Registers/LUTs minimal at k = 3 among the sweep.
+        let min_ff = cost.iter().min_by_key(|c| c.1).unwrap().0;
+        let min_lut = cost.iter().min_by_key(|c| c.2).unwrap().0;
+        assert_eq!(min_ff, 3, "{cost:?}");
+        assert_eq!(min_lut, 3, "{cost:?}");
+        // Execution time minimal at k = 3 as well.
+        let min_t = cost
+            .iter()
+            .min_by(|a, b| a.4.partial_cmp(&b.4).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min_t, 3, "{cost:?}");
+    }
+
+    #[test]
+    fn hfauto_costs_more_than_naive() {
+        // Paper Table VIII: HFAuto spends resources to buy latency.
+        let naive = auto_core(AutoMode::Naive, 512);
+        let hf = auto_core(AutoMode::HfAuto, 512);
+        assert!(hf.lut > 10 * naive.lut);
+        assert!(hf.ff > naive.ff);
+    }
+
+    #[test]
+    fn design_totals_are_plausible_for_u280() {
+        // Sanity envelope: Alveo U280 has ~1.3 M LUTs, 9 k DSPs, 2 k BRAM.
+        let r = design_resources(&AcceleratorConfig::poseidon_u280(), 1 << 16);
+        assert!(r.lut > 100_000 && r.lut < 1_300_000, "LUT {}", r.lut);
+        assert!(r.dsp > 1_000 && r.dsp < 9_024, "DSP {}", r.dsp);
+        assert!(r.bram < 2_016, "BRAM {}", r.bram);
+    }
+
+    #[test]
+    fn dsp_grows_with_fusion_degree_eventually() {
+        let n = 1 << 12;
+        assert!(ntt_core_per_lane(6, n).dsp > ntt_core_per_lane(3, n).dsp);
+    }
+}

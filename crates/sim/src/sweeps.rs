@@ -1,0 +1,155 @@
+//! Design-space sweeps — the ablations behind the paper's §VI discussion
+//! of its three key design parameters (fusion degree, parallelism,
+//! scratchpad volume) plus the keyswitching digit count.
+//!
+//! Each sweep runs a benchmark trace across one configuration axis and
+//! reports execution time and EDP, exposing the trade-off curve the paper
+//! argues from.
+
+use poseidon_core::decompose::OpTrace;
+
+use crate::config::AcceleratorConfig;
+use crate::report::Simulator;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value (cast to f64 for uniform reporting).
+    pub x: f64,
+    /// Execution time in milliseconds.
+    pub millis: f64,
+    /// Energy-delay product in J·s.
+    pub edp: f64,
+    /// Average bandwidth utilisation.
+    pub bandwidth_utilisation: f64,
+}
+
+fn run_point(cfg: AcceleratorConfig, trace: &OpTrace, x: f64) -> SweepPoint {
+    let r = Simulator::new(cfg).run(trace);
+    SweepPoint {
+        x,
+        millis: r.millis(),
+        edp: r.edp(),
+        bandwidth_utilisation: r.bandwidth_utilisation,
+    }
+}
+
+/// Lane-count sweep (the paper's Fig. 11 axis).
+pub fn sweep_lanes(trace: &OpTrace, lanes: &[usize]) -> Vec<SweepPoint> {
+    lanes
+        .iter()
+        .map(|&l| {
+            run_point(
+                AcceleratorConfig {
+                    lanes: l,
+                    ..AcceleratorConfig::poseidon_u280()
+                },
+                trace,
+                l as f64,
+            )
+        })
+        .collect()
+}
+
+/// NTT fusion-degree sweep (the paper's Fig. 10 axis, at system level).
+pub fn sweep_fusion(trace: &OpTrace, ks: &[u32]) -> Vec<SweepPoint> {
+    ks.iter()
+        .map(|&k| {
+            run_point(
+                AcceleratorConfig {
+                    ntt_fusion_k: k,
+                    ..AcceleratorConfig::poseidon_u280()
+                },
+                trace,
+                k as f64,
+            )
+        })
+        .collect()
+}
+
+/// Scratchpad-capacity sweep (the §VI "8.6 MB is enough" argument): time
+/// should degrade once working sets spill, then plateau.
+pub fn sweep_scratchpad(trace: &OpTrace, megabytes: &[f64]) -> Vec<SweepPoint> {
+    megabytes
+        .iter()
+        .map(|&mb| {
+            run_point(
+                AcceleratorConfig {
+                    scratchpad_bytes: (mb * 1024.0 * 1024.0) as u64,
+                    ..AcceleratorConfig::poseidon_u280()
+                },
+                trace,
+                mb,
+            )
+        })
+        .collect()
+}
+
+/// HBM-bandwidth sweep (the §VI bandwidth-vs-parallelism balance): the
+/// knee locates where the design stops being bandwidth-bound.
+pub fn sweep_bandwidth(trace: &OpTrace, gbytes_per_sec: &[f64]) -> Vec<SweepPoint> {
+    gbytes_per_sec
+        .iter()
+        .map(|&gb| {
+            run_point(
+                AcceleratorConfig {
+                    hbm_bytes_per_sec: gb * 1e9,
+                    ..AcceleratorConfig::poseidon_u280()
+                },
+                trace,
+                gb,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Benchmark;
+
+    fn trace() -> OpTrace {
+        Benchmark::PackedBootstrapping.trace()
+    }
+
+    #[test]
+    fn lane_sweep_is_monotone_with_diminishing_returns() {
+        let pts = sweep_lanes(&trace(), &[64, 128, 256, 512]);
+        assert!(pts.windows(2).all(|w| w[1].millis <= w[0].millis * 1.0001));
+        let gain_lo = pts[0].millis / pts[1].millis;
+        let gain_hi = pts[2].millis / pts[3].millis;
+        assert!(gain_lo >= gain_hi);
+    }
+
+    #[test]
+    fn fusion_sweep_prefers_moderate_k() {
+        let pts = sweep_fusion(&trace(), &[1, 2, 3, 4, 5, 6]);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.millis.partial_cmp(&b.millis).unwrap())
+            .unwrap();
+        assert!(best.x >= 2.0, "k=1 must not win, got k={}", best.x);
+        // k = 3 must beat k = 1 clearly.
+        assert!(pts[2].millis < pts[0].millis);
+    }
+
+    #[test]
+    fn scratchpad_sweep_is_monotone_and_saturates() {
+        let pts = sweep_scratchpad(&trace(), &[0.5, 2.0, 8.6, 32.0, 128.0]);
+        // More scratchpad never hurts.
+        assert!(pts.windows(2).all(|w| w[1].millis <= w[0].millis * 1.0001));
+        // Once every working set fits (32 MB covers the deepest ops at
+        // N = 2^16), further capacity gains nothing.
+        assert!((pts[4].millis - pts[3].millis).abs() < pts[3].millis * 0.01);
+        // Spilling at 0.5 MB must be visibly worse than the paper's 8.6 MB.
+        assert!(pts[0].millis > pts[2].millis);
+    }
+
+    #[test]
+    fn bandwidth_sweep_saturates() {
+        let pts = sweep_bandwidth(&trace(), &[60.0, 230.0, 460.0, 1840.0]);
+        assert!(pts.windows(2).all(|w| w[1].millis <= w[0].millis * 1.0001));
+        // Ample bandwidth: utilisation drops as compute becomes binding.
+        assert!(pts[3].bandwidth_utilisation < pts[0].bandwidth_utilisation);
+    }
+}

@@ -1,0 +1,85 @@
+//! Boundary conditions of the accelerator model: minimum ring degrees,
+//! single-component chains, single-lane machines, and degenerate traces.
+
+use poseidon_core::decompose::{BasicOp, OpParams, OpTrace};
+use poseidon_sim::{AcceleratorConfig, AutoMode, Simulator};
+
+#[test]
+fn minimum_ring_degree_and_single_component() {
+    let sim = Simulator::new(AcceleratorConfig::poseidon_u280());
+    let p = OpParams::new(8, 1, 1);
+    for op in BasicOp::ALL {
+        let t = sim.time_single(op, &p);
+        assert!(t.seconds > 0.0, "{} must take time", op.name());
+        assert!(t.hbm_bytes > 0, "{} must move data", op.name());
+        assert!(t.bandwidth_utilisation <= 1.0);
+    }
+}
+
+#[test]
+fn single_lane_machine_is_slowest_but_correct() {
+    let p = OpParams::new(1 << 12, 4, 1);
+    let t1 = Simulator::new(AcceleratorConfig {
+        lanes: 1,
+        ..AcceleratorConfig::poseidon_u280()
+    })
+    .time_single(BasicOp::CMult, &p);
+    let t512 = Simulator::new(AcceleratorConfig::poseidon_u280()).time_single(BasicOp::CMult, &p);
+    assert!(t1.seconds > t512.seconds);
+    assert_eq!(t1.hbm_bytes, t512.hbm_bytes, "traffic is lane-independent");
+}
+
+#[test]
+fn empty_trace_reports_zero() {
+    let sim = Simulator::new(AcceleratorConfig::poseidon_u280());
+    let r = sim.run(&OpTrace::new());
+    assert_eq!(r.seconds, 0.0);
+    assert_eq!(r.hbm_bytes, 0);
+    assert_eq!(r.bandwidth_utilisation, 0.0);
+    assert!(r.time_by_op.is_empty());
+}
+
+#[test]
+fn rescale_at_single_component_does_not_panic() {
+    // L = 1 Rescale is a boundary the counts must saturate, not underflow.
+    let sim = Simulator::new(AcceleratorConfig::poseidon_u280());
+    let p = OpParams::new(1 << 10, 1, 1);
+    let t = sim.time_single(BasicOp::Rescale, &p);
+    assert!(t.seconds > 0.0);
+}
+
+#[test]
+fn naive_auto_only_affects_auto_bearing_ops() {
+    let p = OpParams::new(1 << 14, 10, 2);
+    let hf = Simulator::new(AcceleratorConfig::poseidon_u280());
+    let naive = Simulator::new(AcceleratorConfig {
+        auto_mode: AutoMode::Naive,
+        ..AcceleratorConfig::poseidon_u280()
+    });
+    // CMult has no automorphism: identical under both modes.
+    let a = hf.time_single(BasicOp::CMult, &p);
+    let b = naive.time_single(BasicOp::CMult, &p);
+    assert_eq!(a.compute_cycles, b.compute_cycles);
+    // Rotation differs.
+    let a = hf.time_single(BasicOp::Rotation, &p);
+    let b = naive.time_single(BasicOp::Rotation, &p);
+    assert!(b.compute_cycles > a.compute_cycles);
+}
+
+#[test]
+fn ops_per_second_is_reciprocal_of_single_time() {
+    let sim = Simulator::new(AcceleratorConfig::poseidon_u280());
+    let p = OpParams::new(1 << 13, 6, 1);
+    let t = sim.time_single(BasicOp::PMult, &p).seconds;
+    let ops = sim.ops_per_second(BasicOp::PMult, &p);
+    assert!((ops * t - 1.0).abs() < 1e-9);
+}
+
+#[test]
+#[should_panic(expected = "invalid accelerator configuration")]
+fn simulator_rejects_invalid_config() {
+    let _ = Simulator::new(AcceleratorConfig {
+        lanes: 0,
+        ..AcceleratorConfig::poseidon_u280()
+    });
+}

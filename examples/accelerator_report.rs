@@ -1,0 +1,44 @@
+//! Accelerator simulation report: runs the paper's four benchmarks through
+//! the Poseidon performance model and prints the full evaluation summary
+//! (times, breakdowns, bandwidth, energy, EDP) plus the HFAuto ablation.
+//!
+//! Run with: `cargo run --release --example accelerator_report`
+
+use poseidon::core::BasicOp;
+use poseidon::sim::workloads::Benchmark;
+use poseidon::sim::{AcceleratorConfig, Simulator};
+
+fn main() {
+    let hf = Simulator::new(AcceleratorConfig::poseidon_u280());
+    let naive = Simulator::new(AcceleratorConfig::poseidon_naive_auto());
+    println!("Poseidon model: 512 lanes, 300 MHz, k = 3 NTT fusion, 8.6 MB scratchpad,");
+    println!("32-channel HBM2 @ 460 GB/s peak\n");
+
+    for b in Benchmark::ALL {
+        let trace = b.trace();
+        let r = hf.run(&trace);
+        let r_naive = naive.run(&trace);
+        println!("=== {} ===", b.name());
+        println!("  time            : {:>10.2} ms (naive-Auto ablation: {:.2} ms, {:.1}x)",
+            r.millis(), r_naive.millis(), r_naive.seconds / r.seconds);
+        println!("  HBM traffic     : {:>10.2} GB", r.hbm_bytes as f64 / 1e9);
+        println!("  bandwidth util  : {:>9.1} %", r.bandwidth_utilisation * 100.0);
+        println!("  energy          : {:>10.3} J   EDP: {:.3e} J*s", r.energy.total(), r.edp());
+        print!("  time by op      : ");
+        for op in [BasicOp::HAdd, BasicOp::PMult, BasicOp::CMult, BasicOp::Rotation, BasicOp::Rescale] {
+            let share = r.time_share_percent(op);
+            if share > 0.05 {
+                print!("{} {:.1}%  ", op.name(), share);
+            }
+        }
+        println!();
+        print!("  cycles by core  : ");
+        for op in poseidon::core::Operator::ALL {
+            let share = r.operator_share_percent(op);
+            if share > 0.05 {
+                print!("{op} {share:.1}%  ");
+            }
+        }
+        println!("\n");
+    }
+}

@@ -1,0 +1,49 @@
+//! Ciphertext serialization: encrypt, ship as JSON (e.g. client → cloud,
+//! the Fig. 1 deployment scenario), compute on the deserialised ciphertext
+//! server-side, ship the result back, decrypt.
+//!
+//! Run with: `cargo run --release --features serde --example serialization`
+
+#[cfg(feature = "serde")]
+fn main() {
+    use poseidon::ckks::encoding::Complex;
+    use poseidon::ckks::prelude::*;
+
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::thread_rng();
+    let keys = KeySet::generate(&ctx, &mut rng);
+    let eval = Evaluator::new(&ctx);
+
+    // Client side: encrypt and serialise.
+    let z = vec![Complex::new(3.0, 0.0), Complex::new(-1.5, 0.0)];
+    let pt = Plaintext::new(
+        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+    let wire = serde_json::to_vec(&ct).expect("serialise");
+    println!("ciphertext on the wire: {} bytes of JSON", wire.len());
+
+    // Server side: deserialise (no secret key!), compute x² + x.
+    let received: Ciphertext = serde_json::from_slice(&wire).expect("deserialise");
+    let sq = eval.rescale(&eval.square(&received, &keys));
+    let result = eval.add(&sq, &eval.adjust(&received, sq.level(), sq.scale()));
+    let reply = serde_json::to_vec(&result).expect("serialise result");
+    println!("result on the wire    : {} bytes of JSON", reply.len());
+
+    // Client side: decrypt.
+    let back: Ciphertext = serde_json::from_slice(&reply).expect("deserialise result");
+    let dec = keys.secret().decrypt(&back);
+    let out = ctx.encoder().decode_rns(dec.poly(), dec.scale(), 2);
+    for (i, (v, zi)) in out.iter().zip(&z).enumerate() {
+        let want = zi.re * zi.re + zi.re;
+        println!("slot {i}: {:+.4} (expected {:+.4})", v.re, want);
+        assert!((v.re - want).abs() < 0.02);
+    }
+    println!("ok: computed on serialised ciphertexts without the secret key");
+}
+
+#[cfg(not(feature = "serde"))]
+fn main() {
+    eprintln!("rebuild with --features he-ckks/serde to run this example");
+}

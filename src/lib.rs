@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the Poseidon reproduction stack.
+pub use he_ckks as ckks;
+pub use he_math as math;
+pub use he_ntt as ntt;
+pub use he_rns as rns;
+pub use poseidon_core as core;
+pub use poseidon_sim as sim;
