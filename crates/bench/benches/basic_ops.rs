@@ -17,7 +17,9 @@ fn bench_basic_ops(c: &mut Criterion) {
     group.bench_function("keyswitch", |b| {
         b.iter(|| h.eval.keyswitch(h.ct_a.c1(), h.keys.relin()))
     });
-    group.bench_function("rotation", |b| b.iter(|| h.eval.rotate(&h.ct_a, 1, &h.keys)));
+    group.bench_function("rotation", |b| {
+        b.iter(|| h.eval.rotate(&h.ct_a, 1, &h.keys))
+    });
     group.finish();
 }
 

@@ -47,6 +47,7 @@ fn main() {
     run("table11", tables::table11_core_resources);
     run("table12", tables::table12_fpga_comparison);
     run("ablations", tables::ablations);
+    run("parallel", tables::parallel_scaling);
     run("pipeline", tables::pipeline);
     if !ran {
         eprintln!("unknown selector `{which}`");

@@ -21,12 +21,21 @@ fn sim() -> Simulator {
 /// Table I: operator usage per basic operation (checkmark matrix).
 pub fn table1_operator_usage() {
     let p = OpParams::new(1 << 16, 44, 2);
-    println!("{:<12} {:>4} {:>4} {:>9} {:>13} {:>4}", "Operation", "MA", "MM", "NTT/INTT", "Automorphism", "SBT");
+    println!(
+        "{:<12} {:>4} {:>4} {:>9} {:>13} {:>4}",
+        "Operation", "MA", "MM", "NTT/INTT", "Automorphism", "SBT"
+    );
     for op in BasicOp::ALL {
         let marks: Vec<String> = op
             .uses(&p)
             .iter()
-            .map(|(_, used)| if *used { "x".to_string() } else { "-".to_string() })
+            .map(|(_, used)| {
+                if *used {
+                    "x".to_string()
+                } else {
+                    "-".to_string()
+                }
+            })
             .collect();
         println!(
             "{:<12} {:>4} {:>4} {:>9} {:>13} {:>4}",
@@ -44,7 +53,13 @@ pub fn table1_operator_usage() {
 pub fn table2_ntt_fusion() {
     println!(
         "{:<3} {:>11} {:>19} {:>16} {:>14} {:>11} {:>9}",
-        "k", "W(unfused)", "W(fused,published)", "W(fused,model)", "Mult(unfused)", "Mult(fused)", "Red(u/f)"
+        "k",
+        "W(unfused)",
+        "W(fused,published)",
+        "W(fused,model)",
+        "Mult(unfused)",
+        "Mult(fused)",
+        "Red(u/f)"
     );
     let q = he_math::prime::ntt_prime(30, 1 << 13).unwrap();
     let table = NttTable::new(1 << 12, q);
@@ -101,7 +116,13 @@ pub fn table4_basic_ops() {
     let sim = sim();
     println!(
         "{:<10} {:>16} {:>16} {:>12} {:>14} {:>14} {:>12}",
-        "Operation", "CPU meas (op/s)", "Poseidon model", "speedup", "paper CPU", "paper Poseidon", "paper spd"
+        "Operation",
+        "CPU meas (op/s)",
+        "Poseidon model",
+        "speedup",
+        "paper CPU",
+        "paper Poseidon",
+        "paper spd"
     );
     for (name, cpu_ops) in &measured {
         let op = match *name {
@@ -270,7 +291,12 @@ pub fn table7_bandwidth() {
             .collect();
         let pub_row = published::TABLE7.iter().find(|r| r.op == op.name());
         let pubs = pub_row
-            .map(|r| format!("  [paper: {:.0}/{:.0}/{:.0}/{:.0}]", r.percent[0], r.percent[1], r.percent[2], r.percent[3]))
+            .map(|r| {
+                format!(
+                    "  [paper: {:.0}/{:.0}/{:.0}/{:.0}]",
+                    r.percent[0], r.percent[1], r.percent[2], r.percent[3]
+                )
+            })
             .unwrap_or_default();
         println!(
             "{:<12} {:>17} {:>17} {:>17} {:>17}{}",
@@ -371,7 +397,11 @@ pub fn fig10_fusion_sweep() {
             r.lut,
             r.dsp,
             resources::ntt_time_us(k, n, &cfg),
-            if k == 3 { "   <- optimum (paper: k = 3)" } else { "" }
+            if k == 3 {
+                "   <- optimum (paper: k = 3)"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -379,7 +409,10 @@ pub fn fig10_fusion_sweep() {
 /// Fig. 11: lane-count sensitivity on ResNet-20 (time and EDP).
 pub fn fig11_lane_sweep() {
     let t = Benchmark::ResNet20.trace();
-    println!("{:<7} {:>14} {:>16} {:>10}", "lanes", "time (ms)", "EDP (J*s)", "speedup");
+    println!(
+        "{:<7} {:>14} {:>16} {:>10}",
+        "lanes", "time (ms)", "EDP (J*s)", "speedup"
+    );
     let mut base = None;
     for lanes in [64usize, 128, 256, 512] {
         let cfg = AcceleratorConfig {
@@ -426,10 +459,18 @@ pub fn fig12_energy() {
 /// Table X: energy-delay product per benchmark.
 pub fn table10_edp() {
     let sim = sim();
-    println!("{:<22} {:>16} {:>14}", "Benchmark", "EDP (J*s)", "energy (J)");
+    println!(
+        "{:<22} {:>16} {:>14}",
+        "Benchmark", "EDP (J*s)", "energy (J)"
+    );
     for b in Benchmark::ALL {
         let r = sim.run(&b.trace());
-        println!("{:<22} {:>16.4e} {:>14.3}", b.name(), r.edp(), r.energy.total());
+        println!(
+            "{:<22} {:>16.4e} {:>14.3}",
+            b.name(),
+            r.edp(),
+            r.energy.total()
+        );
     }
     println!("(paper Table X reports Poseidon ahead of the GPU by ~1000x on LR and");
     println!(" ahead of CraterLake/BTS on LR and ResNet-20; ASICs lead elsewhere.)");
@@ -439,7 +480,10 @@ pub fn table10_edp() {
 pub fn table11_core_resources() {
     let lanes = 512u64;
     let n = 1 << 16;
-    println!("{:<14} {:>10} {:>10} {:>8} {:>7}", "Core", "FF", "LUT", "DSP", "BRAM");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>7}",
+        "Core", "FF", "LUT", "DSP", "BRAM"
+    );
     let rows = [
         ("MA", resources::ma_core_per_lane()),
         ("MM", resources::mm_core_per_lane()),
@@ -473,8 +517,14 @@ pub fn table11_core_resources() {
 pub fn table12_fpga_comparison() {
     let r = resources::design_resources(&AcceleratorConfig::poseidon_u280(), 1 << 16);
     println!("{:<26} {:>10} {:>8} {:>7}", "Design", "LUT", "DSP", "BRAM");
-    println!("{:<26} {:>10} {:>8} {:>7}", "Poseidon (model)", r.lut, r.dsp, r.bram);
-    println!("{:<26} {:>10} {:>8} {:>7}", "U280 capacity", 1_303_680, 9_024, 2_016);
+    println!(
+        "{:<26} {:>10} {:>8} {:>7}",
+        "Poseidon (model)", r.lut, r.dsp, r.bram
+    );
+    println!(
+        "{:<26} {:>10} {:>8} {:>7}",
+        "U280 capacity", 1_303_680, 9_024, 2_016
+    );
     println!("(the paper's Table XII compares against Kim et al. and HEAX and reports");
     println!(" lower consumption for Poseidon; those columns are not legible in the");
     println!(" provided text and are recorded as unavailable in EXPERIMENTS.md.)");
@@ -487,20 +537,32 @@ pub fn ablations() {
     let t = Benchmark::PackedBootstrapping.trace();
 
     println!("--- scratchpad capacity (packed bootstrapping) ---");
-    println!("{:<10} {:>12} {:>14} {:>10}", "MB", "time (ms)", "EDP (J*s)", "bw util");
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "MB", "time (ms)", "EDP (J*s)", "bw util"
+    );
     for p in sweeps::sweep_scratchpad(&t, &[0.5, 2.0, 4.0, 8.6, 16.0, 32.0]) {
         println!(
             "{:<10} {:>12.2} {:>14.4e} {:>9.1}%",
-            p.x, p.millis, p.edp, p.bandwidth_utilisation * 100.0
+            p.x,
+            p.millis,
+            p.edp,
+            p.bandwidth_utilisation * 100.0
         );
     }
 
     println!("\n--- HBM bandwidth (packed bootstrapping) ---");
-    println!("{:<10} {:>12} {:>14} {:>10}", "GB/s", "time (ms)", "EDP (J*s)", "bw util");
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "GB/s", "time (ms)", "EDP (J*s)", "bw util"
+    );
     for p in sweeps::sweep_bandwidth(&t, &[115.0, 230.0, 460.0, 920.0, 1840.0]) {
         println!(
             "{:<10} {:>12.2} {:>14.4e} {:>9.1}%",
-            p.x, p.millis, p.edp, p.bandwidth_utilisation * 100.0
+            p.x,
+            p.millis,
+            p.edp,
+            p.bandwidth_utilisation * 100.0
         );
     }
 
@@ -521,6 +583,67 @@ pub fn ablations() {
             dnum,
             t.seconds * 1e6,
             t.hbm_bytes as f64 / 1e6
+        );
+    }
+}
+
+/// Extension: limb-parallel engine thread sweep — serial vs multi-threaded
+/// throughput of the NTT/CMult/keyswitch hot paths, the software analogue
+/// of the paper's lane-count sweep (Fig. 11). Thread counts are pinned via
+/// `poseidon_par::with_threads`; speedups are relative to 1 thread.
+pub fn parallel_scaling() {
+    type Op<'a> = (&'a str, Box<dyn Fn() + 'a>);
+    let n = 1 << 13;
+    let chain = 6;
+    let host = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("software library at N=2^13, L={chain}; host cores available: {host}");
+    let h = crate::cpu_baseline::CpuHarness::new(n, chain);
+    let coeff = h.ct_a.c0().clone();
+    let ops: Vec<Op> = vec![
+        ("NTT", {
+            let coeff = coeff.clone();
+            Box::new(move || {
+                let _ = coeff.clone().into_eval();
+            })
+        }),
+        (
+            "CMult",
+            Box::new(|| {
+                let _ = h.eval.mul(&h.ct_a, &h.ct_b, &h.keys);
+            }),
+        ),
+        (
+            "Keyswitch",
+            Box::new(|| {
+                let _ = h.eval.keyswitch(h.ct_a.c1(), h.keys.relin());
+            }),
+        ),
+        (
+            "Rescale",
+            Box::new(|| {
+                let _ = h.eval.rescale(&h.ct_a);
+            }),
+        ),
+    ];
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "Operation", "1t (op/s)", "2t", "4t", "8t"
+    );
+    for (name, f) in &ops {
+        let rates: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| poseidon_par::with_threads(t, || h.ops_per_second(3, f)))
+            .collect();
+        println!(
+            "{:<10} {:>12.2} {:>7.2} ({:>4.2}x) {:>5.2} ({:>4.2}x) {:>5.2} ({:>4.2}x)",
+            name,
+            rates[0],
+            rates[1],
+            rates[1] / rates[0],
+            rates[2],
+            rates[2] / rates[0],
+            rates[3],
+            rates[3] / rates[0],
         );
     }
 }
@@ -568,8 +691,15 @@ pub fn run_program(path: &str) {
     println!("entries           : {}", trace.entries().len());
     println!("time              : {:.3} ms", r.millis());
     println!("HBM traffic       : {:.3} GB", r.hbm_bytes as f64 / 1e9);
-    println!("bandwidth util    : {:.1} %", r.bandwidth_utilisation * 100.0);
-    println!("energy            : {:.3} J  (EDP {:.3e} J*s)", r.energy.total(), r.edp());
+    println!(
+        "bandwidth util    : {:.1} %",
+        r.bandwidth_utilisation * 100.0
+    );
+    println!(
+        "energy            : {:.3} J  (EDP {:.3e} J*s)",
+        r.energy.total(),
+        r.edp()
+    );
     for op in BasicOp::ALL {
         let share = r.time_share_percent(op);
         if share > 0.05 {

@@ -47,5 +47,9 @@ fn streaming_program_is_bandwidth_bound() {
     let trace = poseidon_sim::program::parse(&text).unwrap();
     let sim = poseidon_sim::Simulator::new(poseidon_sim::AcceleratorConfig::poseidon_u280());
     let r = sim.run(&trace);
-    assert!(r.bandwidth_utilisation > 0.95, "{}", r.bandwidth_utilisation);
+    assert!(
+        r.bandwidth_utilisation > 0.95,
+        "{}",
+        r.bandwidth_utilisation
+    );
 }

@@ -81,7 +81,7 @@ impl Bootstrapper {
     pub fn new(ctx: &CkksContext, slots: usize, doublings: u32) -> Self {
         let n = ctx.n();
         assert!(
-            slots >= 2 && slots.is_power_of_two() && (n / 2) % slots == 0,
+            slots >= 2 && slots.is_power_of_two() && (n / 2).is_multiple_of(slots),
             "slots must be a power of two dividing N/2"
         );
         let stride = n / (2 * slots);
@@ -395,12 +395,13 @@ fn invert_real(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
         for v in &mut a[col] {
             *v /= p;
         }
-        for row in 0..n {
+        let pivot_row = a[col].clone();
+        for (row, r) in a.iter_mut().enumerate() {
             if row != col {
-                let f = a[row][col];
+                let f = r[col];
                 if f != 0.0 {
-                    for j in 0..2 * n {
-                        a[row][j] -= f * a[col][j];
+                    for (x, &pv) in r.iter_mut().zip(&pivot_row) {
+                        *x -= f * pv;
                     }
                 }
             }
@@ -416,10 +417,7 @@ pub fn exhaust_to_level0(eval: &Evaluator, ct: &Ciphertext) -> Ciphertext {
 }
 
 /// Encrypt-ready plaintext helper used by the bootstrapping demo binaries.
-pub fn encode_for_bootstrap(
-    ctx: &CkksContext,
-    z: &[Complex],
-) -> Plaintext {
+pub fn encode_for_bootstrap(ctx: &CkksContext, z: &[Complex]) -> Plaintext {
     Plaintext::new(
         ctx.encoder()
             .encode_rns(ctx.chain_basis(), z, ctx.default_scale()),
@@ -441,9 +439,11 @@ mod tests {
             vec![0.0, 1.0, 2.0],
         ];
         let inv = invert_real(&m);
-        for i in 0..3 {
-            for j in 0..3 {
-                let dot: f64 = (0..3).map(|k| m[i][k] * inv[k][j]).sum();
+        for (i, mi) in m.iter().enumerate() {
+            let prod_row: Vec<f64> = (0..3)
+                .map(|j| (0..3).map(|k| mi[k] * inv[k][j]).sum())
+                .collect();
+            for (j, &dot) in prod_row.iter().enumerate() {
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - want).abs() < 1e-9);
             }
@@ -517,7 +517,11 @@ mod tests {
         let dec = keys.secret().decrypt(&raised);
         let q0 = ctx.chain_basis().primes()[0];
         let coeffs = dec.poly().to_centered_coeffs();
-        let direct = keys.secret().decrypt(&exhausted).poly().to_centered_coeffs();
+        let direct = keys
+            .secret()
+            .decrypt(&exhausted)
+            .poly()
+            .to_centered_coeffs();
         for (a, b) in coeffs.iter().zip(&direct) {
             assert_eq!(a.rem_euclid(q0 as i64), b.rem_euclid(q0 as i64));
         }

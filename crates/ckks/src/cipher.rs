@@ -171,7 +171,9 @@ mod serde_impls {
                 return Err(serde::de::Error::custom("ciphertexts store coefficients"));
             }
             if !(r.scale.is_finite() && r.scale > 0.0) {
-                return Err(serde::de::Error::custom("scale must be finite and positive"));
+                return Err(serde::de::Error::custom(
+                    "scale must be finite and positive",
+                ));
             }
             Ok(Ciphertext::new(r.c0, r.c1, r.scale))
         }
@@ -200,7 +202,9 @@ mod serde_impls {
                 return Err(serde::de::Error::custom("plaintexts store coefficients"));
             }
             if !(r.scale.is_finite() && r.scale > 0.0) {
-                return Err(serde::de::Error::custom("scale must be finite and positive"));
+                return Err(serde::de::Error::custom(
+                    "scale must be finite and positive",
+                ));
             }
             Ok(Plaintext::new(r.poly, r.scale))
         }

@@ -159,7 +159,11 @@ mod tests {
     fn special_primes_dominate_scale_primes() {
         // Keyswitching noise control requires P ≥ each scale prime.
         let ctx = CkksContext::new(CkksParams::small());
-        let max_chain = ctx.chain_basis().primes()[1..].iter().max().copied().unwrap();
+        let max_chain = ctx.chain_basis().primes()[1..]
+            .iter()
+            .max()
+            .copied()
+            .unwrap();
         let min_special = ctx.special_basis().primes().iter().min().copied().unwrap();
         assert!(min_special > max_chain);
     }

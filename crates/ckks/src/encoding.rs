@@ -124,7 +124,10 @@ impl Encoder {
     ///
     /// Panics if `n` is not a power of two ≥ 8.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 8, "n must be a power of two ≥ 8");
+        assert!(
+            n.is_power_of_two() && n >= 8,
+            "n must be a power of two ≥ 8"
+        );
         let two_n = 2 * n as u64;
         let slots = n / 2;
         let mut slot_index = Vec::with_capacity(slots);
@@ -164,7 +167,7 @@ impl Encoder {
     pub fn encode_to_coeffs(&self, z: &[Complex], scale: f64) -> Vec<i64> {
         let slots = self.max_slots();
         assert!(
-            !z.is_empty() && slots % z.len() == 0,
+            !z.is_empty() && slots.is_multiple_of(z.len()),
             "slot count must divide N/2"
         );
         // Sparse packing: replicate the vector to fill all slots.
@@ -198,7 +201,7 @@ impl Encoder {
     pub fn decode_from_coeffs(&self, coeffs: &[f64], scale: f64, slots: usize) -> Vec<Complex> {
         assert_eq!(coeffs.len(), self.n, "coefficient count must equal N");
         assert!(
-            slots >= 1 && self.max_slots() % slots == 0,
+            slots >= 1 && self.max_slots().is_multiple_of(slots),
             "slot count must divide N/2"
         );
         let g: Vec<Complex> = coeffs
@@ -349,7 +352,9 @@ mod tests {
         // The rounding path drops imaginary parts; verify they were
         // negligible by checking a round trip loses < 1/Δ accuracy.
         let enc = Encoder::new(32);
-        let z: Vec<Complex> = (0..16).map(|i| Complex::new(0.1 * i as f64, -0.05 * i as f64)).collect();
+        let z: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(0.1 * i as f64, -0.05 * i as f64))
+            .collect();
         let scale = (1u64 << 40) as f64;
         let coeffs = enc.encode_to_coeffs(&z, scale);
         let back = enc.decode_from_coeffs(

@@ -124,10 +124,7 @@ impl Evaluator {
     /// Plaintext multiplication (paper PMult): `(c_0·m, c_1·m)` with scale
     /// Δ_ct · Δ_pt. Rescale afterwards to restore the working scale.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let m = pt
-            .poly()
-            .truncate_basis(a.level() + 1)
-            .into_eval();
+        let m = pt.poly().truncate_basis(a.level() + 1).into_eval();
         let c0 = a.c0().clone().into_eval().mul(&m).into_coeff();
         let c1 = a.c1().clone().into_eval().mul(&m).into_coeff();
         Ciphertext::new(c0, c1, a.scale() * pt.scale())
@@ -144,10 +141,7 @@ impl Evaluator {
     /// Encodes a (replicated) slot vector at a specific level.
     pub fn encode_at_level(&self, z: &[Complex], scale: f64, level: usize) -> Plaintext {
         let basis = self.ctx.level_basis(level);
-        Plaintext::new(
-            self.ctx.encoder().encode_rns(&basis, z, scale),
-            scale,
-        )
+        Plaintext::new(self.ctx.encoder().encode_rns(&basis, z, scale), scale)
     }
 
     /// Ciphertext multiplication with relinearisation (paper CMult):
@@ -190,34 +184,58 @@ impl Evaluator {
     pub fn keyswitch(&self, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
         let level = d.level_count() - 1;
         let ext_basis = self.ctx.level_basis(level).concat(self.ctx.special_basis());
-        let mut acc0: Option<RnsPoly> = None;
-        let mut acc1: Option<RnsPoly> = None;
-        for j in 0..=level {
+        let n = d.basis().n();
+
+        // Digits are independent until the final accumulation, so the digit
+        // loop dispatches across the limb-parallel engine (each worker runs
+        // its lifts/NTTs serially — the parallelism axis is the digit).
+        // Lift temporaries come from the scratch pool; the key products
+        // reuse the key-slice allocations via `mul_assign`.
+        let digit_weight = ext_basis.len() * n;
+        let (p0s, p1s) = poseidon_par::par_map_unzip(level + 1, digit_weight, |j| {
             // Exact lift of the single-prime residue vector to ext_basis.
             let t = d.residues(j);
             let residues: Vec<Vec<u64>> = ext_basis
                 .primes()
                 .iter()
-                .map(|&f| t.iter().map(|&v| v % f).collect())
+                .map(|&f| {
+                    let mut buf = poseidon_par::scratch::take(n);
+                    for (o, &v) in buf.iter_mut().zip(t) {
+                        *o = v % f;
+                    }
+                    buf
+                })
                 .collect();
             let lifted =
                 RnsPoly::from_residues(&ext_basis, residues, he_rns::Form::Coeff).into_eval();
             let (kb, ka) = key.sliced(&self.ctx, j, level);
-            let p0 = lifted.clone().mul(&kb.into_eval());
-            let p1 = lifted.mul(&ka.into_eval());
-            acc0 = Some(match acc0 {
-                None => p0,
-                Some(a) => a.add(&p0),
-            });
-            acc1 = Some(match acc1 {
-                None => p1,
-                Some(a) => a.add(&p1),
-            });
-        }
+            let mut p0 = kb.into_eval();
+            p0.mul_assign(&lifted);
+            let mut p1 = ka.into_eval();
+            p1.mul_assign(&lifted);
+            for buf in lifted.into_residues() {
+                poseidon_par::scratch::recycle(buf);
+            }
+            (p0, p1)
+        });
+        // Modular addition is exact and associative, so in-order in-place
+        // accumulation is bit-identical to the old pairwise `add` chain.
+        let fold = |polys: Vec<RnsPoly>| {
+            let mut acc: Option<RnsPoly> = None;
+            for p in polys {
+                match &mut acc {
+                    None => acc = Some(p),
+                    Some(a) => a.add_assign(&p),
+                }
+            }
+            acc.expect("level ≥ 0")
+        };
+        let acc0 = fold(p0s);
+        let acc1 = fold(p1s);
         let q_len = level + 1;
         (
-            moddown(&acc0.expect("level ≥ 0").into_coeff(), q_len),
-            moddown(&acc1.expect("level ≥ 0").into_coeff(), q_len),
+            moddown(&acc0.into_coeff(), q_len),
+            moddown(&acc1.into_coeff(), q_len),
         )
     }
 
@@ -400,7 +418,8 @@ mod tests {
     ) -> Ciphertext {
         let z: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
         let pt = Plaintext::new(
-            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
             ctx.default_scale(),
         );
         keys.public().encrypt(&pt, rng)
@@ -447,7 +466,10 @@ mod tests {
         assert!((got[0] - 1.5).abs() < 1e-4 && (got[1] - 2.0).abs() < 1e-4);
         let prod = eval.rescale(&eval.mul_plain(&a, &pt));
         let got = decrypt(&ctx, &keys, &prod, 2);
-        assert!((got[0] - 0.5).abs() < 1e-3 && (got[1] + 8.0).abs() < 1e-3, "{got:?}");
+        assert!(
+            (got[0] - 0.5).abs() < 1e-3 && (got[1] + 8.0).abs() < 1e-3,
+            "{got:?}"
+        );
     }
 
     #[test]
@@ -487,7 +509,11 @@ mod tests {
         let got = decrypt(&ctx, &keys, &rot, slots);
         for i in 0..8 {
             let want = vals[(i + 1) % slots];
-            assert!((got[i] - want).abs() < 1e-3, "slot {i}: {} vs {want}", got[i]);
+            assert!(
+                (got[i] - want).abs() < 1e-3,
+                "slot {i}: {} vs {want}",
+                got[i]
+            );
         }
     }
 
@@ -498,7 +524,8 @@ mod tests {
         keys.add_conjugation_key(&mut rng);
         let z = vec![Complex::new(1.0, 2.0), Complex::new(-0.5, -1.5)];
         let pt = Plaintext::new(
-            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
             ctx.default_scale(),
         );
         let ct = keys.public().encrypt(&pt, &mut rng);
@@ -542,11 +569,7 @@ mod tests {
         let a = encrypt(&ctx, &keys, &mut rng, &[1.0]);
         let b = encrypt(&ctx, &keys, &mut rng, &[2.0]);
         // Put c at a lower level via a rescaled multiplication by 1.
-        let one = eval.encode_at_level(
-            &[Complex::new(1.0, 0.0)],
-            ctx.default_scale(),
-            a.level(),
-        );
+        let one = eval.encode_at_level(&[Complex::new(1.0, 0.0)], ctx.default_scale(), a.level());
         let c = eval.rescale(&eval.mul_plain(&encrypt(&ctx, &keys, &mut rng, &[3.0]), &one));
         let sum = eval.add_many(&[a, b, c]);
         let got = decrypt(&ctx, &keys, &sum, 1);

@@ -78,13 +78,7 @@ impl PublicKey {
             &sampling::gaussian_coeffs(ctx.n(), ctx.params().error_std, rng),
         );
         let s = sk.poly_in(basis).into_eval();
-        let b = a
-            .clone()
-            .into_eval()
-            .mul(&s)
-            .into_coeff()
-            .neg()
-            .add(&e);
+        let b = a.clone().into_eval().mul(&s).into_coeff().neg().add(&e);
         Self {
             ctx: ctx.clone(),
             b,
@@ -136,6 +130,10 @@ impl KeySwitchKey {
         let full = ctx.full_basis();
         let s = sk.poly_in(full).into_eval();
         let chain = ctx.chain_basis();
+        // This digit loop stays serial on purpose: each iteration draws
+        // from the shared `rng`, and the draw order defines the key. The
+        // heavy math inside (NTT/mul/add on RnsPoly) still dispatches
+        // limb-parallel, and stays thread-count-invariant.
         let pairs = (0..chain.len())
             .map(|j| {
                 let a = sampling::uniform_poly(full, Form::Coeff, rng);

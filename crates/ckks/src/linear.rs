@@ -175,7 +175,7 @@ impl PlainMatrix {
         let mut acc: Option<Ciphertext> = None;
         for g in 0..gs {
             let mut inner: Option<Ciphertext> = None;
-            for b in 0..bs {
+            for (b, baby_b) in baby.iter().enumerate().take(bs) {
                 let d = g * bs + b;
                 if d >= dim || self.diagonal_is_zero(d) {
                     continue;
@@ -187,7 +187,7 @@ impl PlainMatrix {
                 let rotated_diag: Vec<Complex> = (0..dim)
                     .map(|i| self.diagonals[d][(i + dim - shift) % dim])
                     .collect();
-                let ct_b = baby[b].as_ref().expect("materialised");
+                let ct_b = baby_b.as_ref().expect("materialised");
                 let pt = eval.encode_at_level(&rotated_diag, scale, ct_b.level());
                 let term = eval.mul_plain(ct_b, &pt);
                 inner = Some(match inner {
@@ -257,7 +257,11 @@ mod tests {
 
     fn test_matrix() -> (PlainMatrix, Vec<Vec<f64>>) {
         let raw: Vec<Vec<f64>> = (0..DIM)
-            .map(|i| (0..DIM).map(|j| ((i * 3 + j) % 5) as f64 * 0.25 - 0.5).collect())
+            .map(|i| {
+                (0..DIM)
+                    .map(|j| ((i * 3 + j) % 5) as f64 * 0.25 - 0.5)
+                    .collect()
+            })
             .collect();
         let m = PlainMatrix::new(
             raw.iter()
@@ -302,7 +306,11 @@ mod tests {
         let got = decrypt(&ctx, &keys, &m.apply(&eval, &keys, &ct));
         for i in 0..DIM {
             let want: f64 = (0..DIM).map(|j| raw[i][j] * x[j]).sum();
-            assert!((got[i] - want).abs() < 2e-2, "row {i}: {} vs {want}", got[i]);
+            assert!(
+                (got[i] - want).abs() < 2e-2,
+                "row {i}: {} vs {want}",
+                got[i]
+            );
         }
     }
 

@@ -134,7 +134,7 @@ impl CkksParams {
             self.scale_prime_bits,
             self.special_prime_bits,
         ] {
-            if bits < 20 || bits > 60 {
+            if !(20..=60).contains(&bits) {
                 return Err(format!("prime size {bits} outside supported 20..=60 bits"));
             }
         }

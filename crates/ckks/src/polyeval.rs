@@ -146,7 +146,8 @@ mod tests {
     ) -> Ciphertext {
         let z: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
         let pt = crate::cipher::Plaintext::new(
-            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
             ctx.default_scale(),
         );
         keys.public().encrypt(&pt, rng)
@@ -242,21 +243,19 @@ pub fn evaluate_chebyshev(
     }
     for j in 2..coeffs.len() {
         let prev = &t_polys[j - 2]; // T_{j-1}
-        // 2x·T_{j−1}
+                                    // 2x·T_{j−1}
         let level = prev.level().min(x.level());
         let x_al = eval.adjust(x, level, prev.scale().max(x.scale()).min(prev.scale()));
         let x_al = eval.adjust(&x_al, level, prev.scale());
         let two_x_t = {
-            let prod = eval.rescale(&eval.mul(&x_al, &eval.adjust(prev, level, prev.scale()), keys));
+            let prod =
+                eval.rescale(&eval.mul(&x_al, &eval.adjust(prev, level, prev.scale()), keys));
             eval.add(&prod, &prod)
         };
         let t_next = if j == 2 {
             // T_2 = 2x² − 1
-            let one = eval.encode_at_level(
-                &[Complex::new(1.0, 0.0)],
-                two_x_t.scale(),
-                two_x_t.level(),
-            );
+            let one =
+                eval.encode_at_level(&[Complex::new(1.0, 0.0)], two_x_t.scale(), two_x_t.level());
             eval.sub_plain(&two_x_t, &one)
         } else {
             // T_j = 2x·T_{j−1} − T_{j−2}
@@ -362,7 +361,8 @@ mod chebyshev_tests {
         let x = 0.4f64;
         let z = vec![Complex::new(x, 0.0)];
         let pt = crate::cipher::Plaintext::new(
-            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
             ctx.default_scale(),
         );
         let ct = keys.public().encrypt(&pt, &mut rng);

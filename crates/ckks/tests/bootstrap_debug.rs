@@ -39,8 +39,14 @@ fn stage_by_stage() {
     for k in 0..2 * slots {
         println!("  m[{}] = {}", k * stride, msg_coeffs[k * stride]);
     }
-    println!("(nonzero off-stride coeffs: {})",
-        msg_coeffs.iter().enumerate().filter(|(i, &v)| v != 0 && i % stride != 0).count());
+    println!(
+        "(nonzero off-stride coeffs: {})",
+        msg_coeffs
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| v != 0 && i % stride != 0)
+            .count()
+    );
 
     // Stage 1: ModRaise.
     let raised = bs.mod_raise(&exhausted);
@@ -54,7 +60,11 @@ fn stage_by_stage() {
             raw[k * stride],
             {
                 let r = raw[k * stride].rem_euclid(q0 as i64);
-                if r > q0 as i64 / 2 { r - q0 as i64 } else { r }
+                if r > q0 as i64 / 2 {
+                    r - q0 as i64
+                } else {
+                    r
+                }
             }
         );
     }
@@ -63,7 +73,11 @@ fn stage_by_stage() {
     let traced = bs.subsum(&eval, &keys, &raised);
     let dec = keys.secret().decrypt(&traced);
     let raw = dec.poly().to_centered_f64();
-    println!("\nafter SubSum (level {}), D = {}:", traced.level(), d_factor);
+    println!(
+        "\nafter SubSum (level {}), D = {}:",
+        traced.level(),
+        d_factor
+    );
     let mut off_stride_max = 0f64;
     for (i, &v) in raw.iter().enumerate() {
         if i % stride != 0 {
@@ -87,19 +101,28 @@ fn stage_by_stage() {
     let gl = ctx.encoder().decode_rns(dl.poly(), dl.scale(), slots);
     let dh = keys.secret().decrypt(&high);
     let gh = ctx.encoder().decode_rns(dh.poly(), dh.scale(), slots);
-    println!("\nafter CoeffToSlot (levels {} / {}):", low.level(), high.level());
+    println!(
+        "\nafter CoeffToSlot (levels {} / {}):",
+        low.level(),
+        high.level()
+    );
     let dec_traced = keys.secret().decrypt(&traced).poly().to_centered_f64();
     for k in 0..slots {
         println!(
             "  low[{k}] = {:.6}{:+.6}i   want {:.6}  err {:.2e} im {:.2e}",
-            gl[k].re, gl[k].im, dec_traced[k * stride] / d_factor / 2f64.powi(45),
-            (gl[k].re - dec_traced[k * stride] / d_factor / 2f64.powi(45)).abs(), gl[k].im.abs()
+            gl[k].re,
+            gl[k].im,
+            dec_traced[k * stride] / d_factor / 2f64.powi(45),
+            (gl[k].re - dec_traced[k * stride] / d_factor / 2f64.powi(45)).abs(),
+            gl[k].im.abs()
         );
     }
     for k in 0..slots {
         println!(
             "  high[{k}] = {:.6}{:+.6}i  want {:.6}",
-            gh[k].re, gh[k].im, dec_traced[(slots + k) * stride] / d_factor / 2f64.powi(45)
+            gh[k].re,
+            gh[k].im,
+            dec_traced[(slots + k) * stride] / d_factor / 2f64.powi(45)
         );
     }
 
@@ -111,9 +134,18 @@ fn stage_by_stage() {
     for k in 0..slots {
         let want = {
             let r = (dec_traced[k * stride] / d_factor).rem_euclid(q0 as f64);
-            if r > q0 as f64 / 2.0 { r - q0 as f64 } else { r }
+            if r > q0 as f64 / 2.0 {
+                r - q0 as f64
+            } else {
+                r
+            }
         };
-        println!("  lowmod[{k}] = {:.6}{:+.6}i  want ≈ {:.6}", gm[k].re, gm[k].im, want / 2f64.powi(45));
+        println!(
+            "  lowmod[{k}] = {:.6}{:+.6}i  want ≈ {:.6}",
+            gm[k].re,
+            gm[k].im,
+            want / 2f64.powi(45)
+        );
     }
 
     // Stage 5: SlotToCoeff.
@@ -123,7 +155,10 @@ fn stage_by_stage() {
     let g = ctx.encoder().decode_rns(d.poly(), d.scale(), slots);
     println!("\nafter SlotToCoeff (level {}):", out.level());
     for k in 0..slots {
-        println!("  out[{k}] = {:.4}{:+.4}i  want {}", g[k].re, g[k].im, message[k]);
+        println!(
+            "  out[{k}] = {:.4}{:+.4}i  want {}",
+            g[k].re, g[k].im, message[k]
+        );
     }
 }
 
@@ -138,14 +173,20 @@ fn evalmod_stages() {
     let eval = Evaluator::new(&ctx);
     let slots = 4usize;
 
-    let probe = |label: &str, ct: &he_ckks::cipher::Ciphertext, truth: &dyn Fn(f64) -> f64, inputs: &[f64]| {
+    let probe = |label: &str,
+                 ct: &he_ckks::cipher::Ciphertext,
+                 truth: &dyn Fn(f64) -> f64,
+                 inputs: &[f64]| {
         let d = keys.secret().decrypt(ct);
         let g = ctx.encoder().decode_rns(d.poly(), d.scale(), slots);
         for k in 0..slots {
             let want = truth(inputs[k]);
             println!(
                 "  {label}[{k}] = {:.8}{:+.8}i  want {:.8}  (err {:.2e})",
-                g[k].re, g[k].im, want, (g[k].re - want).abs().max(g[k].im.abs())
+                g[k].re,
+                g[k].im,
+                want,
+                (g[k].re - want).abs().max(g[k].im.abs())
             );
         }
     };
@@ -170,8 +211,17 @@ fn evalmod_stages() {
     println!("after const muls (level {}):", y.level());
     probe("y", &y, &|x| c * x, &inputs);
 
-    let sin_c = [0.0, 1.0, 0.0, -1.0/6.0, 0.0, 1.0/120.0, 0.0, -1.0/5040.0];
-    let cos_c = [1.0, 0.0, -0.5, 0.0, 1.0/24.0, 0.0, -1.0/720.0];
+    let sin_c = [
+        0.0,
+        1.0,
+        0.0,
+        -1.0 / 6.0,
+        0.0,
+        1.0 / 120.0,
+        0.0,
+        -1.0 / 5040.0,
+    ];
+    let cos_c = [1.0, 0.0, -0.5, 0.0, 1.0 / 24.0, 0.0, -1.0 / 720.0];
     let mut s = evaluate_monomial(&eval, &keys, &y, &sin_c);
     let mut co = evaluate_monomial(&eval, &keys, &y, &cos_c);
     println!("after Taylor (levels {} / {}):", s.level(), co.level());

@@ -38,7 +38,10 @@ fn bootstrap_refreshes_an_exhausted_ciphertext() {
     let message = [0.25, -0.5, 0.125, 0.4375];
     let (want, got, level) = run_bootstrap(4, 6, &message);
     // The whole point: the refreshed ciphertext has levels to spend again.
-    assert!(level >= 2, "refreshed ciphertext must regain levels, got {level}");
+    assert!(
+        level >= 2,
+        "refreshed ciphertext must regain levels, got {level}"
+    );
     for (j, (w, g)) in want.iter().zip(&got).enumerate() {
         assert!(
             (w - g.re).abs() < 0.05,

@@ -15,7 +15,8 @@ fn ciphertext_survives_json_round_trip_and_still_computes() {
     let eval = Evaluator::new(&ctx);
     let z = vec![Complex::new(1.25, 0.0), Complex::new(-2.0, 0.0)];
     let pt = Plaintext::new(
-        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
         ctx.default_scale(),
     );
     let ct = keys.public().encrypt(&pt, &mut rng);
@@ -37,7 +38,8 @@ fn plaintext_round_trips() {
     let ctx = CkksContext::new(CkksParams::toy());
     let z = vec![Complex::new(0.5, -0.25); 4];
     let pt = Plaintext::new(
-        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
         ctx.default_scale(),
     );
     let back: Plaintext = serde_json::from_str(&serde_json::to_string(&pt).unwrap()).unwrap();
@@ -51,7 +53,8 @@ fn corrupted_scale_is_rejected() {
     let keys = KeySet::generate(&ctx, &mut rng);
     let z = vec![Complex::new(1.0, 0.0)];
     let pt = Plaintext::new(
-        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
         ctx.default_scale(),
     );
     let ct = keys.public().encrypt(&pt, &mut rng);

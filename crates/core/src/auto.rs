@@ -58,7 +58,10 @@ impl HfAuto {
     ///
     /// Panics unless `n` and `c` are powers of two with `c ≤ n`.
     pub fn new(n: usize, c: usize) -> Self {
-        assert!(n.is_power_of_two() && c.is_power_of_two(), "powers of two required");
+        assert!(
+            n.is_power_of_two() && c.is_power_of_two(),
+            "powers of two required"
+        );
         assert!(c >= 1 && c <= n, "lane width must divide the vector");
         Self { n, c, r: n / c }
     }
@@ -195,7 +198,10 @@ mod tests {
         let n = 64;
         let q = he_math::prime::ntt_prime(28, 2 * n as u64).unwrap();
         let data: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 5) % q).collect();
-        let signed: Vec<i64> = data.iter().map(|&v| he_math::modops::center(v, q)).collect();
+        let signed: Vec<i64> = data
+            .iter()
+            .map(|&v| he_math::modops::center(v, q))
+            .collect();
         for c in [1usize, 4, 8, 64] {
             let hf = HfAuto::new(n, c);
             for g in [3u64, 5, 25, 127] {
@@ -205,8 +211,10 @@ mod tests {
                 // Reference basis has a different prime; compare via signed
                 // semantics with small values.
                 let small: Vec<i64> = (0..n as i64).collect();
-                let small_u: Vec<u64> =
-                    small.iter().map(|&v| he_math::modops::reduce_i64(v, q)).collect();
+                let small_u: Vec<u64> = small
+                    .iter()
+                    .map(|&v| he_math::modops::reduce_i64(v, q))
+                    .collect();
                 let hf_small: Vec<i64> = hf
                     .apply(&small_u, g, q)
                     .iter()

@@ -56,10 +56,16 @@ impl OpParams {
     /// Panics on a zero field, non-power-of-two `n`, or `dnum` exceeding
     /// `components`.
     pub fn with_dnum(n: usize, components: usize, special: usize, dnum: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 8, "n must be a power of two ≥ 8");
+        assert!(
+            n.is_power_of_two() && n >= 8,
+            "n must be a power of two ≥ 8"
+        );
         assert!(components >= 1, "at least one RNS component");
         assert!(special >= 1, "at least one special prime");
-        assert!(dnum >= 1 && dnum <= components, "dnum must be in 1..=components");
+        assert!(
+            dnum >= 1 && dnum <= components,
+            "dnum must be in 1..=components"
+        );
         Self {
             n,
             components,
@@ -192,8 +198,7 @@ impl BasicOp {
                     ntt: l * ntt1,
                     ..OperatorCounts::ZERO
                 };
-                with_sbt(intt_in + per_digit * d)
-                    + BasicOp::Moddown.operator_counts(p) * 2
+                with_sbt(intt_in + per_digit * d) + BasicOp::Moddown.operator_counts(p) * 2
             }
             // Automorphism on both components + the keyswitch.
             BasicOp::Rotation => {
@@ -300,7 +305,11 @@ mod tests {
         let p = p();
         let hadd = BasicOp::HAdd.operator_counts(&p);
         assert!(hadd.uses(Operator::Ma));
-        assert!(!hadd.uses(Operator::Mm) && !hadd.uses(Operator::Ntt) && !hadd.uses(Operator::Automorphism));
+        assert!(
+            !hadd.uses(Operator::Mm)
+                && !hadd.uses(Operator::Ntt)
+                && !hadd.uses(Operator::Automorphism)
+        );
 
         let pmult = BasicOp::PMult.operator_counts(&p);
         assert!(pmult.uses(Operator::Mm) && pmult.uses(Operator::Sbt));

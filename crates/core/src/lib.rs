@@ -30,6 +30,6 @@ pub mod recorder;
 
 pub use auto::HfAuto;
 pub use decompose::{BasicOp, OpParams};
-pub use operator::{Operator, OperatorCounts};
 pub use machine::PoseidonMachine;
+pub use operator::{Operator, OperatorCounts};
 pub use pool::OperatorPool;

@@ -90,7 +90,10 @@ impl PoseidonMachine {
         assert_eq!(a.basis(), b.basis());
         assert_eq!(a.form(), b.form());
         let residues = (0..a.level_count())
-            .map(|j| self.pool.ma(a.residues(j), b.residues(j), a.basis().primes()[j]))
+            .map(|j| {
+                self.pool
+                    .ma(a.residues(j), b.residues(j), a.basis().primes()[j])
+            })
             .collect();
         RnsPoly::from_residues(a.basis(), residues, a.form())
     }
@@ -98,7 +101,10 @@ impl PoseidonMachine {
     fn sub_poly(&mut self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         assert_eq!(a.basis(), b.basis());
         let residues = (0..a.level_count())
-            .map(|j| self.pool.sub(a.residues(j), b.residues(j), a.basis().primes()[j]))
+            .map(|j| {
+                self.pool
+                    .sub(a.residues(j), b.residues(j), a.basis().primes()[j])
+            })
             .collect();
         RnsPoly::from_residues(a.basis(), residues, a.form())
     }
@@ -107,7 +113,10 @@ impl PoseidonMachine {
         assert_eq!(a.form(), Form::Eval);
         assert_eq!(b.form(), Form::Eval);
         let residues = (0..a.level_count())
-            .map(|j| self.pool.mm(a.residues(j), b.residues(j), a.basis().primes()[j]))
+            .map(|j| {
+                self.pool
+                    .mm(a.residues(j), b.residues(j), a.basis().primes()[j])
+            })
             .collect();
         RnsPoly::from_residues(a.basis(), residues, Form::Eval)
     }
@@ -115,7 +124,10 @@ impl PoseidonMachine {
     fn auto_poly(&mut self, a: &RnsPoly, g: u64) -> RnsPoly {
         assert_eq!(a.form(), Form::Coeff);
         let residues = (0..a.level_count())
-            .map(|j| self.pool.automorphism(a.residues(j), g, a.basis().primes()[j]))
+            .map(|j| {
+                self.pool
+                    .automorphism(a.residues(j), g, a.basis().primes()[j])
+            })
             .collect();
         RnsPoly::from_residues(a.basis(), residues, Form::Coeff)
     }
@@ -206,11 +218,8 @@ impl PoseidonMachine {
         let hats = p_basis.qhat_mod_other(&q_basis);
         let t: Vec<Vec<u64>> = (0..p_basis.len())
             .map(|j| {
-                self.pool.mm_scalar(
-                    a.residues(q_len + j),
-                    hat_inv[j],
-                    p_basis.primes()[j],
-                )
+                self.pool
+                    .mm_scalar(a.residues(q_len + j), hat_inv[j], p_basis.primes()[j])
             })
             .collect();
         let conv_residues: Vec<Vec<u64>> = (0..q_basis.len())
@@ -218,7 +227,11 @@ impl PoseidonMachine {
                 let q = q_basis.primes()[i];
                 let mut acc = vec![0u64; a.basis().n()];
                 for (j, tj) in t.iter().enumerate() {
-                    let term = self.pool.mm_scalar(tj, hats[i][j], q);
+                    // t_j is reduced mod p_j, which can exceed q_i: reduce
+                    // into the target prime's range before the MM core
+                    // (hardware: the cascade's input SBT stage).
+                    let tj_q: Vec<u64> = tj.iter().map(|&v| v % q).collect();
+                    let term = self.pool.mm_scalar(&tj_q, hats[i][j], q);
                     self.pool.ma_acc(&mut acc, &term, q);
                 }
                 acc
@@ -226,15 +239,14 @@ impl PoseidonMachine {
             .collect();
         let conv = RnsPoly::from_residues(&q_basis, conv_residues, Form::Coeff);
 
-        let a_q = RnsPoly::from_residues(
-            &q_basis,
-            a.all_residues()[..q_len].to_vec(),
-            Form::Coeff,
-        );
+        let a_q = RnsPoly::from_residues(&q_basis, a.all_residues()[..q_len].to_vec(), Form::Coeff);
         let diff = self.sub_poly(&a_q, &conv);
         let p_inv = p_basis.product_inv_mod_other(&q_basis);
         let residues = (0..q_len)
-            .map(|i| self.pool.mm_scalar(diff.residues(i), p_inv[i], q_basis.primes()[i]))
+            .map(|i| {
+                self.pool
+                    .mm_scalar(diff.residues(i), p_inv[i], q_basis.primes()[i])
+            })
             .collect();
         RnsPoly::from_residues(&q_basis, residues, Form::Coeff)
     }

@@ -51,7 +51,10 @@ impl OperatorPool {
     /// Panics if `n`/`lanes` are not powers of two or `fusion_k` is out of
     /// range for `n`.
     pub fn new(n: usize, lanes: usize, fusion_k: u32) -> Self {
-        assert!(fusion_k >= 1 && fusion_k <= n.trailing_zeros(), "bad fusion degree");
+        assert!(
+            fusion_k >= 1 && fusion_k <= n.trailing_zeros(),
+            "bad fusion degree"
+        );
         Self {
             n,
             lanes: lanes.min(n),
@@ -197,6 +200,46 @@ impl OperatorPool {
     }
 }
 
+impl OperatorPool {
+    /// MA core in subtract mode (hardware MA handles add and subtract via
+    /// operand negation on the same datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn sub(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        self.bump(Operator::Ma, a.len() as u64);
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| he_math::modops::sub_mod(x, y, q))
+            .collect()
+    }
+
+    /// MM core in vector-scalar mode (the RNSconv cascade of Fig. 4 feeds
+    /// one scalar operand per prime).
+    pub fn mm_scalar(&mut self, a: &[u64], s: u64, q: u64) -> Vec<u64> {
+        let red = self.reducer(q);
+        let s = s % q;
+        self.bump(Operator::Mm, a.len() as u64);
+        self.bump(Operator::Sbt, a.len() as u64);
+        a.iter().map(|&x| red.mul(x, s)).collect()
+    }
+
+    /// MA core in accumulate mode: `acc += a (mod q)`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn ma_acc(&mut self, acc: &mut [u64], a: &[u64], q: u64) {
+        assert_eq!(acc.len(), a.len(), "operand length mismatch");
+        self.bump(Operator::Ma, a.len() as u64);
+        for (x, &y) in acc.iter_mut().zip(a) {
+            *x = he_math::modops::add_mod(*x, y, q);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,7 +293,6 @@ mod tests {
         assert_eq!(u.auto, 64);
         // SBT serves both MM and automorphism sign logic.
         assert_eq!(u.sbt, 128);
-        let mut pool = pool;
         pool.reset_usage();
         assert_eq!(pool.usage(), OperatorCounts::ZERO);
     }
@@ -275,45 +317,5 @@ mod tests {
         pool.ntt(&mut d, primes[1]);
         pool.ntt(&mut d, primes[0]);
         assert_eq!(pool.tables.len(), 2);
-    }
-}
-
-impl OperatorPool {
-    /// MA core in subtract mode (hardware MA handles add and subtract via
-    /// operand negation on the same datapath).
-    ///
-    /// # Panics
-    ///
-    /// Panics on length mismatch.
-    pub fn sub(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
-        assert_eq!(a.len(), b.len(), "operand length mismatch");
-        self.bump(Operator::Ma, a.len() as u64);
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| he_math::modops::sub_mod(x, y, q))
-            .collect()
-    }
-
-    /// MM core in vector-scalar mode (the RNSconv cascade of Fig. 4 feeds
-    /// one scalar operand per prime).
-    pub fn mm_scalar(&mut self, a: &[u64], s: u64, q: u64) -> Vec<u64> {
-        let red = self.reducer(q);
-        let s = s % q;
-        self.bump(Operator::Mm, a.len() as u64);
-        self.bump(Operator::Sbt, a.len() as u64);
-        a.iter().map(|&x| red.mul(x, s)).collect()
-    }
-
-    /// MA core in accumulate mode: `acc += a (mod q)`, in place.
-    ///
-    /// # Panics
-    ///
-    /// Panics on length mismatch.
-    pub fn ma_acc(&mut self, acc: &mut [u64], a: &[u64], q: u64) {
-        assert_eq!(acc.len(), a.len(), "operand length mismatch");
-        self.bump(Operator::Ma, a.len() as u64);
-        for (x, &y) in acc.iter_mut().zip(a) {
-            *x = he_math::modops::add_mod(*x, y, q);
-        }
     }
 }

@@ -147,10 +147,16 @@ mod tests {
         (ctx, keys, rng)
     }
 
-    fn encrypt(ctx: &CkksContext, keys: &KeySet, rng: &mut rand::rngs::StdRng, v: f64) -> Ciphertext {
+    fn encrypt(
+        ctx: &CkksContext,
+        keys: &KeySet,
+        rng: &mut rand::rngs::StdRng,
+        v: f64,
+    ) -> Ciphertext {
         let z = vec![Complex::new(v, 0.0)];
         let pt = Plaintext::new(
-            ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
             ctx.default_scale(),
         );
         keys.public().encrypt(&pt, rng)
@@ -170,7 +176,12 @@ mod tests {
         let ops: Vec<BasicOp> = trace.entries().iter().map(|(op, _, _)| *op).collect();
         assert_eq!(
             ops,
-            vec![BasicOp::HAdd, BasicOp::CMult, BasicOp::Rescale, BasicOp::Rotation]
+            vec![
+                BasicOp::HAdd,
+                BasicOp::CMult,
+                BasicOp::Rescale,
+                BasicOp::Rotation
+            ]
         );
         // Levels were captured per entry: rescale ran at the pre-drop level.
         assert_eq!(trace.entries()[2].1.components, a.level() + 1);

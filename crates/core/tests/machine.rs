@@ -16,10 +16,16 @@ fn setup() -> (CkksContext, KeySet, Evaluator, rand::rngs::StdRng) {
     (ctx.clone(), keys, Evaluator::new(&ctx), rng)
 }
 
-fn encrypt(ctx: &CkksContext, keys: &KeySet, rng: &mut rand::rngs::StdRng, vals: &[f64]) -> Ciphertext {
+fn encrypt(
+    ctx: &CkksContext,
+    keys: &KeySet,
+    rng: &mut rand::rngs::StdRng,
+    vals: &[f64],
+) -> Ciphertext {
     let z: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
     let pt = Plaintext::new(
-        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
         ctx.default_scale(),
     );
     keys.public().encrypt(&pt, rng)

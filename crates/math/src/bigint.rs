@@ -357,7 +357,10 @@ mod tests {
     #[test]
     fn display_renders_decimal() {
         assert_eq!(BigUint::zero().to_string(), "0");
-        assert_eq!(BigUint::from(1234567890123456789u64).to_string(), "1234567890123456789");
+        assert_eq!(
+            BigUint::from(1234567890123456789u64).to_string(),
+            "1234567890123456789"
+        );
         let big = &BigUint::from(u64::MAX) * &BigUint::from(u64::MAX);
         assert_eq!(big.to_string(), "340282366920938463426481119284349108225");
     }

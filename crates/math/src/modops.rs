@@ -106,7 +106,7 @@ pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
 /// assert_eq!(he_math::modops::inv_mod_prime(0, 7), None);
 /// ```
 pub fn inv_mod_prime(a: u64, q: u64) -> Option<u64> {
-    if a % q == 0 {
+    if a.is_multiple_of(q) {
         return None;
     }
     Some(pow_mod(a, q - 2, q))

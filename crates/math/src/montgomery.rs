@@ -40,7 +40,7 @@ impl Montgomery {
     /// Panics if `q` is even, `< 3`, or `≥ 2^63`.
     pub fn new(q: u64) -> Self {
         assert!(q % 2 == 1, "Montgomery requires an odd modulus");
-        assert!(q >= 3 && q < (1u64 << 63), "modulus out of range");
+        assert!((3..(1u64 << 63)).contains(&q), "modulus out of range");
         // Newton iteration for q⁻¹ mod 2^64 (5 steps double the bits).
         let mut inv: u64 = q; // q⁻¹ ≡ q (mod 2^3) for odd q
         for _ in 0..5 {

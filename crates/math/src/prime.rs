@@ -26,7 +26,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -65,7 +65,7 @@ pub fn is_prime(n: u64) -> bool {
 /// assert!(p < (1 << 30));
 /// ```
 pub fn ntt_prime(bits: u32, modulo: u64) -> Option<u64> {
-    assert!(bits >= 2 && bits <= 62, "bit size out of range");
+    assert!((2..=62).contains(&bits), "bit size out of range");
     let top = 1u64 << bits;
     // Largest candidate of form k·modulo + 1 below 2^bits.
     let mut cand = ((top - 2) / modulo) * modulo + 1;
@@ -172,9 +172,9 @@ fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }

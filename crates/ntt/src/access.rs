@@ -49,7 +49,7 @@ impl AccessPattern {
     /// Iterations of the fused NTT: `ceil(log2(N) / k)`.
     pub fn fused_iterations(&self) -> u32 {
         let l = self.n.trailing_zeros();
-        (l + self.k - 1) / self.k
+        l.div_ceil(self.k)
     }
 
     /// Index offset between consecutive operands in conventional iteration
@@ -118,7 +118,11 @@ impl AccessPattern {
                     }
                     seen[b] = true;
                 }
-                base += if (base + 1) % off == 0 { (radix - 1) * off + 1 } else { 1 };
+                base += if (base + 1).is_multiple_of(off) {
+                    (radix - 1) * off + 1
+                } else {
+                    1
+                };
             }
         }
         Ok(())

@@ -123,8 +123,7 @@ impl FusedNtt {
                         mat[e * block + e0] = val;
                     }
                 }
-                let per_kernel: HashSet<u64> =
-                    mat.iter().copied().filter(|&v| v > 1).collect();
+                let per_kernel: HashSet<u64> = mat.iter().copied().filter(|&v| v > 1).collect();
                 distinct_total += per_kernel.len();
                 kernel_count += 1;
                 kernels.push(mat);
@@ -273,7 +272,7 @@ impl FusionAnalysis {
     /// fusion degree (blocks per phase × phases × per-block reductions).
     pub fn reductions_full_transform(&self, n: usize) -> u64 {
         let log_n = n.trailing_zeros();
-        let phases = (log_n + self.k - 1) / self.k;
+        let phases = log_n.div_ceil(self.k);
         let blocks_per_phase = (n as u64) >> self.k.min(log_n);
         blocks_per_phase.max(1) * phases as u64 * self.reductions_fused
     }
@@ -352,6 +351,9 @@ mod tests {
         let table = NttTable::new(256, q);
         let t2 = FusedNtt::new(&table, 2).distinct_twiddles_per_block();
         let t4 = FusedNtt::new(&table, 4).distinct_twiddles_per_block();
-        assert!(t4 > t2, "fused twiddle storage must grow with k ({t2} vs {t4})");
+        assert!(
+            t4 > t2,
+            "fused twiddle storage must grow with k ({t2} vs {t4})"
+        );
     }
 }

@@ -4,9 +4,9 @@
 //! definition and schoolbook polynomial multiplication with the `X^N = -1`
 //! wraparound. Every fast path in this crate is validated against them.
 
+use crate::table::bit_reverse;
 use he_math::modops::{add_mod, mul_mod, pow_mod, sub_mod};
 use he_math::prime::root_of_unity;
-use crate::table::bit_reverse;
 
 /// Evaluates the negacyclic NTT by its definition, O(N²).
 ///

@@ -91,6 +91,9 @@ mod tests {
         let t = NttTable::new(n, q);
         let a: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % q).collect();
         let b: Vec<u64> = (0..n as u64).map(|i| (i * i + 3) % q).collect();
-        assert_eq!(t.multiply(&a, &b), naive::negacyclic_mul_schoolbook(&a, &b, q));
+        assert_eq!(
+            t.multiply(&a, &b),
+            naive::negacyclic_mul_schoolbook(&a, &b, q)
+        );
     }
 }

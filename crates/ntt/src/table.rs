@@ -46,9 +46,12 @@ impl NttTable {
     /// Panics if `n` is not a power of two or `q` is not an NTT prime for
     /// this degree.
     pub fn new(n: usize, q: u64) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
         assert!(
-            (q - 1) % (2 * n as u64) == 0,
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two ≥ 2"
+        );
+        assert!(
+            (q - 1).is_multiple_of(2 * n as u64),
             "q must satisfy q ≡ 1 (mod 2n)"
         );
         let log_n = n.trailing_zeros();
@@ -196,7 +199,10 @@ mod tests {
         let mut a = vec![0u64; 8];
         a[0] = 5;
         t.forward(&mut a);
-        assert!(a.iter().all(|&v| v == 5), "constant poly evaluates to itself");
+        assert!(
+            a.iter().all(|&v| v == 5),
+            "constant poly evaluates to itself"
+        );
     }
 
     #[test]

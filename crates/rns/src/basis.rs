@@ -216,9 +216,7 @@ impl RnsBasis {
             .enumerate()
             .map(|(i, &p)| {
                 let red = &target.reducers[i];
-                self.primes
-                    .iter()
-                    .fold(1u64, |acc, &q| red.mul(acc, q % p))
+                self.primes.iter().fold(1u64, |acc, &q| red.mul(acc, q % p))
             })
             .collect()
     }
@@ -261,14 +259,14 @@ mod tests {
         let hat_inv = b.qhat_inv_mod_self();
         let q = b.modulus_product();
         let mut acc = BigUint::zero();
-        for j in 0..b.len() {
+        for (j, &hi) in hat_inv.iter().enumerate() {
             let mut qhat = BigUint::one();
             for (i, &p) in b.primes().iter().enumerate() {
                 if i != j {
                     qhat.mul_u64_assign(p);
                 }
             }
-            qhat.mul_u64_assign(hat_inv[j]);
+            qhat.mul_u64_assign(hi);
             acc.add_assign(&qhat);
         }
         // acc mod Q must be 1.
@@ -284,10 +282,7 @@ mod tests {
     #[test]
     fn concat_and_prefix_are_consistent() {
         let q_basis = RnsBasis::generate(32, 28, 3);
-        let p_basis = RnsBasis::new(
-            32,
-            he_math::prime::ntt_prime_chain(30, 64, 1),
-        );
+        let p_basis = RnsBasis::new(32, he_math::prime::ntt_prime_chain(30, 64, 1));
         let full = q_basis.concat(&p_basis);
         assert_eq!(full.len(), 4);
         assert_eq!(full.prefix(3), q_basis);

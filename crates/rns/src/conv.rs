@@ -53,31 +53,37 @@ pub fn rns_convert(a: &RnsPoly, target: &RnsBasis) -> RnsPoly {
     let hat_inv = src.qhat_inv_mod_self();
     let hat_in_target = src.qhat_mod_other(target);
 
-    // t_j = [a_j · q̂_j⁻¹]_{q_j}, computed once per source prime.
-    let t: Vec<Vec<u64>> = (0..src.len())
-        .map(|j| {
-            let red = &src.reducers()[j];
-            a.residues(j).iter().map(|&x| red.mul(x, hat_inv[j])).collect()
-        })
-        .collect();
+    // t_j = [a_j · q̂_j⁻¹]_{q_j}, computed once per source prime. Source
+    // primes are independent, so the scaling dispatches limb-parallel; the
+    // scratch pool recycles the temporaries across calls.
+    let t: Vec<Vec<u64>> = poseidon_par::par_map(src.len(), n, |j| {
+        let red = &src.reducers()[j];
+        let mut tj = poseidon_par::scratch::take(n);
+        for (o, &x) in tj.iter_mut().zip(a.residues(j)) {
+            *o = red.mul(x, hat_inv[j]);
+        }
+        tj
+    });
 
-    let residues: Vec<Vec<u64>> = (0..target.len())
-        .map(|i| {
-            let red = &target.reducers()[i];
-            let hats = &hat_in_target[i];
-            (0..n)
-                .map(|c| {
-                    // Accumulate Σ_j t_j[c]·(q̂_j mod p_i) in 128 bits, one
-                    // shared Barrett reduction at the end (SBT reuse).
-                    let mut acc: u128 = 0;
-                    for j in 0..src.len() {
-                        acc += t[j][c] as u128 * hats[j] as u128;
-                    }
-                    red.reduce(acc)
-                })
-                .collect()
-        })
-        .collect();
+    // Target primes are likewise independent (each reads all of t).
+    let residues: Vec<Vec<u64>> = poseidon_par::par_map(target.len(), n, |i| {
+        let red = &target.reducers()[i];
+        let hats = &hat_in_target[i];
+        (0..n)
+            .map(|c| {
+                // Accumulate Σ_j t_j[c]·(q̂_j mod p_i) in 128 bits, one
+                // shared Barrett reduction at the end (SBT reuse).
+                let mut acc: u128 = 0;
+                for (tj, &hat) in t.iter().zip(hats) {
+                    acc += tj[c] as u128 * hat as u128;
+                }
+                red.reduce(acc)
+            })
+            .collect()
+    });
+    for tj in t {
+        poseidon_par::scratch::recycle(tj);
+    }
     RnsPoly::from_residues(target, residues, Form::Coeff)
 }
 
@@ -115,16 +121,8 @@ pub fn moddown(a: &RnsPoly, q_len: usize) -> RnsPoly {
     let p_basis = RnsBasis::new(a.basis().n(), p_primes);
 
     // Split a into its Q part and P part.
-    let a_q = RnsPoly::from_residues(
-        &q_basis,
-        a.all_residues()[..q_len].to_vec(),
-        Form::Coeff,
-    );
-    let a_p = RnsPoly::from_residues(
-        &p_basis,
-        a.all_residues()[q_len..].to_vec(),
-        Form::Coeff,
-    );
+    let a_q = RnsPoly::from_residues(&q_basis, a.all_residues()[..q_len].to_vec(), Form::Coeff);
+    let a_p = RnsPoly::from_residues(&p_basis, a.all_residues()[q_len..].to_vec(), Form::Coeff);
 
     let conv = rns_convert(&a_p, &q_basis);
     let p_inv = p_basis.product_inv_mod_other(&q_basis);
@@ -145,18 +143,17 @@ pub fn rescale(a: &RnsPoly) -> RnsPoly {
     let lower = a.basis().prefix(l - 1);
     let last = a.residues(l - 1);
 
-    let residues: Vec<Vec<u64>> = (0..l - 1)
-        .map(|j| {
-            let qj = lower.primes()[j];
-            let red = &lower.reducers()[j];
-            let ql_inv = inv_mod_prime(last_prime % qj, qj).expect("distinct primes");
-            a.residues(j)
-                .iter()
-                .zip(last)
-                .map(|(&cj, &cl)| red.mul(sub_mod(cj, cl % qj, qj), ql_inv))
-                .collect()
-        })
-        .collect();
+    // Each surviving prime rescales independently — limb-parallel.
+    let residues: Vec<Vec<u64>> = poseidon_par::par_map(l - 1, a.basis().n(), |j| {
+        let qj = lower.primes()[j];
+        let red = &lower.reducers()[j];
+        let ql_inv = inv_mod_prime(last_prime % qj, qj).expect("distinct primes");
+        a.residues(j)
+            .iter()
+            .zip(last)
+            .map(|(&cj, &cl)| red.mul(sub_mod(cj, cl % qj, qj), ql_inv))
+            .collect()
+    });
     RnsPoly::from_residues(&lower, residues, Form::Coeff)
 }
 
@@ -185,10 +182,12 @@ mod tests {
             let q_mod = q.modulus_product().rem_u64(pi);
             for (c, &v) in coeffs.iter().enumerate() {
                 let got = out.residues(i)[c];
-                let ok = (0..=l).any(|e| {
-                    ((v as u128 + e as u128 * q_mod as u128) % pi as u128) as u64 == got
-                });
-                assert!(ok, "coefficient {c} prime {pi}: conversion off by more than L·Q");
+                let ok = (0..=l)
+                    .any(|e| ((v as u128 + e as u128 * q_mod as u128) % pi as u128) as u64 == got);
+                assert!(
+                    ok,
+                    "coefficient {c} prime {pi}: conversion off by more than L·Q"
+                );
             }
         }
     }
@@ -200,7 +199,7 @@ mod tests {
         // consistent small e per coefficient.
         let (q, p) = bases(16);
         let big = q.modulus_product().half(); // ~Q/2, worst case
-        // Build a polynomial whose coefficient 0 is ~Q/2 via residues.
+                                              // Build a polynomial whose coefficient 0 is ~Q/2 via residues.
         let residues: Vec<Vec<u64>> = q
             .primes()
             .iter()

@@ -136,11 +136,17 @@ impl RnsPoly {
 
     /// Converts to evaluation form (applies the forward NTT per prime).
     /// No-op if already in evaluation form.
+    ///
+    /// Limbs transform independently, so the per-prime NTTs dispatch
+    /// across the [`poseidon_par`] engine (the software analogue of the
+    /// accelerator streaming one limb per HBM channel).
     pub fn into_eval(mut self) -> Self {
         if self.form == Form::Coeff {
-            for (r, t) in self.residues.iter_mut().zip(self.basis.tables()) {
-                t.forward(r);
-            }
+            let n = self.basis.n();
+            let tables = self.basis.tables();
+            poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
+                tables[j].forward(r);
+            });
             self.form = Form::Eval;
         }
         self
@@ -150,9 +156,11 @@ impl RnsPoly {
     /// No-op if already in coefficient form.
     pub fn into_coeff(mut self) -> Self {
         if self.form == Form::Eval {
-            for (r, t) in self.residues.iter_mut().zip(self.basis.tables()) {
-                t.inverse(r);
-            }
+            let n = self.basis.n();
+            let tables = self.basis.tables();
+            poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
+                tables[j].inverse(r);
+            });
             self.form = Form::Coeff;
         }
         self
@@ -164,20 +172,21 @@ impl RnsPoly {
     }
 
     /// Element-wise modular addition (the MA operator), any form.
+    ///
+    /// Like every pointwise operation here, the per-prime work is
+    /// dispatched limb-parallel through [`poseidon_par`].
     pub fn add(&self, other: &Self) -> Self {
         self.assert_compatible(other);
-        let residues = self
-            .residues
-            .iter()
-            .zip(&other.residues)
-            .zip(self.basis.primes())
-            .map(|((a, b), &q)| {
-                a.iter()
-                    .zip(b)
-                    .map(|(&x, &y)| add_mod(x, y, q))
-                    .collect()
-            })
-            .collect();
+        let n = self.basis.n();
+        let primes = self.basis.primes();
+        let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
+            let q = primes[j];
+            self.residues[j]
+                .iter()
+                .zip(&other.residues[j])
+                .map(|(&x, &y)| add_mod(x, y, q))
+                .collect()
+        });
         Self {
             basis: self.basis.clone(),
             residues,
@@ -185,21 +194,35 @@ impl RnsPoly {
         }
     }
 
+    /// In-place element-wise modular addition: `self += other`.
+    ///
+    /// The allocation-free sibling of [`add`](Self::add), used by
+    /// accumulation loops (keyswitch digit sums).
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        let n = self.basis.n();
+        let primes = self.basis.primes();
+        poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
+            let q = primes[j];
+            for (x, &y) in r.iter_mut().zip(&other.residues[j]) {
+                *x = add_mod(*x, y, q);
+            }
+        });
+    }
+
     /// Element-wise modular subtraction.
     pub fn sub(&self, other: &Self) -> Self {
         self.assert_compatible(other);
-        let residues = self
-            .residues
-            .iter()
-            .zip(&other.residues)
-            .zip(self.basis.primes())
-            .map(|((a, b), &q)| {
-                a.iter()
-                    .zip(b)
-                    .map(|(&x, &y)| sub_mod(x, y, q))
-                    .collect()
-            })
-            .collect();
+        let n = self.basis.n();
+        let primes = self.basis.primes();
+        let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
+            let q = primes[j];
+            self.residues[j]
+                .iter()
+                .zip(&other.residues[j])
+                .map(|(&x, &y)| sub_mod(x, y, q))
+                .collect()
+        });
         Self {
             basis: self.basis.clone(),
             residues,
@@ -209,12 +232,12 @@ impl RnsPoly {
 
     /// Negation.
     pub fn neg(&self) -> Self {
-        let residues = self
-            .residues
-            .iter()
-            .zip(self.basis.primes())
-            .map(|(a, &q)| a.iter().map(|&x| neg_mod(x, q)).collect())
-            .collect();
+        let n = self.basis.n();
+        let primes = self.basis.primes();
+        let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
+            let q = primes[j];
+            self.residues[j].iter().map(|&x| neg_mod(x, q)).collect()
+        });
         Self {
             basis: self.basis.clone(),
             residues,
@@ -231,20 +254,39 @@ impl RnsPoly {
     pub fn mul(&self, other: &Self) -> Self {
         self.assert_compatible(other);
         assert_eq!(self.form, Form::Eval, "ring product requires eval form");
-        let residues = self
-            .residues
-            .iter()
-            .zip(&other.residues)
-            .zip(self.basis.reducers())
-            .map(|((a, b), red)| {
-                a.iter().zip(b).map(|(&x, &y)| red.mul(x, y)).collect()
-            })
-            .collect();
+        let n = self.basis.n();
+        let reducers = self.basis.reducers();
+        let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
+            let red = &reducers[j];
+            self.residues[j]
+                .iter()
+                .zip(&other.residues[j])
+                .map(|(&x, &y)| red.mul(x, y))
+                .collect()
+        });
         Self {
             basis: self.basis.clone(),
             residues,
             form: self.form,
         }
+    }
+
+    /// In-place element-wise modular multiplication: `self *= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are in evaluation form.
+    pub fn mul_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        assert_eq!(self.form, Form::Eval, "ring product requires eval form");
+        let n = self.basis.n();
+        let reducers = self.basis.reducers();
+        poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
+            let red = &reducers[j];
+            for (x, &y) in r.iter_mut().zip(&other.residues[j]) {
+                *x = red.mul(*x, y);
+            }
+        });
     }
 
     /// Multiplies every residue of prime `j` by the per-prime scalar
@@ -255,13 +297,13 @@ impl RnsPoly {
     /// Panics if `scalars.len()` differs from the basis length.
     pub fn mul_scalar_per_prime(&self, scalars: &[u64]) -> Self {
         assert_eq!(scalars.len(), self.basis.len(), "one scalar per prime");
-        let residues = self
-            .residues
-            .iter()
-            .zip(self.basis.reducers())
-            .zip(scalars)
-            .map(|((a, red), &s)| a.iter().map(|&x| red.mul(x, s % red.modulus())).collect())
-            .collect();
+        let n = self.basis.n();
+        let reducers = self.basis.reducers();
+        let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
+            let red = &reducers[j];
+            let s = scalars[j] % red.modulus();
+            self.residues[j].iter().map(|&x| red.mul(x, s)).collect()
+        });
         Self {
             basis: self.basis.clone(),
             residues,
@@ -307,32 +349,40 @@ impl RnsPoly {
     /// assert_eq!(y.to_centered_coeffs()[3], 1);
     /// ```
     pub fn automorphism(&self, g: u64) -> Self {
-        assert_eq!(self.form, Form::Coeff, "automorphism operates on coefficients");
+        assert_eq!(
+            self.form,
+            Form::Coeff,
+            "automorphism operates on coefficients"
+        );
         assert_eq!(g % 2, 1, "Galois element must be odd");
         let n = self.n() as u64;
         let two_n = 2 * n;
-        let residues = self
-            .residues
-            .iter()
-            .zip(self.basis.primes())
-            .map(|(r, &q)| {
-                let mut out = vec![0u64; n as usize];
-                for (i, &v) in r.iter().enumerate() {
-                    let e = (i as u64 * g) % two_n;
-                    if e < n {
-                        out[e as usize] = v;
-                    } else {
-                        out[(e - n) as usize] = neg_mod(v, q);
-                    }
+        let primes = self.basis.primes();
+        let residues = poseidon_par::par_map(self.residues.len(), self.n(), |j| {
+            let q = primes[j];
+            let mut out = vec![0u64; n as usize];
+            for (i, &v) in self.residues[j].iter().enumerate() {
+                let e = (i as u64 * g) % two_n;
+                if e < n {
+                    out[e as usize] = v;
+                } else {
+                    out[(e - n) as usize] = neg_mod(v, q);
                 }
-                out
-            })
-            .collect();
+            }
+            out
+        });
         Self {
             basis: self.basis.clone(),
             residues,
             form: Form::Coeff,
         }
+    }
+
+    /// Consumes the polynomial, yielding its residue vectors (so callers
+    /// can recycle the allocations through `poseidon_par::scratch`).
+    #[inline]
+    pub fn into_residues(self) -> Vec<Vec<u64>> {
+        self.residues
     }
 
     /// CRT-reconstructs coefficient `idx` as a centred big integer in
@@ -347,9 +397,8 @@ impl RnsPoly {
         let hat_inv = self.basis.qhat_inv_mod_self();
         // v = Σ_j [a_j · q̂_j⁻¹ mod q_j] · q̂_j, then reduce mod Q.
         let mut acc = BigUint::zero();
-        for j in 0..self.basis.len() {
-            let _qj = self.basis.primes()[j];
-            let t = self.basis.reducers()[j].mul(self.residues[j][idx], hat_inv[j]);
+        for (j, &hi) in hat_inv.iter().enumerate() {
+            let t = self.basis.reducers()[j].mul(self.residues[j][idx], hi);
             let mut qhat = BigUint::one();
             for (i, &p) in self.basis.primes().iter().enumerate() {
                 if i != j {
@@ -465,7 +514,9 @@ mod tests {
     #[test]
     fn centered_reconstruction_handles_negatives() {
         let b = basis();
-        let coeffs: Vec<i64> = (0..16).map(|i| if i % 2 == 0 { -1000 } else { 1000 }).collect();
+        let coeffs: Vec<i64> = (0..16)
+            .map(|i| if i % 2 == 0 { -1000 } else { 1000 })
+            .collect();
         let x = RnsPoly::from_i64_coeffs(&b, &coeffs);
         assert_eq!(x.to_centered_coeffs(), coeffs);
     }
@@ -548,7 +599,11 @@ mod serde_impls {
                     return Err(D::Error::custom("unreduced residue"));
                 }
             }
-            Ok(RnsPoly::from_residues(&repr.basis, repr.residues, repr.form))
+            Ok(RnsPoly::from_residues(
+                &repr.basis,
+                repr.residues,
+                repr.form,
+            ))
         }
     }
 }

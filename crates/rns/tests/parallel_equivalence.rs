@@ -1,0 +1,115 @@
+//! Bit-exactness of the limb-parallel engine: every RNS kernel must
+//! produce identical outputs at one thread (the pre-engine serial path)
+//! and at many threads.
+//!
+//! The ring degree is 2048 with five primes so the payloads cross
+//! `poseidon_par::PAR_THRESHOLD` and the parallel dispatch actually runs;
+//! `with_threads` is thread-local, so pinning counts here cannot race the
+//! parallel test harness.
+
+use he_rns::conv::{moddown, modup, rescale, rns_convert};
+use he_rns::{RnsBasis, RnsPoly};
+use poseidon_par::with_threads;
+use proptest::prelude::*;
+
+const N: usize = 2048;
+
+fn bases() -> (RnsBasis, RnsBasis) {
+    let q = RnsBasis::generate(N, 28, 3);
+    let p = RnsBasis::new(N, he_math::prime::ntt_prime_chain(30, 2 * N as u64, 2));
+    (q, p)
+}
+
+/// Sparse signed coefficients: a handful of seeds expanded over N slots so
+/// case generation stays cheap at the large ring degree.
+fn arb_coeffs() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-(1i64 << 20)..(1i64 << 20), 16).prop_map(|seed| {
+        (0..N)
+            .map(|i| seed[i % seed.len()].wrapping_mul(i as i64 % 31 + 1))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ntt_round_trip_is_thread_count_invariant(coeffs in arb_coeffs()) {
+        let (q, _) = bases();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let serial = with_threads(1, || a.clone().into_eval());
+        let parallel = with_threads(8, || a.clone().into_eval());
+        prop_assert_eq!(&serial, &parallel);
+        let back_s = with_threads(1, || serial.clone().into_coeff());
+        let back_p = with_threads(8, || parallel.into_coeff());
+        prop_assert_eq!(&back_s, &back_p);
+        prop_assert_eq!(back_s, a);
+    }
+
+    #[test]
+    fn pointwise_ops_are_thread_count_invariant(a in arb_coeffs(), b in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a).into_eval();
+        let pb = RnsPoly::from_i64_coeffs(&q, &b).into_eval();
+        let mul_s = with_threads(1, || pa.mul(&pb));
+        let mul_p = with_threads(8, || pa.mul(&pb));
+        prop_assert_eq!(mul_s, mul_p);
+        let add_s = with_threads(1, || pa.add(&pb));
+        let add_p = with_threads(8, || pa.add(&pb));
+        prop_assert_eq!(add_s, add_p);
+        let sub_s = with_threads(1, || pa.sub(&pb));
+        let sub_p = with_threads(8, || pa.sub(&pb));
+        prop_assert_eq!(sub_s, sub_p);
+        let neg_s = with_threads(1, || pa.neg());
+        let neg_p = with_threads(8, || pa.neg());
+        prop_assert_eq!(neg_s, neg_p);
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_ops(a in arb_coeffs(), b in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a).into_eval();
+        let pb = RnsPoly::from_i64_coeffs(&q, &b).into_eval();
+        let mut acc = pa.clone();
+        with_threads(8, || acc.mul_assign(&pb));
+        prop_assert_eq!(&acc, &with_threads(1, || pa.mul(&pb)));
+        let mut acc = pa.clone();
+        with_threads(8, || acc.add_assign(&pb));
+        prop_assert_eq!(&acc, &with_threads(1, || pa.add(&pb)));
+    }
+
+    #[test]
+    fn basis_conversion_is_thread_count_invariant(coeffs in arb_coeffs()) {
+        let (q, p) = bases();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let conv_s = with_threads(1, || rns_convert(&a, &p));
+        let conv_p = with_threads(8, || rns_convert(&a, &p));
+        prop_assert_eq!(conv_s, conv_p);
+        let up_s = with_threads(1, || modup(&a, &p));
+        let up_p = with_threads(8, || modup(&a, &p));
+        prop_assert_eq!(&up_s, &up_p);
+        let down_s = with_threads(1, || moddown(&up_s, q.len()));
+        let down_p = with_threads(8, || moddown(&up_p, q.len()));
+        prop_assert_eq!(down_s, down_p);
+    }
+
+    #[test]
+    fn rescale_is_thread_count_invariant(coeffs in arb_coeffs()) {
+        let (q, _) = bases();
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let r_s = with_threads(1, || rescale(&a));
+        let r_p = with_threads(8, || rescale(&a));
+        prop_assert_eq!(r_s, r_p);
+    }
+
+    #[test]
+    fn automorphism_is_thread_count_invariant(coeffs in arb_coeffs(), ge in 0u64..5) {
+        let (q, _) = bases();
+        let two_n = 2 * N as u64;
+        let g = he_math::modops::pow_mod(5, ge, two_n);
+        let a = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let s = with_threads(1, || a.automorphism(g));
+        let p = with_threads(8, || a.automorphism(g));
+        prop_assert_eq!(s, p);
+    }
+}

@@ -119,11 +119,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = AcceleratorConfig::default();
-        c.lanes = 100;
+        let c = AcceleratorConfig {
+            lanes: 100,
+            ..AcceleratorConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AcceleratorConfig::default();
-        c.ntt_fusion_k = 0;
+        let c = AcceleratorConfig {
+            ntt_fusion_k: 0,
+            ..AcceleratorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -74,12 +74,7 @@ impl EnergyBreakdown {
 impl EnergyModel {
     /// Energy for `counts` element operations, `hbm_bytes` of traffic, and
     /// a run of `seconds`.
-    pub fn energy(
-        &self,
-        counts: &OperatorCounts,
-        hbm_bytes: u64,
-        seconds: f64,
-    ) -> EnergyBreakdown {
+    pub fn energy(&self, counts: &OperatorCounts, hbm_bytes: u64, seconds: f64) -> EnergyBreakdown {
         const PJ: f64 = 1e-12;
         // SBT issues attached to MM/NTT are inside those cores' figures;
         // only the standalone share (sign logic etc.) is counted here.

@@ -92,7 +92,11 @@ mod tests {
         // number of rounds over 32 channels × 256 B bursts.
         let l = layout();
         let bytes = HbmLayout::poly_bytes(1 << 16, 4);
-        assert!(l.imbalance(bytes) < 1e-9, "imbalance {}", l.imbalance(bytes));
+        assert!(
+            l.imbalance(bytes) < 1e-9,
+            "imbalance {}",
+            l.imbalance(bytes)
+        );
         let loads = l.channel_loads(bytes);
         assert!(loads.iter().all(|&b| b == loads[0]));
     }

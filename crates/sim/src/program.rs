@@ -125,8 +125,7 @@ pub fn parse(text: &str) -> Result<OpTrace, ParseProgramError> {
                 return Err(err(format!("unexpected token `{t}`")));
             }
         }
-        let components =
-            components.ok_or_else(|| err("missing `L=<components>`".into()))?;
+        let components = components.ok_or_else(|| err("missing `L=<components>`".into()))?;
         if !n.is_power_of_two() || n < 8 {
             return Err(err(format!("ring degree {n} must be a power of two ≥ 8")));
         }

@@ -116,14 +116,38 @@ pub struct Table7Row {
 
 /// The paper's Table VII.
 pub const TABLE7: [Table7Row; 8] = [
-    Table7Row { op: "HAdd", percent: [97.79, 97.69, 97.76, 63.29] },
-    Table7Row { op: "PMult", percent: [97.65, 97.15, 97.48, 97.48] },
-    Table7Row { op: "CMult", percent: [44.72, 55.55, 30.15, 72.35] },
-    Table7Row { op: "Keyswitch", percent: [36.8, 47.47, 42.05, 63.29] },
-    Table7Row { op: "Rotation", percent: [65.0, 32.39, 58.67, 48.67] },
-    Table7Row { op: "Rescale", percent: [26.16, 29.98, 26.83, 26.83] },
-    Table7Row { op: "Bootstrapping", percent: [46.39, 56.43, 52.18, 52.18] },
-    Table7Row { op: "Average", percent: [42.78, 51.99, 48.08, 59.07] },
+    Table7Row {
+        op: "HAdd",
+        percent: [97.79, 97.69, 97.76, 63.29],
+    },
+    Table7Row {
+        op: "PMult",
+        percent: [97.65, 97.15, 97.48, 97.48],
+    },
+    Table7Row {
+        op: "CMult",
+        percent: [44.72, 55.55, 30.15, 72.35],
+    },
+    Table7Row {
+        op: "Keyswitch",
+        percent: [36.8, 47.47, 42.05, 63.29],
+    },
+    Table7Row {
+        op: "Rotation",
+        percent: [65.0, 32.39, 58.67, 48.67],
+    },
+    Table7Row {
+        op: "Rescale",
+        percent: [26.16, 29.98, 26.83, 26.83],
+    },
+    Table7Row {
+        op: "Bootstrapping",
+        percent: [46.39, 56.43, 52.18, 52.18],
+    },
+    Table7Row {
+        op: "Average",
+        percent: [42.78, 51.99, 48.08, 59.07],
+    },
 ];
 
 /// The paper's Table VIII: automorphism core resources and latency.
@@ -143,8 +167,18 @@ pub struct Table8Row {
 /// and the HFAuto LUT/latency; the naive core's latency is one element per
 /// cycle, i.e. N cycles for a length-N vector at N = 2^16 per-lane-group).
 pub const TABLE8: [Table8Row; 2] = [
-    Table8Row { design: "Auto", ff: 88, lut: 1_100, latency_cycles: 65_536 },
-    Table8Row { design: "HFAuto", ff: 572, lut: 25_751, latency_cycles: 512 },
+    Table8Row {
+        design: "Auto",
+        ff: 88,
+        lut: 1_100,
+        latency_cycles: 65_536,
+    },
+    Table8Row {
+        design: "HFAuto",
+        ff: 572,
+        lut: 25_751,
+        latency_cycles: 512,
+    },
 ];
 
 #[cfg(test)]

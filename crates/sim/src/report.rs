@@ -154,7 +154,11 @@ impl Simulator {
         Report {
             seconds,
             hbm_bytes,
-            bandwidth_utilisation: if seconds > 0.0 { busy_weighted / seconds } else { 0.0 },
+            bandwidth_utilisation: if seconds > 0.0 {
+                busy_weighted / seconds
+            } else {
+                0.0
+            },
             time_by_op,
             utilisation_by_op,
             cycles_by_operator: cycles,
@@ -205,7 +209,10 @@ mod tests {
         let ntt = r.operator_share_percent(poseidon_core::Operator::Ntt);
         let ma = r.operator_share_percent(poseidon_core::Operator::Ma);
         let auto = r.operator_share_percent(poseidon_core::Operator::Automorphism);
-        assert!(mm + ntt > ma + auto, "mm={mm} ntt={ntt} ma={ma} auto={auto}");
+        assert!(
+            mm + ntt > ma + auto,
+            "mm={mm} ntt={ntt} ma={ma} auto={auto}"
+        );
     }
 
     #[test]

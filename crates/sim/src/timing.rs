@@ -76,9 +76,9 @@ pub fn hbm_words(op: BasicOp, p: &OpParams) -> u64 {
     let ct = 2 * l * n; // one ciphertext at this level
     let key_stream = 2 * p.dnum as u64 * (l + k) * n; // per-digit key pairs
     match op {
-        BasicOp::HAdd => 2 * ct + ct,                  // read 2 cts, write 1
-        BasicOp::PMult => ct + l * n + ct,             // ct + plaintext + out
-        BasicOp::CMult => 2 * ct + key_stream + ct,    // cts + relin keys + out
+        BasicOp::HAdd => 2 * ct + ct,               // read 2 cts, write 1
+        BasicOp::PMult => ct + l * n + ct,          // ct + plaintext + out
+        BasicOp::CMult => 2 * ct + key_stream + ct, // cts + relin keys + out
         BasicOp::Rescale => ct + 2 * (l.saturating_sub(1).max(1)) * n,
         BasicOp::Keyswitch => l * n + key_stream + ct, // poly + keys + out pair
         BasicOp::Rotation => ct + key_stream + ct,     // ct + galois keys + out

@@ -19,13 +19,30 @@ fn main() {
         let r = hf.run(&trace);
         let r_naive = naive.run(&trace);
         println!("=== {} ===", b.name());
-        println!("  time            : {:>10.2} ms (naive-Auto ablation: {:.2} ms, {:.1}x)",
-            r.millis(), r_naive.millis(), r_naive.seconds / r.seconds);
+        println!(
+            "  time            : {:>10.2} ms (naive-Auto ablation: {:.2} ms, {:.1}x)",
+            r.millis(),
+            r_naive.millis(),
+            r_naive.seconds / r.seconds
+        );
         println!("  HBM traffic     : {:>10.2} GB", r.hbm_bytes as f64 / 1e9);
-        println!("  bandwidth util  : {:>9.1} %", r.bandwidth_utilisation * 100.0);
-        println!("  energy          : {:>10.3} J   EDP: {:.3e} J*s", r.energy.total(), r.edp());
+        println!(
+            "  bandwidth util  : {:>9.1} %",
+            r.bandwidth_utilisation * 100.0
+        );
+        println!(
+            "  energy          : {:>10.3} J   EDP: {:.3e} J*s",
+            r.energy.total(),
+            r.edp()
+        );
         print!("  time by op      : ");
-        for op in [BasicOp::HAdd, BasicOp::PMult, BasicOp::CMult, BasicOp::Rotation, BasicOp::Rescale] {
+        for op in [
+            BasicOp::HAdd,
+            BasicOp::PMult,
+            BasicOp::CMult,
+            BasicOp::Rotation,
+            BasicOp::Rescale,
+        ] {
             let share = r.time_share_percent(op);
             if share > 0.05 {
                 print!("{} {:.1}%  ", op.name(), share);

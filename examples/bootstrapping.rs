@@ -26,14 +26,22 @@ fn main() {
     let message = [0.25f64, -0.5, 0.125, 0.4375];
     println!("message          : {message:?}");
     let z: Vec<Complex> = message.iter().map(|&v| Complex::new(v, 0.0)).collect();
-    let ct = keys.public().encrypt(&encode_for_bootstrap(&ctx, &z), &mut rng);
+    let ct = keys
+        .public()
+        .encrypt(&encode_for_bootstrap(&ctx, &z), &mut rng);
     println!("fresh level      : {}", ct.level());
 
     let exhausted = exhaust_to_level0(&eval, &ct);
-    println!("exhausted level  : {} (no multiplications left)", exhausted.level());
+    println!(
+        "exhausted level  : {} (no multiplications left)",
+        exhausted.level()
+    );
 
     let refreshed = bs.bootstrap(&eval, &keys, &exhausted);
-    println!("refreshed level  : {} (multiplications available again)", refreshed.level());
+    println!(
+        "refreshed level  : {} (multiplications available again)",
+        refreshed.level()
+    );
 
     // Prove it: square the refreshed ciphertext.
     let squared = eval.rescale(&eval.square(&refreshed, &keys));

@@ -25,7 +25,12 @@ fn main() {
 
     println!("\nHBM GB/s   time(ms)   bw-util");
     for p in sweeps::sweep_bandwidth(&trace, &[115.0, 230.0, 460.0, 920.0]) {
-        println!("{:<10} {:>9.2} {:>8.1}%", p.x, p.millis, p.bandwidth_utilisation * 100.0);
+        println!(
+            "{:<10} {:>9.2} {:>8.1}%",
+            p.x,
+            p.millis,
+            p.bandwidth_utilisation * 100.0
+        );
     }
 
     println!("\nkeyswitch digits (CMult, N=2^16, L=44):");
@@ -33,7 +38,11 @@ fn main() {
     for dnum in [1usize, 4, 11, 44] {
         let p = OpParams::with_dnum(1 << 16, 44, 2, dnum);
         let t = sim.time_single(BasicOp::CMult, &p);
-        println!("  dnum {dnum:>3}: {:>8.2} us, {:>7.1} MB keys+operands", t.seconds * 1e6, t.hbm_bytes as f64 / 1e6);
+        println!(
+            "  dnum {dnum:>3}: {:>8.2} us, {:>7.1} MB keys+operands",
+            t.seconds * 1e6,
+            t.hbm_bytes as f64 / 1e6
+        );
     }
     println!("\nThe paper's choices — 512 lanes, k = 3, 8.6 MB, dnum = 1 — sit at the");
     println!("knees of these curves, which is the point of its §VI discussion.");

@@ -34,9 +34,15 @@ fn main() {
     println!("  NTT  core retired {:>10} element-phases", u.ntt);
     println!("  Auto core retired {:>10} element mappings", u.auto);
     println!("  SBT  core retired {:>10} shared reductions", u.sbt);
-    assert!(u.sbt >= u.mm, "every MM must have issued a shared reduction");
+    assert!(
+        u.sbt >= u.mm,
+        "every MM must have issued a shared reduction"
+    );
 
     // The analytical decomposition predicts the same reuse pattern.
     let p = OpParams::new(n, 1, 1);
-    println!("\nanalytical Table-I row for PMult: {:?}", BasicOp::PMult.operator_counts(&p));
+    println!(
+        "\nanalytical Table-I row for PMult: {:?}",
+        BasicOp::PMult.operator_counts(&p)
+    );
 }

@@ -17,7 +17,8 @@ fn main() {
     // Client side: encrypt and serialise.
     let z = vec![Complex::new(3.0, 0.0), Complex::new(-1.5, 0.0)];
     let pt = Plaintext::new(
-        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
         ctx.default_scale(),
     );
     let ct = keys.public().encrypt(&pt, &mut rng);

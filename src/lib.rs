@@ -4,4 +4,5 @@ pub use he_math as math;
 pub use he_ntt as ntt;
 pub use he_rns as rns;
 pub use poseidon_core as core;
+pub use poseidon_par as par;
 pub use poseidon_sim as sim;

@@ -12,10 +12,16 @@ fn rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(0x5EED)
 }
 
-fn encrypt(ctx: &CkksContext, keys: &KeySet, rng: &mut rand::rngs::StdRng, vals: &[f64]) -> Ciphertext {
+fn encrypt(
+    ctx: &CkksContext,
+    keys: &KeySet,
+    rng: &mut rand::rngs::StdRng,
+    vals: &[f64],
+) -> Ciphertext {
     let z: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
     let pt = Plaintext::new(
-        ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
         ctx.default_scale(),
     );
     keys.public().encrypt(&pt, rng)
@@ -55,7 +61,11 @@ fn polynomial_pipeline_matches_plaintext_math() {
     let got = decrypt(&ctx, &keys, &out, 4);
     for i in 0..4 {
         let want = (xs[i] * ys[i] - xs[i]) * ys[i] + 2.0;
-        assert!((got[i] - want).abs() < 0.02, "slot {i}: {} vs {want}", got[i]);
+        assert!(
+            (got[i] - want).abs() < 0.02,
+            "slot {i}: {} vs {want}",
+            got[i]
+        );
     }
 }
 
