@@ -2,7 +2,7 @@
 //! baseline, measured on our own software library at paper-matched 32-bit
 //! datapath parameters).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use poseidon_bench::cpu_baseline::CpuHarness;
 
 fn bench_basic_ops(c: &mut Criterion) {
@@ -28,4 +28,15 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_basic_ops
 }
-criterion_main!(benches);
+
+// Manual main instead of `criterion_main!`: with `--features telemetry`
+// the bench run ends by exporting the accumulated scope snapshot as JSON,
+// so per-operation wall times land next to the library's internal spans.
+fn main() {
+    benches();
+    #[cfg(feature = "telemetry")]
+    println!(
+        "{}",
+        poseidon_telemetry::Registry::global().snapshot().to_json()
+    );
+}

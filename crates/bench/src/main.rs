@@ -1,7 +1,10 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics]`
+//!
+//! `tables metrics` (build with `--features telemetry`) prints the
+//! runtime per-operator telemetry for a HELR workload.
 //!
 //! Each regenerator prints the same rows/series the paper reports;
 //! `published` columns are the paper's own numbers, `model`/`measured`
@@ -49,6 +52,7 @@ fn main() {
     run("ablations", tables::ablations);
     run("parallel", tables::parallel_scaling);
     run("pipeline", tables::pipeline);
+    run("metrics", tables::metrics);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

@@ -707,3 +707,179 @@ pub fn run_program(path: &str) {
         }
     }
 }
+
+/// `tables metrics` without the `telemetry` feature: explain how to get
+/// the instrumented build instead of printing an empty report.
+#[cfg(not(feature = "telemetry"))]
+pub fn metrics() {
+    println!("telemetry is compiled out of this build (all probes are no-ops).");
+    println!("rebuild with:");
+    println!("  cargo run -p poseidon-bench --features telemetry --bin tables -- metrics");
+}
+
+/// The HELR scoring kernel written once against [`HomomorphicOps`]:
+/// PMult + rotate-fold dot product, bias add, then the cubic term of the
+/// HELR sigmoid (square + CMult). Runs identically on the evaluator and
+/// on the operator-pool machine.
+#[cfg(feature = "telemetry")]
+fn helr_kernel<B: poseidon_core::HomomorphicOps>(
+    backend: &mut B,
+    ctx: &he_ckks::context::CkksContext,
+    keys: &he_ckks::keys::KeySet,
+    x: &he_ckks::cipher::Ciphertext,
+    weights: &[f64],
+    bias: f64,
+) -> he_ckks::cipher::Ciphertext {
+    use he_ckks::cipher::Plaintext;
+    use he_ckks::encoding::Complex;
+    let enc = |z: &[Complex], scale: f64, level: usize| {
+        Plaintext::new(
+            ctx.encoder().encode_rns(&ctx.level_basis(level), z, scale),
+            scale,
+        )
+    };
+    let w: Vec<Complex> = weights.iter().map(|&w| Complex::new(w, 0.0)).collect();
+    let w_pt = enc(&w, ctx.default_scale(), x.level());
+    let wx = backend.mul_plain(x, &w_pt);
+    let mut acc = backend.rescale(&wx);
+    let mut step = 1;
+    while step < weights.len() {
+        let r = backend.rotate(&acc, step as i64, keys);
+        acc = backend.add(&acc, &r);
+        step *= 2;
+    }
+    let bias_pt = enc(&[Complex::new(bias, 0.0)], acc.scale(), acc.level());
+    let logit = backend.add_plain(&acc, &bias_pt);
+    let sq = backend.square(&logit, keys);
+    let z2 = backend.rescale(&sq);
+    let z_low = backend.drop_to_level(&logit, z2.level());
+    let prod = backend.mul(&z2, &z_low, keys);
+    backend.rescale(&prod)
+}
+
+/// `tables metrics`: runtime per-operator telemetry for a HELR scoring
+/// workload — the measured counterpart of the paper's Fig. 7 operator
+/// composition — plus every instrumented scope across the stack.
+///
+/// The report cross-checks the telemetry items against
+/// [`OperatorPool::usage`](poseidon_core::OperatorPool::usage) (they are
+/// two views over the same atomics, so agreement must be exact).
+#[cfg(feature = "telemetry")]
+pub fn metrics() {
+    use he_ckks::apps::LogisticModel;
+    use he_ckks::cipher::Plaintext;
+    use he_ckks::context::CkksContext;
+    use he_ckks::encoding::Complex;
+    use he_ckks::eval::Evaluator;
+    use he_ckks::keys::KeySet;
+    use he_ckks::params::CkksParams;
+    use poseidon_core::PoseidonMachine;
+    use rand::SeedableRng;
+
+    let ctx = CkksContext::new(CkksParams::small());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0E71);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    let weights = [0.4, -0.2, 0.1, 0.3];
+    let bias = 0.15;
+    let mut step = 1;
+    while step < weights.len() {
+        keys.add_rotation_key(step as i64, &mut rng);
+        step *= 2;
+    }
+    let features: Vec<Complex> = (0..weights.len())
+        .map(|i| Complex::new(0.3 + 0.1 * i as f64, 0.0))
+        .collect();
+    let pt = Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &features, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+
+    // Reference software run: full HELR sigmoid on the evaluator,
+    // populating the eval.* / keyswitch.* / rns.* / ntt.* scopes.
+    let eval = Evaluator::new(&ctx);
+    let model = LogisticModel::new(&weights, bias);
+    let _score = model.score(&eval, &keys, &ct);
+
+    // Machine run of the kernel through the shared trait: every element
+    // retired by an operator core is counted AND timed.
+    let mut machine = PoseidonMachine::new(&ctx, 256, 2);
+    let out = helr_kernel(&mut machine, &ctx, &keys, &ct, &weights, bias);
+    let got = {
+        let pt = keys.secret().decrypt(&out);
+        ctx.encoder()
+            .decode_rns(pt.poly(), pt.scale(), weights.len())[0]
+            .re
+    };
+    let logit: f64 = weights
+        .iter()
+        .zip(&[0.3, 0.4, 0.5, 0.6])
+        .map(|(w, x)| w * x)
+        .sum::<f64>()
+        + bias;
+    println!(
+        "workload          : HELR scoring, N=2^11, L={} (z3 check: {:.4} vs {:.4})",
+        ctx.max_level(),
+        got,
+        logit.powi(3)
+    );
+
+    println!("\n-- operator pool (machine HELR kernel, measured) --");
+    let usage = machine.usage();
+    let snap = machine.pool_mut().snapshot();
+    print!("{}", snap.to_text_table());
+    let mut exact = true;
+    for (scope, count) in [
+        ("pool.ma", usage.ma),
+        ("pool.mm", usage.mm),
+        ("pool.ntt", usage.ntt),
+        ("pool.auto", usage.auto),
+        ("pool.sbt", usage.sbt),
+    ] {
+        let items = snap.get(scope).map_or(0, |s| s.items);
+        if items != count {
+            exact = false;
+            println!("  MISMATCH {scope}: telemetry {items} != usage {count}");
+        }
+    }
+    println!(
+        "telemetry vs OperatorPool::usage(): {}",
+        if exact { "exact agreement" } else { "MISMATCH" }
+    );
+
+    // Fig. 7 shape: element share per operator, decomposition model vs
+    // the machine's measured counters for the same basic-op mix.
+    println!("\n-- operator composition, model vs measured (Fig. 7 shape) --");
+    let p = OpParams::new(ctx.n(), ctx.max_level() + 1, ctx.special_basis().len());
+    let kernel_ops = [
+        (BasicOp::PMult, 1u64),
+        (BasicOp::Rotation, 2),
+        (BasicOp::HAdd, 3),
+        (BasicOp::CMult, 2),
+        (BasicOp::Rescale, 3),
+    ];
+    let mut predicted = poseidon_core::OperatorCounts::ZERO;
+    for (op, times) in kernel_ops {
+        predicted += op.operator_counts(&p) * times;
+    }
+    let ptotal = predicted.total() as f64;
+    let mtotal = usage.total() as f64;
+    println!("{:<14} {:>9} {:>10}", "Operator", "model %", "measured %");
+    for op in Operator::ALL {
+        println!(
+            "{:<14} {:>8.1}% {:>9.1}%",
+            op.to_string(),
+            100.0 * predicted.get(op) as f64 / ptotal,
+            100.0 * usage.get(op) as f64 / mtotal,
+        );
+    }
+
+    println!("\n-- all instrumented scopes (global registry) --");
+    print!(
+        "{}",
+        poseidon_telemetry::Registry::global()
+            .snapshot()
+            .to_text_table()
+    );
+}

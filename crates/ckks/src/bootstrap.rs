@@ -30,6 +30,30 @@ use crate::keys::KeySet;
 use crate::polyeval::evaluate_monomial;
 use he_rns::RnsPoly;
 
+/// Telemetry scopes for the bootstrapping stages (items = slot count).
+/// With the `telemetry` feature off, this compiles away entirely.
+#[cfg(feature = "telemetry")]
+mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    macro_rules! scope_fn {
+        ($fn_name:ident, $scope:literal) => {
+            pub fn $fn_name() -> &'static Arc<Metric> {
+                static M: OnceLock<Arc<Metric>> = OnceLock::new();
+                M.get_or_init(|| Registry::global().scope($scope))
+            }
+        };
+    }
+
+    scope_fn!(modraise, "boot.modraise");
+    scope_fn!(subsum, "boot.subsum");
+    scope_fn!(c2s, "boot.c2s");
+    scope_fn!(evalmod, "boot.evalmod");
+    scope_fn!(s2c, "boot.s2c");
+    scope_fn!(total, "boot.total");
+}
+
 /// Degree-7 Taylor coefficients of sin(x).
 const SIN_COEFFS: [f64; 8] = [
     0.0,
@@ -187,6 +211,8 @@ impl Bootstrapper {
     /// Panics unless the ciphertext is at level 0.
     pub fn mod_raise(&self, ct: &Ciphertext) -> Ciphertext {
         assert_eq!(ct.level(), 0, "ModRaise expects an exhausted ciphertext");
+        #[cfg(feature = "telemetry")]
+        let _span = tel::modraise().span(self.slots as u64);
         let full = self.ctx.chain_basis();
         let raise = |p: &RnsPoly| {
             let centered = p.to_centered_coeffs();
@@ -236,6 +262,8 @@ impl Bootstrapper {
 
     /// SubSum: trace onto the sparse subring (step 2).
     pub fn subsum(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        #[cfg(feature = "telemetry")]
+        let _span = tel::subsum().span(self.slots as u64);
         let total = self.ctx.n() / 2;
         let mut acc = ct.clone();
         let mut s = self.slots;
@@ -255,6 +283,8 @@ impl Bootstrapper {
         keys: &KeySet,
         ct: &Ciphertext,
     ) -> (Ciphertext, Ciphertext) {
+        #[cfg(feature = "telemetry")]
+        let _span = tel::c2s().span(self.slots as u64);
         let conj = eval.conjugate(ct, keys);
         let rot_w = self.all_rotations(eval, keys, ct);
         let rot_cw = self.all_rotations(eval, keys, &conj);
@@ -277,6 +307,8 @@ impl Bootstrapper {
         low: &Ciphertext,
         high: &Ciphertext,
     ) -> Ciphertext {
+        #[cfg(feature = "telemetry")]
+        let _span = tel::s2c().span(self.slots as u64);
         let level = low.level().min(high.level());
         let scale = low.scale();
         let low = eval.adjust(low, level, scale);
@@ -292,6 +324,8 @@ impl Bootstrapper {
     /// EvalMod (step 4): approximates `x mod q_0` on the slot values of
     /// `ct`, accounting for the trace factor `D = N/(2n')`.
     pub fn eval_mod(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        #[cfg(feature = "telemetry")]
+        let _span = tel::evalmod().span(self.slots as u64);
         let r_pow = 2f64.powi(self.doublings as i32);
         // CoeffToSlot leaves slot *values* x = (m + q0·I)/Δ (the natural
         // at-scale-Δ representation), so the effective modulus seen by the
@@ -360,6 +394,8 @@ impl Bootstrapper {
     /// Panics if required rotation/conjugation keys are missing or the
     /// input is not at level 0.
     pub fn bootstrap(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        #[cfg(feature = "telemetry")]
+        let _span = tel::total().span(self.slots as u64);
         let raised = self.mod_raise(ct);
         let traced = self.subsum(eval, keys, &raised);
         let (low, high) = self.coeff_to_slot(eval, keys, &traced);

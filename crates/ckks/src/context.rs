@@ -5,6 +5,7 @@ use he_math::prime::is_prime;
 use he_rns::RnsBasis;
 
 use crate::encoding::Encoder;
+use crate::error::EvalError;
 use crate::params::CkksParams;
 
 /// Precomputed CKKS context.
@@ -33,12 +34,43 @@ pub struct CkksContext {
 impl CkksContext {
     /// Builds a context for validated parameters.
     ///
+    /// Thin wrapper over [`try_new`](Self::try_new) for callers that treat
+    /// bad parameters as a programming error.
+    ///
     /// # Panics
     ///
     /// Panics if the parameters fail [`CkksParams::validate`] or not enough
     /// NTT primes of the requested sizes exist.
     pub fn new(params: CkksParams) -> Self {
-        params.validate().expect("invalid CKKS parameters");
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a context, propagating parameter-validation failure as
+    /// [`EvalError::InvalidParams`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidParams`] when the parameters fail
+    /// [`CkksParams::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Still panics if not enough NTT primes of the requested sizes exist —
+    /// that depends on the prime landscape, not on user input shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use he_ckks::prelude::*;
+    /// let mut p = CkksParams::toy();
+    /// p.n = 12; // not a power of two
+    /// assert!(matches!(
+    ///     CkksContext::try_new(p),
+    ///     Err(EvalError::InvalidParams(_))
+    /// ));
+    /// ```
+    pub fn try_new(params: CkksParams) -> Result<Self, EvalError> {
+        params.validate().map_err(EvalError::InvalidParams)?;
         let n = params.n;
         let step = 2 * n as u64;
 
@@ -70,13 +102,13 @@ impl CkksContext {
         let special_basis = RnsBasis::new(n, special);
         let full_basis = chain_basis.concat(&special_basis);
         let encoder = Encoder::new(n);
-        Self {
+        Ok(Self {
             params,
             chain_basis,
             special_basis,
             full_basis,
             encoder,
-        }
+        })
     }
 
     /// The validated parameters.

@@ -1,0 +1,81 @@
+//! Typed errors for the fallible evaluation and construction paths.
+//!
+//! The panicking convenience methods ([`Evaluator::rotate`],
+//! [`Evaluator::conjugate`], [`CkksContext::new`]) are thin wrappers over
+//! `try_` counterparts returning these errors, so library users embedding
+//! the scheme in a service can handle missing keys or bad parameters
+//! without unwinding.
+//!
+//! [`Evaluator::rotate`]: crate::eval::Evaluator::rotate
+//! [`Evaluator::conjugate`]: crate::eval::Evaluator::conjugate
+//! [`CkksContext::new`]: crate::context::CkksContext::new
+
+use std::fmt;
+
+/// Why a homomorphic operation (or context construction) could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// No rotation key was generated for this step count
+    /// (see [`KeySet::add_rotation_key`]).
+    ///
+    /// [`KeySet::add_rotation_key`]: crate::keys::KeySet::add_rotation_key
+    MissingRotationKey {
+        /// The requested left-rotation step count.
+        steps: i64,
+    },
+    /// No conjugation key was generated
+    /// (see [`KeySet::add_conjugation_key`]).
+    ///
+    /// [`KeySet::add_conjugation_key`]: crate::keys::KeySet::add_conjugation_key
+    MissingConjugationKey,
+    /// No keyswitching key exists for the raw Galois element `g`.
+    MissingGaloisKey {
+        /// The Galois element `X ↦ X^g` that has no key.
+        g: u64,
+    },
+    /// Parameter validation failed ([`CkksParams::validate`]).
+    ///
+    /// [`CkksParams::validate`]: crate::params::CkksParams::validate
+    InvalidParams(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingRotationKey { steps } => {
+                write!(f, "missing rotation key for {steps} steps")
+            }
+            EvalError::MissingConjugationKey => write!(f, "missing conjugation key"),
+            EvalError::MissingGaloisKey { g } => {
+                write!(f, "missing Galois key for element {g}")
+            }
+            EvalError::InvalidParams(msg) => write!(f, "invalid CKKS parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_panic_messages() {
+        // The panicking wrappers format these errors, so the historical
+        // panic substrings (asserted by downstream should_panic tests)
+        // must survive verbatim.
+        assert_eq!(
+            EvalError::MissingRotationKey { steps: -3 }.to_string(),
+            "missing rotation key for -3 steps"
+        );
+        assert_eq!(
+            EvalError::MissingConjugationKey.to_string(),
+            "missing conjugation key"
+        );
+        assert!(EvalError::InvalidParams("n must be a power of two".into())
+            .to_string()
+            .starts_with("invalid CKKS parameters"));
+    }
+}

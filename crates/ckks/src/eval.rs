@@ -17,7 +17,37 @@ use he_rns::RnsPoly;
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::encoding::Complex;
+use crate::error::EvalError;
 use crate::keys::{KeySet, KeySwitchKey};
+
+/// Per-`Evaluator` telemetry handles, resolved from the global registry
+/// once at construction so the hot paths never touch the registry lock.
+/// Cloning an evaluator shares the handles (and thus the counters).
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone)]
+struct EvalMetrics {
+    mul: std::sync::Arc<poseidon_telemetry::Metric>,
+    keyswitch: std::sync::Arc<poseidon_telemetry::Metric>,
+    digit: std::sync::Arc<poseidon_telemetry::Metric>,
+    rotate: std::sync::Arc<poseidon_telemetry::Metric>,
+    conjugate: std::sync::Arc<poseidon_telemetry::Metric>,
+    rescale: std::sync::Arc<poseidon_telemetry::Metric>,
+}
+
+#[cfg(feature = "telemetry")]
+impl EvalMetrics {
+    fn resolve() -> Self {
+        let r = poseidon_telemetry::Registry::global();
+        Self {
+            mul: r.scope("eval.mul"),
+            keyswitch: r.scope("eval.keyswitch"),
+            digit: r.scope("keyswitch.digit"),
+            rotate: r.scope("eval.rotate"),
+            conjugate: r.scope("eval.conjugate"),
+            rescale: r.scope("eval.rescale"),
+        }
+    }
+}
 
 /// Stateless evaluator bound to a context.
 ///
@@ -37,6 +67,8 @@ use crate::keys::{KeySet, KeySwitchKey};
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     ctx: CkksContext,
+    #[cfg(feature = "telemetry")]
+    tel: EvalMetrics,
 }
 
 impl From<he_rns::RnsPoly> for Plaintext {
@@ -50,7 +82,11 @@ impl From<he_rns::RnsPoly> for Plaintext {
 impl Evaluator {
     /// Creates an evaluator for `ctx`.
     pub fn new(ctx: &CkksContext) -> Self {
-        Self { ctx: ctx.clone() }
+        Self {
+            ctx: ctx.clone(),
+            #[cfg(feature = "telemetry")]
+            tel: EvalMetrics::resolve(),
+        }
     }
 
     /// The bound context.
@@ -149,6 +185,8 @@ impl Evaluator {
     /// Result scale is Δ_a · Δ_b; rescale afterwards.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
         let (a, b) = self.align(a, b);
+        #[cfg(feature = "telemetry")]
+        let _span = self.tel.mul.span(((a.level() + 1) * self.ctx.n()) as u64);
         let a0 = a.c0().clone().into_eval();
         let a1 = a.c1().clone().into_eval();
         let b0 = b.c0().clone().into_eval();
@@ -164,6 +202,8 @@ impl Evaluator {
     ///
     /// [`mul`]: Self::mul
     pub fn square(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        #[cfg(feature = "telemetry")]
+        let _span = self.tel.mul.span(((a.level() + 1) * self.ctx.n()) as u64);
         let a0 = a.c0().clone().into_eval();
         let a1 = a.c1().clone().into_eval();
         let d0 = a0.mul(&a0).into_coeff();
@@ -185,6 +225,8 @@ impl Evaluator {
         let level = d.level_count() - 1;
         let ext_basis = self.ctx.level_basis(level).concat(self.ctx.special_basis());
         let n = d.basis().n();
+        #[cfg(feature = "telemetry")]
+        let _span = self.tel.keyswitch.span(((level + 1) * n) as u64);
 
         // Digits are independent until the final accumulation, so the digit
         // loop dispatches across the limb-parallel engine (each worker runs
@@ -193,6 +235,8 @@ impl Evaluator {
         // reuse the key-slice allocations via `mul_assign`.
         let digit_weight = ext_basis.len() * n;
         let (p0s, p1s) = poseidon_par::par_map_unzip(level + 1, digit_weight, |j| {
+            #[cfg(feature = "telemetry")]
+            let _digit = self.tel.digit.span(digit_weight as u64);
             // Exact lift of the single-prime residue vector to ext_basis.
             let t = d.residues(j);
             let residues: Vec<Vec<u64>> = ext_basis
@@ -247,6 +291,11 @@ impl Evaluator {
     /// Panics at level 0 (no prime left to drop).
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
         assert!(a.level() >= 1, "cannot rescale at level 0");
+        #[cfg(feature = "telemetry")]
+        let _span = self
+            .tel
+            .rescale
+            .span(((a.level() + 1) * self.ctx.n()) as u64);
         let dropped = *a.c0().basis().primes().last().expect("non-empty") as f64;
         Ciphertext::new(
             rns_rescale(a.c0()),
@@ -363,29 +412,106 @@ impl Evaluator {
         Ciphertext::new(t0.add(&k0), k1, a.scale())
     }
 
+    /// Fallible [`apply_galois`] that looks the keyswitching key up in
+    /// `keys` by its raw Galois element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::MissingGaloisKey`] if no key for `g` exists.
+    ///
+    /// [`apply_galois`]: Self::apply_galois
+    pub fn try_apply_galois(
+        &self,
+        a: &Ciphertext,
+        g: u64,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let key = keys
+            .galois_key(g)
+            .ok_or(EvalError::MissingGaloisKey { g })?;
+        Ok(self.apply_galois(a, g, key))
+    }
+
     /// Rotation (paper Rotation): left-rotates the slot vector by `steps`
     /// (automorphism with `g = 5^steps` + keyswitch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::MissingRotationKey`] if no rotation key for
+    /// `steps` was generated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use he_ckks::prelude::*;
+    /// use he_ckks::encoding::Complex;
+    /// let ctx = CkksContext::new(CkksParams::toy());
+    /// let mut rng = rand::thread_rng();
+    /// let keys = KeySet::generate(&ctx, &mut rng); // no rotation keys
+    /// let eval = Evaluator::new(&ctx);
+    /// let pt = Plaintext::new(
+    ///     ctx.encoder().encode_rns(ctx.chain_basis(), &[Complex::new(1.0, 0.0)], ctx.default_scale()),
+    ///     ctx.default_scale(),
+    /// );
+    /// let ct = keys.public().encrypt(&pt, &mut rng);
+    /// assert!(matches!(
+    ///     eval.try_rotate(&ct, 1, &keys),
+    ///     Err(EvalError::MissingRotationKey { steps: 1 })
+    /// ));
+    /// ```
+    pub fn try_rotate(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let g = keys.galois_element(steps);
+        let key = keys
+            .galois_key(g)
+            .ok_or(EvalError::MissingRotationKey { steps })?;
+        #[cfg(feature = "telemetry")]
+        let _span = self
+            .tel
+            .rotate
+            .span(((a.level() + 1) * self.ctx.n()) as u64);
+        Ok(self.apply_galois(a, g, key))
+    }
+
+    /// Panicking wrapper over [`try_rotate`](Self::try_rotate).
     ///
     /// # Panics
     ///
     /// Panics if the rotation key for `steps` is missing.
     pub fn rotate(&self, a: &Ciphertext, steps: i64, keys: &KeySet) -> Ciphertext {
-        let g = keys.galois_element(steps);
-        let key = keys
-            .galois_key(g)
-            .unwrap_or_else(|| panic!("missing rotation key for {steps} steps"));
-        self.apply_galois(a, g, key)
+        self.try_rotate(a, steps, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Complex conjugation of every slot (`g = 2N − 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::MissingConjugationKey`] if no conjugation key
+    /// was generated.
+    pub fn try_conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        let g = keys.conjugation_element();
+        let key = keys.galois_key(g).ok_or(EvalError::MissingConjugationKey)?;
+        #[cfg(feature = "telemetry")]
+        let _span = self
+            .tel
+            .conjugate
+            .span(((a.level() + 1) * self.ctx.n()) as u64);
+        Ok(self.apply_galois(a, g, key))
+    }
+
+    /// Panicking wrapper over [`try_conjugate`](Self::try_conjugate).
     ///
     /// # Panics
     ///
     /// Panics if the conjugation key is missing.
     pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        let g = keys.conjugation_element();
-        let key = keys.galois_key(g).expect("missing conjugation key");
-        self.apply_galois(a, g, key)
+        self.try_conjugate(a, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -584,6 +710,45 @@ mod tests {
         let lc = eval.linear_combination(&[a, b], &[0.5, 3.0]);
         let got = decrypt(&ctx, &keys, &lc, 1);
         assert!((got[0] - (-2.0)).abs() < 0.02, "{}", got[0]);
+    }
+
+    #[test]
+    fn try_rotate_reports_missing_key() {
+        let (ctx, keys, eval, mut rng) = setup(); // no rotation keys generated
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0]);
+        match eval.try_rotate(&a, 5, &keys) {
+            Err(EvalError::MissingRotationKey { steps }) => assert_eq!(steps, 5),
+            other => panic!("expected MissingRotationKey, got {other:?}"),
+        }
+        assert!(matches!(
+            eval.try_conjugate(&a, &keys),
+            Err(EvalError::MissingConjugationKey)
+        ));
+        let g = keys.galois_element(5);
+        assert!(matches!(
+            eval.try_apply_galois(&a, g, &keys),
+            Err(EvalError::MissingGaloisKey { .. })
+        ));
+    }
+
+    #[test]
+    fn try_rotate_succeeds_with_key() {
+        let (ctx, mut keys, eval, mut rng) = setup();
+        keys.add_rotation_key(1, &mut rng);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64).collect();
+        let a = encrypt(&ctx, &keys, &mut rng, &vals);
+        let rot = eval.try_rotate(&a, 1, &keys).expect("key present");
+        let got = decrypt(&ctx, &keys, &rot, slots);
+        assert!((got[0] - vals[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing rotation key for 3 steps")]
+    fn rotate_wrapper_keeps_legacy_panic_message() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0]);
+        let _ = eval.rotate(&a, 3, &keys);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod bootstrap;
 pub mod cipher;
 pub mod context;
 pub mod encoding;
+pub mod error;
 pub mod eval;
 pub mod keys;
 pub mod linear;
@@ -60,6 +61,7 @@ pub mod prelude {
     pub use crate::cipher::{Ciphertext, Plaintext};
     pub use crate::context::CkksContext;
     pub use crate::encoding::Encoder;
+    pub use crate::error::EvalError;
     pub use crate::eval::Evaluator;
     pub use crate::keys::{KeySet, PublicKey, SecretKey};
     pub use crate::params::CkksParams;

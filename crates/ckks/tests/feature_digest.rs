@@ -1,0 +1,68 @@
+//! Bit-exactness digest for the `telemetry` feature gate.
+//!
+//! Telemetry probes must never perturb the arithmetic: a build with the
+//! feature enabled and one without must produce bit-identical ciphertexts
+//! for the same seeded pipeline. A single test binary cannot hold both
+//! configurations, so this test digests a keyswitch + rotate pipeline and
+//! writes the digest to `$POSEIDON_DIGEST_FILE` when set; CI runs it once
+//! per configuration and diffs the two files (see `.github/workflows`).
+
+use he_ckks::cipher::{Ciphertext, Plaintext};
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+use he_ckks::eval::Evaluator;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use rand::SeedableRng;
+
+/// FNV-1a over every residue word of both ciphertext components.
+fn digest(ct: &Ciphertext) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for poly in [ct.c0(), ct.c1()] {
+        for row in poly.all_residues() {
+            for &v in row {
+                eat(v);
+            }
+        }
+    }
+    h
+}
+
+fn run_pipeline() -> Ciphertext {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD16E57);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    keys.add_rotation_key(1, &mut rng);
+    let eval = Evaluator::new(&ctx);
+    let encrypt = |v: f64, rng: &mut rand::rngs::StdRng| {
+        let z = vec![Complex::new(v, 0.0)];
+        let pt = Plaintext::new(
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        keys.public().encrypt(&pt, rng)
+    };
+    let a = encrypt(1.25, &mut rng);
+    let b = encrypt(-0.5, &mut rng);
+    // Keyswitch-bearing mul, rescale, then a keyswitch-bearing rotation.
+    let prod = eval.mul(&a, &b, &keys);
+    let scaled = eval.rescale(&prod);
+    eval.rotate(&scaled, 1, &keys)
+}
+
+#[test]
+fn keyswitch_rotate_pipeline_digest_is_deterministic() {
+    let d1 = digest(&run_pipeline());
+    let d2 = digest(&run_pipeline());
+    assert_eq!(d1, d2, "seeded pipeline must be deterministic in-process");
+    if let Ok(path) = std::env::var("POSEIDON_DIGEST_FILE") {
+        std::fs::write(&path, format!("{d1:016x}\n")).expect("write digest file");
+    }
+}

@@ -20,11 +20,15 @@
 //! * [`pool`] — the operator pool: one functional core per operator with
 //!   reuse counters, executing real arithmetic through the substrate crates
 //!   (the software analogue of Fig. 2's shared cores).
+//! * [`ops`] — [`HomomorphicOps`], the basic-operation surface shared by
+//!   the evaluator, the trace recorder, and the machine, so one workload
+//!   definition drives any backend.
 
 pub mod auto;
 pub mod decompose;
 pub mod machine;
 pub mod operator;
+pub mod ops;
 pub mod pool;
 pub mod recorder;
 
@@ -32,4 +36,5 @@ pub use auto::HfAuto;
 pub use decompose::{BasicOp, OpParams};
 pub use machine::PoseidonMachine;
 pub use operator::{Operator, OperatorCounts};
+pub use ops::HomomorphicOps;
 pub use pool::OperatorPool;

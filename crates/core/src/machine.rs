@@ -11,6 +11,7 @@
 
 use he_ckks::cipher::{Ciphertext, Plaintext};
 use he_ckks::context::CkksContext;
+use he_ckks::error::EvalError;
 use he_ckks::keys::{KeySet, KeySwitchKey};
 use he_rns::{Form, RnsBasis, RnsPoly};
 
@@ -148,6 +149,44 @@ impl PoseidonMachine {
         )
     }
 
+    /// Drops a ciphertext to a lower level by modulus truncation — a pure
+    /// data movement, no operator-core traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the current level.
+    pub fn drop_to_level(&mut self, ct: &Ciphertext, level: usize) -> Ciphertext {
+        assert!(level <= ct.level(), "cannot raise level by truncation");
+        if level == ct.level() {
+            return ct.clone();
+        }
+        Ciphertext::new(
+            ct.c0().truncate_basis(level + 1),
+            ct.c1().truncate_basis(level + 1),
+            ct.scale(),
+        )
+    }
+
+    /// HSub: subtraction on both components (HAdd operator cost class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ.
+    pub fn hsub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.level(), b.level(), "align levels before the machine");
+        Ciphertext::new(
+            self.sub_poly(a.c0(), b.c0()),
+            self.sub_poly(a.c1(), b.c1()),
+            a.scale(),
+        )
+    }
+
+    /// HAdd ct+pt: adds `m` to `c_0` only, through the MA core.
+    pub fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let m = pt.poly().truncate_basis(a.level() + 1);
+        Ciphertext::new(self.add_poly(a.c0(), &m), a.c1().clone(), a.scale())
+    }
+
     /// PMult: NTT the operands, MM, INTT back (scale multiplies).
     pub fn pmult(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let m = self.ntt_poly(&pt.poly().truncate_basis(a.level() + 1));
@@ -280,20 +319,72 @@ impl PoseidonMachine {
         )
     }
 
+    /// Squaring, executed as [`cmult`](Self::cmult) of `a` with itself.
+    pub fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.cmult(a, a, keys)
+    }
+
     /// Rotation: HFAuto on both components, then keyswitch back to `s`.
     ///
     /// # Panics
     ///
     /// Panics if the rotation key is missing.
     pub fn rotate(&mut self, a: &Ciphertext, steps: i64, keys: &KeySet) -> Ciphertext {
+        self.try_rotate(a, steps, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`rotate`](Self::rotate): returns
+    /// [`EvalError::MissingRotationKey`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingRotationKey`] when no Galois key for `steps`
+    /// has been generated.
+    pub fn try_rotate(
+        &mut self,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
         let g = keys.galois_element(steps);
         let key = keys
             .galois_key(g)
-            .unwrap_or_else(|| panic!("missing rotation key for {steps} steps"));
+            .ok_or(EvalError::MissingRotationKey { steps })?;
         let t0 = self.auto_poly(a.c0(), g);
         let t1 = self.auto_poly(a.c1(), g);
         let (k0, k1) = self.keyswitch(&t1, key);
-        Ciphertext::new(self.add_poly(&t0, &k0), k1, a.scale())
+        Ok(Ciphertext::new(self.add_poly(&t0, &k0), k1, a.scale()))
+    }
+
+    /// Conjugation (rotation cost class): the conjugation automorphism on
+    /// both components, then keyswitch back to `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conjugation key is missing.
+    pub fn conjugate(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_conjugate(a, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`conjugate`](Self::conjugate).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingConjugationKey`] when the conjugation key has
+    /// not been generated.
+    pub fn try_conjugate(
+        &mut self,
+        a: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let g = keys.conjugation_element();
+        let key = keys.galois_key(g).ok_or(EvalError::MissingConjugationKey)?;
+        let t0 = self.auto_poly(a.c0(), g);
+        let t1 = self.auto_poly(a.c1(), g);
+        let (k0, k1) = self.keyswitch(&t1, key);
+        Ok(Ciphertext::new(self.add_poly(&t0, &k0), k1, a.scale()))
     }
 
     /// Rescale through the MA/MM cascade: subtract the last component's

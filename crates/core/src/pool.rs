@@ -9,11 +9,56 @@
 
 use he_math::BarrettReducer;
 use he_ntt::{FusedNtt, NttTable};
+#[cfg(not(feature = "telemetry"))]
 use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::auto::HfAuto;
 use crate::operator::{Operator, OperatorCounts};
+
+/// Instance-local metric bundle backing the usage counters when telemetry
+/// is on. The metrics are *unregistered* ([`poseidon_telemetry::Metric::new`])
+/// so concurrent pools (the default test harness runs pools in parallel)
+/// keep exact per-instance counts; [`OperatorPool::snapshot`] exports them
+/// under the `pool.*` scope names.
+#[cfg(feature = "telemetry")]
+#[derive(Debug)]
+struct PoolMetrics {
+    ma: std::sync::Arc<poseidon_telemetry::Metric>,
+    mm: std::sync::Arc<poseidon_telemetry::Metric>,
+    ntt: std::sync::Arc<poseidon_telemetry::Metric>,
+    auto: std::sync::Arc<poseidon_telemetry::Metric>,
+    sbt: std::sync::Arc<poseidon_telemetry::Metric>,
+}
+
+#[cfg(feature = "telemetry")]
+impl PoolMetrics {
+    fn new() -> Self {
+        use poseidon_telemetry::Metric;
+        Self {
+            ma: Metric::new(),
+            mm: Metric::new(),
+            ntt: Metric::new(),
+            auto: Metric::new(),
+            sbt: Metric::new(),
+        }
+    }
+
+    fn metric(&self, op: Operator) -> &poseidon_telemetry::Metric {
+        match op {
+            Operator::Ma => &self.ma,
+            Operator::Mm => &self.mm,
+            Operator::Ntt => &self.ntt,
+            Operator::Automorphism => &self.auto,
+            Operator::Sbt => &self.sbt,
+        }
+    }
+}
+
+/// Inert stand-in for [`poseidon_telemetry::Span`] when telemetry is
+/// compiled out, so `retire()` call sites bind a guard either way.
+#[cfg(not(feature = "telemetry"))]
+struct NoSpan;
 
 /// A pool of the five operator cores for one `(N, lanes, fusion-k)`
 /// configuration, serving any modulus (tables are cached per prime).
@@ -39,7 +84,10 @@ pub struct OperatorPool {
     tables: HashMap<u64, (NttTable, FusedNtt)>,
     reducers: HashMap<u64, BarrettReducer>,
     auto: HfAuto,
+    #[cfg(not(feature = "telemetry"))]
     usage: Cell<OperatorCounts>,
+    #[cfg(feature = "telemetry")]
+    metrics: PoolMetrics,
 }
 
 impl OperatorPool {
@@ -62,7 +110,10 @@ impl OperatorPool {
             tables: HashMap::new(),
             reducers: HashMap::new(),
             auto: HfAuto::new(n, lanes.min(n)),
+            #[cfg(not(feature = "telemetry"))]
             usage: Cell::new(OperatorCounts::ZERO),
+            #[cfg(feature = "telemetry")]
+            metrics: PoolMetrics::new(),
         }
     }
 
@@ -79,25 +130,82 @@ impl OperatorPool {
     }
 
     /// Cumulative element operations retired per operator core.
+    ///
+    /// With the `telemetry` feature on this is a *view* over the pool's
+    /// instance-local metrics — the same counters [`snapshot`] exports —
+    /// so the two can never disagree.
+    ///
+    /// [`snapshot`]: Self::snapshot
     pub fn usage(&self) -> OperatorCounts {
-        self.usage.get()
+        #[cfg(not(feature = "telemetry"))]
+        {
+            self.usage.get()
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            OperatorCounts {
+                ma: self.metrics.ma.items(),
+                mm: self.metrics.mm.items(),
+                ntt: self.metrics.ntt.items(),
+                auto: self.metrics.auto.items(),
+                sbt: self.metrics.sbt.items(),
+            }
+        }
     }
 
     /// Resets the usage counters.
     pub fn reset_usage(&mut self) {
+        #[cfg(not(feature = "telemetry"))]
         self.usage.set(OperatorCounts::ZERO);
+        #[cfg(feature = "telemetry")]
+        for op in Operator::ALL {
+            self.metrics.metric(op).reset();
+        }
+    }
+
+    /// Exports this pool's counters as a snapshot under the `pool.*` scope
+    /// names (`pool.ma`, `pool.mm`, `pool.ntt`, `pool.auto`, `pool.sbt`),
+    /// with per-core busy time and latency histograms.
+    #[cfg(feature = "telemetry")]
+    pub fn snapshot(&self) -> poseidon_telemetry::Snapshot {
+        poseidon_telemetry::Snapshot::from_metrics([
+            ("pool.ma", &*self.metrics.ma),
+            ("pool.mm", &*self.metrics.mm),
+            ("pool.ntt", &*self.metrics.ntt),
+            ("pool.auto", &*self.metrics.auto),
+            ("pool.sbt", &*self.metrics.sbt),
+        ])
     }
 
     fn bump(&self, op: Operator, elems: u64) {
-        let mut u = self.usage.get();
-        match op {
-            Operator::Ma => u.ma += elems,
-            Operator::Mm => u.mm += elems,
-            Operator::Ntt => u.ntt += elems,
-            Operator::Automorphism => u.auto += elems,
-            Operator::Sbt => u.sbt += elems,
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let mut u = self.usage.get();
+            match op {
+                Operator::Ma => u.ma += elems,
+                Operator::Mm => u.mm += elems,
+                Operator::Ntt => u.ntt += elems,
+                Operator::Automorphism => u.auto += elems,
+                Operator::Sbt => u.sbt += elems,
+            }
+            self.usage.set(u);
         }
-        self.usage.set(u);
+        #[cfg(feature = "telemetry")]
+        self.metrics.metric(op).add(elems);
+    }
+
+    /// Counts `elems` element ops on `op`'s core; with telemetry on, the
+    /// returned guard also times the enclosing region into the core's
+    /// metric (the no-telemetry variant returns an inert guard).
+    #[cfg(feature = "telemetry")]
+    fn retire(&self, op: Operator, elems: u64) -> poseidon_telemetry::Span<'_> {
+        self.metrics.metric(op).span(elems)
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    fn retire(&self, op: Operator, elems: u64) -> NoSpan {
+        self.bump(op, elems);
+        NoSpan
     }
 
     fn reducer(&mut self, q: u64) -> BarrettReducer {
@@ -122,7 +230,7 @@ impl OperatorPool {
     /// Panics on length mismatch.
     pub fn ma(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
         assert_eq!(a.len(), b.len(), "operand length mismatch");
-        self.bump(Operator::Ma, a.len() as u64);
+        let _op = self.retire(Operator::Ma, a.len() as u64);
         a.iter()
             .zip(b)
             .map(|(&x, &y)| he_math::modops::add_mod(x, y, q))
@@ -138,7 +246,7 @@ impl OperatorPool {
     pub fn mm(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
         assert_eq!(a.len(), b.len(), "operand length mismatch");
         let red = self.reducer(q);
-        self.bump(Operator::Mm, a.len() as u64);
+        let _op = self.retire(Operator::Mm, a.len() as u64);
         self.bump(Operator::Sbt, a.len() as u64);
         a.iter().zip(b).map(|(&x, &y)| red.mul(x, y)).collect()
     }
@@ -151,11 +259,11 @@ impl OperatorPool {
     pub fn ntt(&mut self, data: &mut [u64], q: u64) {
         self.ensure_tables(q);
         let (_, fused) = &self.tables[&q];
-        fused.forward(data);
         let phases = fused.phases() as u64;
-        self.bump(Operator::Ntt, data.len() as u64 * phases);
+        let _op = self.retire(Operator::Ntt, data.len() as u64 * phases);
         // One shared reduction per element per fused phase.
         self.bump(Operator::Sbt, data.len() as u64 * phases);
+        fused.forward(data);
     }
 
     /// INTT core (inverse transform; same counting as forward).
@@ -166,10 +274,10 @@ impl OperatorPool {
     pub fn intt(&mut self, data: &mut [u64], q: u64) {
         self.ensure_tables(q);
         let (table, fused) = &self.tables[&q];
-        table.inverse(data);
         let phases = fused.phases() as u64;
-        self.bump(Operator::Ntt, data.len() as u64 * phases);
+        let _op = self.retire(Operator::Ntt, data.len() as u64 * phases);
         self.bump(Operator::Sbt, data.len() as u64 * phases);
+        table.inverse(data);
     }
 
     /// Automorphism core (HFAuto schedule).
@@ -178,7 +286,7 @@ impl OperatorPool {
     ///
     /// Panics if `data.len() != N` or `g` is even.
     pub fn automorphism(&mut self, data: &[u64], g: u64, q: u64) -> Vec<u64> {
-        self.bump(Operator::Automorphism, data.len() as u64);
+        let _op = self.retire(Operator::Automorphism, data.len() as u64);
         self.bump(Operator::Sbt, data.len() as u64); // sign comparisons
         self.auto.apply(data, g, q)
     }
@@ -209,7 +317,7 @@ impl OperatorPool {
     /// Panics on length mismatch.
     pub fn sub(&mut self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
         assert_eq!(a.len(), b.len(), "operand length mismatch");
-        self.bump(Operator::Ma, a.len() as u64);
+        let _op = self.retire(Operator::Ma, a.len() as u64);
         a.iter()
             .zip(b)
             .map(|(&x, &y)| he_math::modops::sub_mod(x, y, q))
@@ -221,7 +329,7 @@ impl OperatorPool {
     pub fn mm_scalar(&mut self, a: &[u64], s: u64, q: u64) -> Vec<u64> {
         let red = self.reducer(q);
         let s = s % q;
-        self.bump(Operator::Mm, a.len() as u64);
+        let _op = self.retire(Operator::Mm, a.len() as u64);
         self.bump(Operator::Sbt, a.len() as u64);
         a.iter().map(|&x| red.mul(x, s)).collect()
     }
@@ -233,7 +341,7 @@ impl OperatorPool {
     /// Panics on length mismatch.
     pub fn ma_acc(&mut self, acc: &mut [u64], a: &[u64], q: u64) {
         assert_eq!(acc.len(), a.len(), "operand length mismatch");
-        self.bump(Operator::Ma, a.len() as u64);
+        let _op = self.retire(Operator::Ma, a.len() as u64);
         for (x, &y) in acc.iter_mut().zip(a) {
             *x = he_math::modops::add_mod(*x, y, q);
         }

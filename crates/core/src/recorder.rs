@@ -9,6 +9,7 @@
 use std::cell::RefCell;
 
 use he_ckks::cipher::{Ciphertext, Plaintext};
+use he_ckks::error::EvalError;
 use he_ckks::eval::Evaluator;
 use he_ckks::keys::KeySet;
 
@@ -125,10 +126,38 @@ impl RecordingEvaluator {
         self.inner.rotate(a, steps, keys)
     }
 
+    /// Recorded fallible rotation: nothing is recorded when the key is
+    /// missing (the operation never executed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError::MissingRotationKey`] from the evaluator.
+    pub fn try_rotate(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_rotate(a, steps, keys)?;
+        self.record(BasicOp::Rotation, a);
+        Ok(out)
+    }
+
     /// Recorded conjugation (Rotation cost class).
     pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
         self.record(BasicOp::Rotation, a);
         self.inner.conjugate(a, keys)
+    }
+
+    /// Recorded fallible conjugation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError::MissingConjugationKey`] from the evaluator.
+    pub fn try_conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_conjugate(a, keys)?;
+        self.record(BasicOp::Rotation, a);
+        Ok(out)
     }
 }
 

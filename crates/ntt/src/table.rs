@@ -4,6 +4,25 @@ use he_math::modops::{inv_mod_prime, pow_mod};
 use he_math::prime::root_of_unity;
 use he_math::{BarrettReducer, ShoupMul};
 
+/// Telemetry scopes for the transform hot paths. Resolved once into
+/// statics; with the `telemetry` feature off, the module and every call
+/// site compile away.
+#[cfg(feature = "telemetry")]
+mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    pub fn forward() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("ntt.forward"))
+    }
+
+    pub fn inverse() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("ntt.inverse"))
+    }
+}
+
 /// Precomputed transform tables for one `(N, q)` pair.
 ///
 /// Holds the powers of the 2N-th primitive root ψ (and its inverse) in
@@ -117,6 +136,8 @@ impl NttTable {
     /// [`inverse`]: Self::inverse
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal N");
+        #[cfg(feature = "telemetry")]
+        let _span = tel::forward().span(self.n as u64);
         crate::negacyclic::forward_in_place(a, &self.psi_rev, self.q);
     }
 
@@ -127,6 +148,8 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal N");
+        #[cfg(feature = "telemetry")]
+        let _span = tel::inverse().span(self.n as u64);
         crate::negacyclic::inverse_in_place(a, &self.inv_psi_rev, &self.n_inv, self.q);
     }
 

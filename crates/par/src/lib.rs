@@ -43,6 +43,32 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod scratch;
 
+/// Telemetry scopes for the dispatch layer. `par.dispatch` spans each
+/// parallel fan-out (items = team size), `par.serial` counts dispatches
+/// that fell below the cutoff (items = item count), and `par.worker`
+/// accumulates per-worker busy time (items = chunk length). With the
+/// `telemetry` feature off, the module and every call site compile away.
+#[cfg(feature = "telemetry")]
+mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    pub fn dispatch() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("par.dispatch"))
+    }
+
+    pub fn serial() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("par.serial"))
+    }
+
+    pub fn worker() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("par.worker"))
+    }
+}
+
 /// Dispatches whose total work (items × per-item weight) falls below this
 /// many "element operations" run serially: thread spawn costs tens of
 /// microseconds, so a parallel dispatch must bring at least that much work
@@ -214,12 +240,16 @@ where
     let n = items.len();
     let t = team_size(n, weight);
     if t <= 1 {
+        #[cfg(feature = "telemetry")]
+        tel::serial().add(n as u64);
         let _guard = WorkerGuard::enter();
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
         }
         return;
     }
+    #[cfg(feature = "telemetry")]
+    let _dispatch = tel::dispatch().span(t as u64);
     let bounds = chunk_bounds(n, t);
     std::thread::scope(|s| {
         let f = &f;
@@ -237,12 +267,16 @@ where
             consumed += chunk.len();
             s.spawn(move || {
                 let _guard = WorkerGuard::enter();
+                #[cfg(feature = "telemetry")]
+                let _busy = tel::worker().span(chunk.len() as u64);
                 for (off, item) in chunk.iter_mut().enumerate() {
                     f(base + off, item);
                 }
             });
         }
         let _guard = WorkerGuard::enter();
+        #[cfg(feature = "telemetry")]
+        let _busy = tel::worker().span(first.len() as u64);
         for (i, item) in first.iter_mut().enumerate() {
             f(i, item);
         }
@@ -260,9 +294,13 @@ where
 {
     let t = team_size(n, weight);
     if t <= 1 {
+        #[cfg(feature = "telemetry")]
+        tel::serial().add(n as u64);
         let _guard = WorkerGuard::enter();
         return (0..n).map(f).collect();
     }
+    #[cfg(feature = "telemetry")]
+    let _dispatch = tel::dispatch().span(t as u64);
     let bounds = chunk_bounds(n, t);
     let mut out = Vec::with_capacity(n);
     std::thread::scope(|s| {
@@ -272,12 +310,16 @@ where
             .map(|&(start, end)| {
                 s.spawn(move || {
                     let _guard = WorkerGuard::enter();
+                    #[cfg(feature = "telemetry")]
+                    let _busy = tel::worker().span((end - start) as u64);
                     (start..end).map(f).collect::<Vec<U>>()
                 })
             })
             .collect();
         {
             let _guard = WorkerGuard::enter();
+            #[cfg(feature = "telemetry")]
+            let _busy = tel::worker().span((bounds[0].1 - bounds[0].0) as u64);
             out.extend((bounds[0].0..bounds[0].1).map(f));
         }
         for h in handles {

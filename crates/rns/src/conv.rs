@@ -50,6 +50,8 @@ pub fn rns_convert(a: &RnsPoly, target: &RnsBasis) -> RnsPoly {
     assert_eq!(a.basis().n(), target.n(), "ring degrees must match");
     let src = a.basis();
     let n = src.n();
+    #[cfg(feature = "telemetry")]
+    let _span = crate::tel::convert().span((src.len() * n) as u64);
     let hat_inv = src.qhat_inv_mod_self();
     let hat_in_target = src.qhat_mod_other(target);
 
@@ -116,6 +118,8 @@ pub fn moddown(a: &RnsPoly, q_len: usize) -> RnsPoly {
     assert_eq!(a.form(), Form::Coeff, "Moddown operates on coefficients");
     let total = a.level_count();
     assert!(q_len >= 1 && q_len < total, "q_len must split the basis");
+    #[cfg(feature = "telemetry")]
+    let _span = crate::tel::moddown().span((total * a.n()) as u64);
     let q_basis = a.basis().prefix(q_len);
     let p_primes = a.basis().primes()[q_len..].to_vec();
     let p_basis = RnsBasis::new(a.basis().n(), p_primes);
@@ -139,6 +143,8 @@ pub fn rescale(a: &RnsPoly) -> RnsPoly {
     assert_eq!(a.form(), Form::Coeff, "Rescale operates on coefficients");
     let l = a.level_count();
     assert!(l >= 2, "cannot rescale a single-prime polynomial");
+    #[cfg(feature = "telemetry")]
+    let _span = crate::tel::rescale().span((l * a.basis().n()) as u64);
     let last_prime = a.basis().primes()[l - 1];
     let lower = a.basis().prefix(l - 1);
     let last = a.residues(l - 1);

@@ -31,5 +31,37 @@ pub mod basis;
 pub mod conv;
 pub mod poly;
 
+/// Telemetry scopes for the RNS kernels. With the `telemetry` feature off,
+/// the module and every call site compile away.
+#[cfg(feature = "telemetry")]
+pub(crate) mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    /// Element-wise limb loops: add/sub/neg/mul/scalar-mul (items = limbs·N).
+    pub fn pointwise() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("rns.pointwise"))
+    }
+
+    /// Fast basis conversion, paper Eq. 1 (items = source limbs·N).
+    pub fn convert() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("rns.convert"))
+    }
+
+    /// Moddown, paper Eq. 2 (items = full-basis limbs·N).
+    pub fn moddown() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("rns.moddown"))
+    }
+
+    /// RNS rescale kernel (items = limbs·N).
+    pub fn rescale() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("rescale"))
+    }
+}
+
 pub use basis::RnsBasis;
 pub use poly::{Form, RnsPoly};

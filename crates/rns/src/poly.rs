@@ -178,6 +178,8 @@ impl RnsPoly {
     pub fn add(&self, other: &Self) -> Self {
         self.assert_compatible(other);
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let primes = self.basis.primes();
         let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
             let q = primes[j];
@@ -201,6 +203,8 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &Self) {
         self.assert_compatible(other);
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let primes = self.basis.primes();
         poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
             let q = primes[j];
@@ -214,6 +218,8 @@ impl RnsPoly {
     pub fn sub(&self, other: &Self) -> Self {
         self.assert_compatible(other);
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let primes = self.basis.primes();
         let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
             let q = primes[j];
@@ -233,6 +239,8 @@ impl RnsPoly {
     /// Negation.
     pub fn neg(&self) -> Self {
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let primes = self.basis.primes();
         let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
             let q = primes[j];
@@ -255,6 +263,8 @@ impl RnsPoly {
         self.assert_compatible(other);
         assert_eq!(self.form, Form::Eval, "ring product requires eval form");
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let reducers = self.basis.reducers();
         let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
             let red = &reducers[j];
@@ -280,6 +290,8 @@ impl RnsPoly {
         self.assert_compatible(other);
         assert_eq!(self.form, Form::Eval, "ring product requires eval form");
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let reducers = self.basis.reducers();
         poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
             let red = &reducers[j];
@@ -298,6 +310,8 @@ impl RnsPoly {
     pub fn mul_scalar_per_prime(&self, scalars: &[u64]) -> Self {
         assert_eq!(scalars.len(), self.basis.len(), "one scalar per prime");
         let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
         let reducers = self.basis.reducers();
         let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
             let red = &reducers[j];

@@ -1,0 +1,519 @@
+//! Observability substrate for the Poseidon software stack.
+//!
+//! The paper's whole evaluation is *measured* per-operator behaviour:
+//! operator usage per basic operation (Table I), per-operation time
+//! breakdowns (Figs 7–9), bandwidth utilisation (Table VII). This crate is
+//! the measurement layer those regenerators sit on when they run against
+//! the functional library instead of the analytical model.
+//!
+//! Three primitives, all `std`-only and lock-free on the hot path:
+//!
+//! * [`Metric`] — an atomic bundle per named scope: an event counter, an
+//!   element (work-item) counter, a monotonic busy-time accumulator, and a
+//!   fixed-bucket log₂ latency [`Histogram`].
+//! * [`Span`] — an RAII timer guard ([`Metric::span`]): measures one timed
+//!   region with `Instant` and folds duration + element count into the
+//!   metric on drop. [`Metric::add`] is the timer-free variant for pure
+//!   counting (the operator-pool path).
+//! * [`Registry`] — a thread-safe name → `Arc<Metric>` map. The process
+//!   global ([`Registry::global`]) is what instrumented crates use; handles
+//!   (`Arc<Metric>`) are grabbed once (per `Evaluator`, per static) so the
+//!   hot path never touches the map lock.
+//!
+//! [`Snapshot`] captures the registry (or any metric set) at an instant and
+//! renders to an aligned text table or JSON (hand-rolled — this crate has
+//! zero dependencies by design, matching the offline build).
+//!
+//! Scope naming convention is dotted lower-case paths mirroring the layers:
+//! `ntt.forward`, `rns.convert`, `rescale`, `keyswitch.digit`, `eval.mul`,
+//! `auto.hfauto`, `pool.mm`, `par.dispatch`, `boot.evalmod`.
+//!
+//! Instrumented crates gate every call site behind their own `telemetry`
+//! cargo feature; with the feature off the sites compile away entirely, so
+//! this crate is only ever linked when observability was asked for.
+//!
+//! # Examples
+//!
+//! ```
+//! use poseidon_telemetry::Registry;
+//! let m = Registry::global().scope("example.work");
+//! {
+//!     let _span = m.span(64); // 64 elements processed in this region
+//!     let _ = (0..64u64).sum::<u64>();
+//! }
+//! let snap = Registry::global().snapshot();
+//! let s = snap.get("example.work").unwrap();
+//! assert_eq!(s.count, 1);
+//! assert_eq!(s.items, 64);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of latency buckets: bucket `i` holds durations `d` with
+/// `⌊log₂ d_ns⌋ = i`, saturating at the last bucket (≈ 2.1 s and above).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Fixed-bucket log₂-nanosecond latency histogram.
+///
+/// Recording is a single relaxed atomic increment; there is no dynamic
+/// allocation after construction. Bucket `i` covers `[2^i, 2^{i+1})` ns.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// Bucket index for a duration in nanoseconds.
+    #[inline]
+    pub fn bucket_index(nanos: u64) -> usize {
+        (63 - nanos.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bucket counts.
+    pub fn counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The per-scope metric bundle: event count, element count, busy nanos,
+/// and a latency histogram of span durations.
+///
+/// All four update with relaxed atomics — cross-scope consistency is not
+/// needed (snapshots are diagnostic, not transactional), and the counters
+/// themselves are exact.
+#[derive(Debug, Default)]
+pub struct Metric {
+    count: AtomicU64,
+    items: AtomicU64,
+    nanos: AtomicU64,
+    hist: Histogram,
+}
+
+impl Metric {
+    /// A fresh, unregistered metric (instance-local counters — the
+    /// operator pool uses these so each pool keeps exact per-instance
+    /// counts regardless of how many pools a process holds).
+    pub fn new() -> Arc<Metric> {
+        Arc::new(Metric::default())
+    }
+
+    /// Counts one event covering `items` elements, without timing.
+    #[inline]
+    pub fn add(&self, items: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Opens a timed span covering `items` elements; the drop of the
+    /// returned guard records the duration.
+    #[inline]
+    pub fn span(&self, items: u64) -> Span<'_> {
+        Span {
+            metric: self,
+            items,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records a completed region measured by the caller.
+    #[inline]
+    pub fn record_nanos(&self, items: u64, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.hist.record(nanos);
+    }
+
+    /// Times `f` as one span.
+    #[inline]
+    pub fn time<R>(&self, items: u64, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(items);
+        f()
+    }
+
+    /// Events recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Elements recorded so far.
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// Total busy nanoseconds recorded so far.
+    pub fn nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Zeroes the metric (counters and histogram).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.items.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+        self.hist.reset();
+    }
+
+    /// Captures the metric under a scope name.
+    pub fn stats(&self, name: &str) -> ScopeStats {
+        ScopeStats {
+            name: name.to_string(),
+            count: self.count(),
+            items: self.items(),
+            nanos: self.nanos(),
+            buckets: self.hist.counts(),
+        }
+    }
+}
+
+/// RAII guard of one timed region (see [`Metric::span`]).
+#[derive(Debug)]
+pub struct Span<'a> {
+    metric: &'a Metric,
+    items: u64,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.metric.record_nanos(self.items, nanos);
+    }
+}
+
+/// Thread-safe name → metric map.
+///
+/// Scope lookup takes a mutex, so instrumented code resolves its scopes
+/// once (into a static or a per-object handle) and then runs lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    scopes: Mutex<BTreeMap<String, Arc<Metric>>>,
+}
+
+impl Registry {
+    /// A fresh private registry (tests, per-subsystem isolation).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry every instrumented crate records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Resolves (creating on first use) the metric for `name`.
+    pub fn scope(&self, name: &str) -> Arc<Metric> {
+        let mut map = self.scopes.lock().expect("telemetry registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Registers an externally created metric under `name` (used to expose
+    /// instance-local counters, e.g. one operator pool's, in a snapshot
+    /// namespace). Replaces any previous metric of that name.
+    pub fn register(&self, name: &str, metric: Arc<Metric>) {
+        let mut map = self.scopes.lock().expect("telemetry registry poisoned");
+        map.insert(name.to_string(), metric);
+    }
+
+    /// Names currently registered, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let map = self.scopes.lock().expect("telemetry registry poisoned");
+        map.keys().cloned().collect()
+    }
+
+    /// Zeroes every registered metric (registrations survive).
+    pub fn reset(&self) {
+        let map = self.scopes.lock().expect("telemetry registry poisoned");
+        for m in map.values() {
+            m.reset();
+        }
+    }
+
+    /// Captures all scopes at this instant.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.scopes.lock().expect("telemetry registry poisoned");
+        Snapshot {
+            scopes: map.iter().map(|(n, m)| m.stats(n)).collect(),
+        }
+    }
+}
+
+/// One scope's captured statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeStats {
+    /// Scope name (dotted path).
+    pub name: String,
+    /// Events (spans or `add` calls).
+    pub count: u64,
+    /// Elements covered by those events.
+    pub items: u64,
+    /// Total busy nanoseconds (0 for untimed counters).
+    pub nanos: u64,
+    /// Latency histogram bucket counts (log₂-ns buckets).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl ScopeStats {
+    /// Mean span duration in nanoseconds (0 when untimed or empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile from the histogram: the upper bound (ns) of
+    /// the bucket containing the `q`-quantile observation, or 0 if empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << HIST_BUCKETS
+    }
+}
+
+/// A point-in-time capture of a metric set, renderable as text or JSON.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Captured scopes, sorted by name.
+    pub scopes: Vec<ScopeStats>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from explicit `(name, metric)` pairs (sorted by
+    /// name) — how instance-local metric groups export themselves.
+    pub fn from_metrics<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a Metric)>) -> Snapshot {
+        let mut scopes: Vec<ScopeStats> = pairs.into_iter().map(|(n, m)| m.stats(n)).collect();
+        scopes.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { scopes }
+    }
+
+    /// Stats for one scope, if present.
+    pub fn get(&self, name: &str) -> Option<&ScopeStats> {
+        self.scopes.iter().find(|s| s.name == name)
+    }
+
+    /// Scopes whose name starts with `prefix` (e.g. `"pool."`).
+    pub fn with_prefix(&self, prefix: &str) -> Vec<&ScopeStats> {
+        self.scopes
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// The scope-by-scope difference `self − earlier` (counters only;
+    /// histograms subtract bucket-wise, saturating at zero). Scopes absent
+    /// from `earlier` pass through unchanged.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let scopes = self
+            .scopes
+            .iter()
+            .map(|s| {
+                let Some(e) = earlier.get(&s.name) else {
+                    return s.clone();
+                };
+                let mut buckets = [0u64; HIST_BUCKETS];
+                for (o, (&a, &b)) in buckets.iter_mut().zip(s.buckets.iter().zip(&e.buckets)) {
+                    *o = a.saturating_sub(b);
+                }
+                ScopeStats {
+                    name: s.name.clone(),
+                    count: s.count.saturating_sub(e.count),
+                    items: s.items.saturating_sub(e.items),
+                    nanos: s.nanos.saturating_sub(e.nanos),
+                    buckets,
+                }
+            })
+            .collect();
+        Snapshot { scopes }
+    }
+
+    /// Renders an aligned text table (one row per non-empty scope).
+    pub fn to_text_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>16} {:>12} {:>10} {:>10} {:>10}\n",
+            "scope", "count", "items", "total ms", "mean us", "p50 us", "p99 us"
+        ));
+        for s in &self.scopes {
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<20} {:>12} {:>16} {:>12.3} {:>10.2} {:>10.2} {:>10.2}\n",
+                s.name,
+                s.count,
+                s.items,
+                s.nanos as f64 / 1e6,
+                s.mean_nanos() as f64 / 1e3,
+                s.quantile_nanos(0.5) as f64 / 1e3,
+                s.quantile_nanos(0.99) as f64 / 1e3,
+            ));
+        }
+        out
+    }
+
+    /// Renders JSON (hand-rolled: scope names are internal identifiers,
+    /// so only basic string escaping is applied).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\"scopes\":[");
+        for (i, s) in self.scopes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = s.buckets.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"items\":{},\"nanos\":{},\"buckets\":[{}]}}",
+                esc(&s.name),
+                s.count,
+                s.items,
+                s.nanos,
+                buckets.join(",")
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0); // clamped to 1 ns
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn metric_accumulates_and_resets() {
+        let m = Metric::new();
+        m.add(10);
+        m.add(5);
+        m.record_nanos(3, 1500);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.items(), 18);
+        assert_eq!(m.nanos(), 1500);
+        assert_eq!(m.histogram().counts()[Histogram::bucket_index(1500)], 1);
+        m.reset();
+        assert_eq!((m.count(), m.items(), m.nanos()), (0, 0, 0));
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let m = Metric::new();
+        {
+            let _s = m.span(7);
+        }
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.items(), 7);
+        // Even an empty region takes ≥ 0 ns; the histogram gained one entry.
+        assert_eq!(m.histogram().counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn registry_shares_scopes_by_name() {
+        let r = Registry::new();
+        let a = r.scope("x.y");
+        let b = r.scope("x.y");
+        a.add(3);
+        assert_eq!(b.items(), 3);
+        assert_eq!(r.names(), vec!["x.y".to_string()]);
+        r.reset();
+        assert_eq!(b.items(), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_and_lookup() {
+        let r = Registry::new();
+        r.scope("a").add(4);
+        let early = r.snapshot();
+        r.scope("a").add(6);
+        r.scope("b").record_nanos(1, 100);
+        let later = r.snapshot();
+        let d = later.since(&early);
+        assert_eq!(d.get("a").unwrap().items, 6);
+        assert_eq!(d.get("a").unwrap().count, 1);
+        assert_eq!(d.get("b").unwrap().nanos, 100);
+        assert_eq!(d.with_prefix("a").len(), 1);
+    }
+
+    #[test]
+    fn quantiles_use_bucket_upper_bounds() {
+        let m = Metric::new();
+        for _ in 0..99 {
+            m.record_nanos(1, 100); // bucket 6: [64, 128)
+        }
+        m.record_nanos(1, 1 << 20); // one ~1 ms outlier
+        let s = m.stats("q");
+        assert_eq!(s.quantile_nanos(0.5), 1 << 7);
+        assert_eq!(s.quantile_nanos(0.99), 1 << 7);
+        assert_eq!(s.quantile_nanos(1.0), 1 << 21);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let r = Registry::new();
+        r.scope("ntt.forward").record_nanos(1024, 2_000_000);
+        r.scope("empty.scope"); // zero-count scopes are hidden in text
+        let snap = r.snapshot();
+        let t = snap.to_text_table();
+        assert!(t.contains("ntt.forward"));
+        assert!(!t.contains("empty.scope"));
+        let j = snap.to_json();
+        assert!(j.starts_with("{\"scopes\":["));
+        assert!(j.contains("\"name\":\"empty.scope\""));
+        assert!(j.contains("\"nanos\":2000000"));
+    }
+
+    #[test]
+    fn from_metrics_sorts_by_name() {
+        let a = Metric::new();
+        let b = Metric::new();
+        a.add(1);
+        b.add(2);
+        let snap = Snapshot::from_metrics([("z.last", &*a), ("a.first", &*b)]);
+        assert_eq!(snap.scopes[0].name, "a.first");
+        assert_eq!(snap.scopes[1].name, "z.last");
+    }
+}
