@@ -1,7 +1,7 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|hoisting]`
 //!
 //! `tables metrics` (build with `--features telemetry`) prints the
 //! runtime per-operator telemetry for a HELR workload.
@@ -53,6 +53,7 @@ fn main() {
     run("parallel", tables::parallel_scaling);
     run("pipeline", tables::pipeline);
     run("metrics", tables::metrics);
+    run("hoisting", tables::hoisting);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

@@ -717,6 +717,215 @@ pub fn metrics() {
     println!("  cargo run -p poseidon-bench --features telemetry --bin tables -- metrics");
 }
 
+/// `tables hoisting` without the `telemetry` feature: the NTT counters the
+/// report is built from are compiled out, so point at the right build.
+#[cfg(not(feature = "telemetry"))]
+pub fn hoisting() {
+    println!("telemetry is compiled out of this build (all probes are no-ops).");
+    println!("rebuild with:");
+    println!("  cargo run -p poseidon-bench --features telemetry --bin tables -- hoisting");
+}
+
+/// `tables hoisting`: measured `ntt.forward` counts for 8-rotation
+/// workloads under three key-switch regimes — the seed path (per-call
+/// rotations, key slices forward-NTT'd on every call), the per-call path
+/// with the eval-form key cache, and the hoisted batch engine — so the
+/// saving the hoisting engine claims is a counter readout, not an
+/// estimate. Every variant's ciphertexts are asserted bit-identical
+/// before the counts are printed.
+#[cfg(feature = "telemetry")]
+pub fn hoisting() {
+    use he_ckks::cipher::{Ciphertext, Plaintext};
+    use he_ckks::context::CkksContext;
+    use he_ckks::encoding::Complex;
+    use he_ckks::eval::Evaluator;
+    use he_ckks::keys::{KeySet, KeySwitchKey};
+    use he_ckks::linear::PlainMatrix;
+    use he_ckks::params::CkksParams;
+    use poseidon_telemetry::{Registry, Snapshot};
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    // Dim 32 with a 24-wide band (diagonals 24..32 zero) gives BSGS
+    // exactly 8 rotations: baby steps 1..5 plus giant steps 6, 12, 18
+    // (the two all-zero giant blocks are skipped).
+    const DIM: usize = 32;
+    const BAND: usize = 24;
+    let ctx = CkksContext::new(CkksParams::paper_32bit(1 << 12, 4));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0157);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    let key_steps: Vec<i64> = (1..=8).chain([12, 18]).collect();
+    for &s in &key_steps {
+        keys.add_rotation_key(s, &mut rng);
+    }
+    let eval = Evaluator::new(&ctx);
+    let z: Vec<Complex> = (0..DIM)
+        .map(|i| Complex::new(0.3 + 0.05 * i as f64, 0.0))
+        .collect();
+    let pt = Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+
+    // Seed-path keys: the eval-form cache stripped, so every keyswitch
+    // re-runs the slice + forward-NTT the cache was built to remove.
+    let stripped: HashMap<i64, (u64, KeySwitchKey)> = key_steps
+        .iter()
+        .map(|&s| {
+            let g = keys.galois_element(s);
+            let key = keys
+                .galois_key(g)
+                .expect("rotation key")
+                .without_eval_cache();
+            (s, (g, key))
+        })
+        .collect();
+    let seed_rotate = |a: &Ciphertext, s: i64| {
+        let (g, key) = &stripped[&s];
+        eval.apply_galois(a, *g, key)
+    };
+
+    let reg = Registry::global();
+    let fwd = |d: &Snapshot| d.get("ntt.forward").map_or(0, |s| s.count);
+    let hoists = |d: &Snapshot| d.get("keyswitch.hoist").map_or(0, |s| s.count);
+    let saved = |d: &Snapshot| d.get("keyswitch.saved_ntt").map_or(0, |s| s.items);
+    let measure = |f: &mut dyn FnMut() -> Vec<Ciphertext>| -> (Vec<Ciphertext>, Snapshot) {
+        let before = reg.snapshot();
+        let out = f();
+        (out, reg.snapshot().since(&before))
+    };
+
+    println!(
+        "N=2^12, L={} (4 chain primes + 1 special); counts are ntt.forward invocations",
+        ctx.max_level()
+    );
+
+    // -- 8 rotations of one ciphertext ------------------------------------
+    let steps: Vec<i64> = (1..=8).collect();
+    let (r_seed, d_seed) = measure(&mut || steps.iter().map(|&s| seed_rotate(&ct, s)).collect());
+    let (r_cached, d_cached) =
+        measure(&mut || steps.iter().map(|&s| eval.rotate(&ct, s, &keys)).collect());
+    let (r_hoist, d_hoist) = measure(&mut || eval.rotate_many(&ct, &steps, &keys));
+    assert_eq!(r_seed, r_cached, "key cache changed rotation bits");
+    assert_eq!(r_cached, r_hoist, "hoisted batch changed rotation bits");
+
+    println!("\n-- 8 rotations of one ciphertext (bit-identical outputs) --");
+    println!(
+        "{:<34} {:>12} {:>8} {:>12}",
+        "variant", "ntt.forward", "hoists", "saved NTTs"
+    );
+    for (name, d) in [
+        ("seed path (slice+NTT keys)", &d_seed),
+        ("eval-form key cache, per call", &d_cached),
+        ("hoisted batch (rotate_many)", &d_hoist),
+    ] {
+        println!(
+            "{:<34} {:>12} {:>8} {:>12}",
+            name,
+            fwd(d),
+            hoists(d),
+            saved(d)
+        );
+    }
+    println!(
+        "forward-NTT reduction: {:.1}x vs seed, {:.1}x vs per-call  (acceptance: >= 2x)",
+        fwd(&d_seed) as f64 / fwd(&d_hoist) as f64,
+        fwd(&d_cached) as f64 / fwd(&d_hoist) as f64,
+    );
+
+    // -- 8-rotation BSGS matvec -------------------------------------------
+    // The unhoisted reference replays `PlainMatrix::apply_bsgs` with the
+    // seed-path rotation for every baby and giant step; the hoisted run is
+    // the shipped method. Both produce identical ciphertexts, so the NTT
+    // delta is pure dataflow.
+    let m = PlainMatrix::new(
+        (0..DIM)
+            .map(|i| {
+                (0..DIM)
+                    .map(|j| {
+                        if (j + DIM - i) % DIM < BAND {
+                            Complex::new(((i * 7 + j * 3) % 7) as f64 * 0.05 - 0.15, 0.0)
+                        } else {
+                            Complex::new(0.0, 0.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+    let bsgs_seed = |v: &Ciphertext| -> Ciphertext {
+        let bs = (DIM as f64).sqrt().ceil() as usize;
+        let gs = DIM.div_ceil(bs);
+        let scale = eval.context().default_scale();
+        let mut baby = vec![v.clone()];
+        for b in 1..bs {
+            baby.push(seed_rotate(v, b as i64));
+        }
+        let mut acc: Option<Ciphertext> = None;
+        for g in 0..gs {
+            let mut inner: Option<Ciphertext> = None;
+            for (b, ct_b) in baby.iter().enumerate().take(bs) {
+                let d = g * bs + b;
+                // Same zero-diagonal skip as `apply_bsgs`.
+                if d >= DIM || m.diagonal(d).iter().all(|c| c.abs() < 1e-300) {
+                    continue;
+                }
+                let shift = g * bs;
+                let diag: Vec<Complex> = (0..DIM)
+                    .map(|i| m.diagonal(d)[(i + DIM - shift) % DIM])
+                    .collect();
+                let pt = eval.encode_at_level(&diag, scale, ct_b.level());
+                let term = eval.mul_plain(ct_b, &pt);
+                match &mut inner {
+                    None => inner = Some(term),
+                    Some(a) => eval.add_assign(a, &term),
+                }
+            }
+            if let Some(inner) = inner {
+                let shifted = if g == 0 {
+                    inner
+                } else {
+                    seed_rotate(&inner, (g * bs) as i64)
+                };
+                match &mut acc {
+                    None => acc = Some(shifted),
+                    Some(a) => eval.add_assign(a, &shifted),
+                }
+            }
+        }
+        eval.rescale(&acc.expect("non-zero matrix"))
+    };
+    let (v_seed, b_seed) = measure(&mut || vec![bsgs_seed(&ct)]);
+    let (v_hoist, b_hoist) = measure(&mut || vec![m.apply_bsgs(&eval, &keys, &ct)]);
+    assert_eq!(v_seed, v_hoist, "hoisted BSGS changed matvec bits");
+
+    println!("\n-- 8-rotation BSGS matvec, dim 32, band 24 (bit-identical outputs) --");
+    println!(
+        "{:<34} {:>12} {:>8} {:>12}",
+        "variant", "ntt.forward", "hoists", "saved NTTs"
+    );
+    println!(
+        "{:<34} {:>12} {:>8} {:>12}",
+        "seed path (per-call, no cache)",
+        fwd(&b_seed),
+        hoists(&b_seed),
+        saved(&b_seed)
+    );
+    println!(
+        "{:<34} {:>12} {:>8} {:>12}",
+        "hoisted (apply_bsgs)",
+        fwd(&b_hoist),
+        hoists(&b_hoist),
+        saved(&b_hoist)
+    );
+    println!(
+        "forward-NTT reduction: {:.2}x vs seed  (acceptance: >= 2x)",
+        fwd(&b_seed) as f64 / fwd(&b_hoist) as f64,
+    );
+}
+
 /// The HELR scoring kernel written once against [`HomomorphicOps`]:
 /// PMult + rotate-fold dot product, bias add, then the cubic term of the
 /// HELR sigmoid (square + CMult). Runs identically on the evaluator and

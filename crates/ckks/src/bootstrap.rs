@@ -242,21 +242,25 @@ impl Bootstrapper {
             }
             let pt = eval.encode_at_level(&diag, scale, ct_d.level());
             let term = eval.mul_plain(ct_d, &pt);
-            acc = Some(match acc {
-                None => term,
-                Some(a) => eval.add(&a, &term),
-            });
+            match &mut acc {
+                None => acc = Some(term),
+                Some(a) => eval.add_assign(a, &term),
+            }
         }
         eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))
     }
 
     /// All left-rotations `0..n'` of a ciphertext (index 0 = the input).
+    ///
+    /// This is the heaviest rotation consumer in the linear transforms, and
+    /// every rotation acts on the same input — the textbook hoisting case:
+    /// one batched call pays the digit lift + forward NTTs once for all
+    /// `n' − 1` rotations.
     fn all_rotations(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Vec<Ciphertext> {
+        let steps: Vec<i64> = (1..self.slots as i64).collect();
         let mut out = Vec::with_capacity(self.slots);
         out.push(ct.clone());
-        for d in 1..self.slots {
-            out.push(eval.rotate(ct, d as i64, keys));
-        }
+        out.extend(eval.rotate_many(ct, &steps, keys));
         out
     }
 
@@ -265,6 +269,9 @@ impl Bootstrapper {
         #[cfg(feature = "telemetry")]
         let _span = tel::subsum().span(self.slots as u64);
         let total = self.ctx.n() / 2;
+        // The fold rotates the evolving accumulator, so consecutive
+        // rotations never share an input and hoisting across them does not
+        // apply — each `rotate` is already hoisted internally.
         let mut acc = ct.clone();
         let mut s = self.slots;
         while s < total {

@@ -11,8 +11,10 @@
 //! | Rotation (automorphism + keyswitch) | [`Evaluator::rotate`] |
 //! | Conjugation           | [`Evaluator::conjugate`] |
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use he_rns::conv::{moddown, rescale as rns_rescale};
-use he_rns::RnsPoly;
+use he_rns::{RnsBasis, RnsPoly};
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
@@ -32,6 +34,9 @@ struct EvalMetrics {
     rotate: std::sync::Arc<poseidon_telemetry::Metric>,
     conjugate: std::sync::Arc<poseidon_telemetry::Metric>,
     rescale: std::sync::Arc<poseidon_telemetry::Metric>,
+    hoist: std::sync::Arc<poseidon_telemetry::Metric>,
+    reuse: std::sync::Arc<poseidon_telemetry::Metric>,
+    saved_ntt: std::sync::Arc<poseidon_telemetry::Metric>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -45,7 +50,55 @@ impl EvalMetrics {
             rotate: r.scope("eval.rotate"),
             conjugate: r.scope("eval.conjugate"),
             rescale: r.scope("eval.rescale"),
+            hoist: r.scope("keyswitch.hoist"),
+            reuse: r.scope("keyswitch.reuse"),
+            saved_ntt: r.scope("keyswitch.saved_ntt"),
         }
+    }
+}
+
+/// The reusable half of a rotation: the digit decomposition of `c_1`,
+/// lifted to the extended basis `Q_l ∪ P` and forward-NTT'd **once**
+/// (Halevi–Shoup hoisting).
+///
+/// Rotating a ciphertext splits into (1) the digit lift + forward NTTs of
+/// `c_1` — identical for every rotation amount — and (2) the per-rotation
+/// automorphism + key products. [`Evaluator::hoist`] pays (1) once;
+/// [`Evaluator::apply_galois_hoisted`] then applies the automorphism
+/// directly to the pre-decomposed evaluation-form digits (a pure index
+/// permutation), so `N` rotations of one ciphertext cost one lift instead
+/// of `N`. This is exactly the redundant-NTT traffic Poseidon's operator
+/// reuse analysis (§III) targets on the rotation hot path.
+///
+/// The decomposition is tied to the ciphertext it was hoisted from: using
+/// it with any other ciphertext yields garbage (but is not checked beyond
+/// the level assertion — the digits carry no back-pointer).
+#[derive(Debug)]
+pub struct HoistedDecomposition {
+    level: usize,
+    /// Eval-form digit lifts of `c_1` over `Q_l ∪ P`, one per chain prime.
+    digits: Vec<RnsPoly>,
+    /// Number of rotations served, for reuse/saved-NTT accounting.
+    uses: AtomicU64,
+}
+
+impl HoistedDecomposition {
+    /// Level of the ciphertext this was hoisted from.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of digits (`level + 1` under the α = 1 decomposition).
+    #[inline]
+    pub fn digit_count(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// How many rotations this decomposition has served so far.
+    #[inline]
+    pub fn uses(&self) -> u64 {
+        self.uses.load(Ordering::Relaxed)
     }
 }
 
@@ -130,6 +183,28 @@ impl Evaluator {
         Ciphertext::new(a.c0().add(b.c0()), a.c1().add(b.c1()), a.scale())
     }
 
+    /// In-place homomorphic addition `acc += term` — the accumulation form
+    /// used by [`add_many`]/[`linear_combination`] so summing `k` terms
+    /// reuses one allocation instead of cloning per term. Unlike [`add`],
+    /// operands must already sit at the same level.
+    ///
+    /// [`add`]: Self::add
+    /// [`add_many`]: Self::add_many
+    /// [`linear_combination`]: Self::linear_combination
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ or scales disagree by more than 0.01 %.
+    pub fn add_assign(&self, acc: &mut Ciphertext, term: &Ciphertext) {
+        assert_eq!(
+            acc.level(),
+            term.level(),
+            "add_assign needs pre-aligned levels"
+        );
+        assert_scales_match(acc.scale(), term.scale());
+        acc.add_assign_raw(term);
+    }
+
     /// Homomorphic subtraction.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         let (a, b) = self.align(a, b);
@@ -161,9 +236,11 @@ impl Evaluator {
     /// Δ_ct · Δ_pt. Rescale afterwards to restore the working scale.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let m = pt.poly().truncate_basis(a.level() + 1).into_eval();
-        let c0 = a.c0().clone().into_eval().mul(&m).into_coeff();
-        let c1 = a.c1().clone().into_eval().mul(&m).into_coeff();
-        Ciphertext::new(c0, c1, a.scale() * pt.scale())
+        let mut c0 = a.c0().clone().into_eval();
+        c0.mul_assign(&m);
+        let mut c1 = a.c1().clone().into_eval();
+        c1.mul_assign(&m);
+        Ciphertext::new(c0.into_coeff(), c1.into_coeff(), a.scale() * pt.scale())
     }
 
     /// Multiplies by a complex constant, encoding it at the context scale.
@@ -237,25 +314,9 @@ impl Evaluator {
         let (p0s, p1s) = poseidon_par::par_map_unzip(level + 1, digit_weight, |j| {
             #[cfg(feature = "telemetry")]
             let _digit = self.tel.digit.span(digit_weight as u64);
-            // Exact lift of the single-prime residue vector to ext_basis.
-            let t = d.residues(j);
-            let residues: Vec<Vec<u64>> = ext_basis
-                .primes()
-                .iter()
-                .map(|&f| {
-                    let mut buf = poseidon_par::scratch::take(n);
-                    for (o, &v) in buf.iter_mut().zip(t) {
-                        *o = v % f;
-                    }
-                    buf
-                })
-                .collect();
-            let lifted =
-                RnsPoly::from_residues(&ext_basis, residues, he_rns::Form::Coeff).into_eval();
-            let (kb, ka) = key.sliced(&self.ctx, j, level);
-            let mut p0 = kb.into_eval();
+            let lifted = lift_digit(d.residues(j), &ext_basis);
+            let (mut p0, mut p1) = self.eval_key_slice(key, j, level);
             p0.mul_assign(&lifted);
-            let mut p1 = ka.into_eval();
             p1.mul_assign(&lifted);
             for buf in lifted.into_residues() {
                 poseidon_par::scratch::recycle(buf);
@@ -281,6 +342,106 @@ impl Evaluator {
             moddown(&acc0.into_coeff(), q_len),
             moddown(&acc1.into_coeff(), q_len),
         )
+    }
+
+    /// Key digit slice in evaluation form: the precomputed cache when the
+    /// key carries one, else the seed path (`sliced` + two forward NTTs).
+    fn eval_key_slice(&self, key: &KeySwitchKey, j: usize, level: usize) -> (RnsPoly, RnsPoly) {
+        match key.eval_sliced(&self.ctx, j, level) {
+            Some(pair) => pair,
+            None => {
+                let (kb, ka) = key.sliced(&self.ctx, j, level);
+                (kb.into_eval(), ka.into_eval())
+            }
+        }
+    }
+
+    /// Precomputes the rotation-independent half of a keyswitch: digit
+    /// lift of `c_1` to `Q_l ∪ P`, forward-NTT'd once (Halevi–Shoup
+    /// hoisting). Feed the result to [`apply_galois_hoisted`] to rotate
+    /// the same ciphertext many times for one lift.
+    ///
+    /// [`apply_galois_hoisted`]: Self::apply_galois_hoisted
+    pub fn hoist(&self, a: &Ciphertext) -> HoistedDecomposition {
+        let level = a.level();
+        let ext_basis = self.ctx.level_basis(level).concat(self.ctx.special_basis());
+        let n = a.n();
+        let digit_weight = ext_basis.len() * n;
+        #[cfg(feature = "telemetry")]
+        let _span = self.tel.hoist.span(((level + 1) * digit_weight) as u64);
+        let digits = poseidon_par::par_map(level + 1, digit_weight, |j| {
+            lift_digit(a.c1().residues(j), &ext_basis)
+        });
+        HoistedDecomposition {
+            level,
+            digits,
+            uses: AtomicU64::new(0),
+        }
+    }
+
+    /// Applies Galois element `g` to `a` using its hoisted decomposition
+    /// `h`: the automorphism acts on the pre-NTT'd digits as a pure index
+    /// permutation (see [`he_ntt::galois_permutation`]), so no lift and no
+    /// forward NTT of ciphertext data happens here. Bit-identical to
+    /// [`apply_galois`], which is itself routed through this path.
+    ///
+    /// [`apply_galois`]: Self::apply_galois
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` was hoisted at a different level than `a`.
+    pub fn apply_galois_hoisted(
+        &self,
+        a: &Ciphertext,
+        h: &HoistedDecomposition,
+        g: u64,
+        key: &KeySwitchKey,
+    ) -> Ciphertext {
+        assert_eq!(
+            a.level(),
+            h.level,
+            "hoisted decomposition level must match the ciphertext"
+        );
+        let level = h.level;
+        let n = a.n();
+        #[cfg(feature = "telemetry")]
+        let _span = self.tel.keyswitch.span(((level + 1) * n) as u64);
+        // Reuse accounting: every application after the first rides on the
+        // hoisted digits and skips (level+1) lifts of ext_len forward NTTs.
+        let prior = h.uses.fetch_add(1, Ordering::Relaxed);
+        let ext_len = self.ctx.special_basis().len() + level + 1;
+        #[cfg(feature = "telemetry")]
+        if prior > 0 {
+            self.tel.reuse.add(((level + 1) * ext_len) as u64);
+            self.tel.saved_ntt.add(((level + 1) * ext_len) as u64);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = prior;
+        let digit_weight = ext_len * n;
+        let (p0s, p1s) = poseidon_par::par_map_unzip(level + 1, digit_weight, |j| {
+            #[cfg(feature = "telemetry")]
+            let _digit = self.tel.digit.span(digit_weight as u64);
+            let rotated = h.digits[j].automorphism_eval(g);
+            let (mut p0, mut p1) = self.eval_key_slice(key, j, level);
+            p0.mul_assign(&rotated);
+            p1.mul_assign(&rotated);
+            (p0, p1)
+        });
+        let fold = |polys: Vec<RnsPoly>| {
+            let mut acc: Option<RnsPoly> = None;
+            for p in polys {
+                match &mut acc {
+                    None => acc = Some(p),
+                    Some(a) => a.add_assign(&p),
+                }
+            }
+            acc.expect("level ≥ 0")
+        };
+        let q_len = level + 1;
+        let k0 = moddown(&fold(p0s).into_coeff(), q_len);
+        let k1 = moddown(&fold(p1s).into_coeff(), q_len);
+        let t0 = a.c0().automorphism(g);
+        Ciphertext::new(t0.add(&k0), k1, a.scale())
     }
 
     /// Rescale (paper Rescale): divides by the last chain prime and drops a
@@ -332,7 +493,8 @@ impl Evaluator {
             .scale();
         let mut acc = self.adjust(&cts[0], level, scale);
         for ct in &cts[1..] {
-            acc = self.add(&acc, &self.adjust(ct, level, scale));
+            let term = self.adjust(ct, level, scale);
+            self.add_assign(&mut acc, &term);
         }
         acc
     }
@@ -358,10 +520,10 @@ impl Evaluator {
             let aligned = self.adjust(ct, level, ct_scale);
             let pt = self.encode_at_level(&[Complex::new(w, 0.0)], scale, level);
             let term = self.mul_plain(&aligned, &pt);
-            acc = Some(match acc {
-                None => term,
-                Some(a) => self.add(&a, &term),
-            });
+            match &mut acc {
+                None => acc = Some(term),
+                Some(a) => self.add_assign(a, &term),
+            }
         }
         self.rescale(&acc.expect("non-empty"))
     }
@@ -405,11 +567,18 @@ impl Evaluator {
 
     /// Applies Galois element `g` to both components and keyswitches back
     /// to `s` using `key` (which must match `g`).
+    ///
+    /// Internally routed through [`hoist`] + [`apply_galois_hoisted`] so
+    /// single and batched rotations share one code path (and are therefore
+    /// bit-identical): the digit lift happens on `c_1` *before* the
+    /// automorphism, which then acts on the evaluation-form digits as an
+    /// index permutation.
+    ///
+    /// [`hoist`]: Self::hoist
+    /// [`apply_galois_hoisted`]: Self::apply_galois_hoisted
     pub fn apply_galois(&self, a: &Ciphertext, g: u64, key: &KeySwitchKey) -> Ciphertext {
-        let t0 = a.c0().automorphism(g);
-        let t1 = a.c1().automorphism(g);
-        let (k0, k1) = self.keyswitch(&t1, key);
-        Ciphertext::new(t0.add(&k0), k1, a.scale())
+        let h = self.hoist(a);
+        self.apply_galois_hoisted(a, &h, g, key)
     }
 
     /// Fallible [`apply_galois`] that looks the keyswitching key up in
@@ -487,6 +656,62 @@ impl Evaluator {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Rotates one ciphertext by every step in `steps`, hoisting the digit
+    /// decomposition once (Halevi–Shoup): the lift + forward NTTs of `c_1`
+    /// are paid once instead of `steps.len()` times. Each output is
+    /// bit-identical to the corresponding [`try_rotate`] call.
+    ///
+    /// All keys are resolved before any work starts, so a missing key
+    /// fails fast without a wasted hoist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::MissingRotationKey`] for the first step whose
+    /// rotation key is absent.
+    ///
+    /// [`try_rotate`]: Self::try_rotate
+    pub fn try_rotate_many(
+        &self,
+        a: &Ciphertext,
+        steps: &[i64],
+        keys: &KeySet,
+    ) -> Result<Vec<Ciphertext>, EvalError> {
+        let resolved: Vec<(u64, &KeySwitchKey)> = steps
+            .iter()
+            .map(|&s| {
+                let g = keys.galois_element(s);
+                keys.galois_key(g)
+                    .map(|k| (g, k))
+                    .ok_or(EvalError::MissingRotationKey { steps: s })
+            })
+            .collect::<Result<_, _>>()?;
+        if resolved.is_empty() {
+            return Ok(Vec::new());
+        }
+        let h = self.hoist(a);
+        Ok(resolved
+            .into_iter()
+            .map(|(g, key)| {
+                #[cfg(feature = "telemetry")]
+                let _span = self
+                    .tel
+                    .rotate
+                    .span(((a.level() + 1) * self.ctx.n()) as u64);
+                self.apply_galois_hoisted(a, &h, g, key)
+            })
+            .collect())
+    }
+
+    /// Panicking wrapper over [`try_rotate_many`](Self::try_rotate_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rotation key is missing.
+    pub fn rotate_many(&self, a: &Ciphertext, steps: &[i64], keys: &KeySet) -> Vec<Ciphertext> {
+        self.try_rotate_many(a, steps, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Complex conjugation of every slot (`g = 2N − 1`).
     ///
     /// # Errors
@@ -513,6 +738,26 @@ impl Evaluator {
         self.try_conjugate(a, keys)
             .unwrap_or_else(|e| panic!("{e}"))
     }
+}
+
+/// Exact lift of a single-prime residue vector `t` (values in `[0, q_j)`)
+/// to every prime of `ext_basis` — a degenerate Modup (Eq. 3) — followed by
+/// the forward NTT. One Barrett reducer per target prime replaces the
+/// per-element `%`; Barrett reduction is exact, so the lifted residues are
+/// bit-identical to the division path.
+fn lift_digit(t: &[u64], ext_basis: &RnsBasis) -> RnsPoly {
+    let residues: Vec<Vec<u64>> = ext_basis
+        .reducers()
+        .iter()
+        .map(|red| {
+            let mut buf = poseidon_par::scratch::take(t.len());
+            for (o, &v) in buf.iter_mut().zip(t) {
+                *o = red.reduce(u128::from(v));
+            }
+            buf
+        })
+        .collect();
+    RnsPoly::from_residues(ext_basis, residues, he_rns::Form::Coeff).into_eval()
 }
 
 fn assert_scales_match(a: f64, b: f64) {
@@ -741,6 +986,55 @@ mod tests {
         let rot = eval.try_rotate(&a, 1, &keys).expect("key present");
         let got = decrypt(&ctx, &keys, &rot, slots);
         assert!((got[0] - vals[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hoisted_rotation_is_bit_identical_to_rotate() {
+        let (ctx, mut keys, eval, mut rng) = setup();
+        keys.add_rotation_key(1, &mut rng);
+        keys.add_rotation_key(2, &mut rng);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64 / 3.0).collect();
+        let a = encrypt(&ctx, &keys, &mut rng, &vals);
+        let h = eval.hoist(&a);
+        assert_eq!(h.level(), a.level());
+        assert_eq!(h.digit_count(), a.level() + 1);
+        for steps in [1i64, 2] {
+            let g = keys.galois_element(steps);
+            let key = keys.galois_key(g).expect("key present");
+            let hoisted = eval.apply_galois_hoisted(&a, &h, g, key);
+            let plain = eval.rotate(&a, steps, &keys);
+            assert_eq!(hoisted, plain, "steps {steps}");
+        }
+        assert_eq!(h.uses(), 2);
+        let batch = eval.rotate_many(&a, &[1, 2], &keys);
+        assert_eq!(batch[0], eval.rotate(&a, 1, &keys));
+        assert_eq!(batch[1], eval.rotate(&a, 2, &keys));
+    }
+
+    #[test]
+    fn rotate_many_fails_fast_on_missing_key() {
+        let (ctx, mut keys, eval, mut rng) = setup();
+        keys.add_rotation_key(1, &mut rng);
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0]);
+        match eval.try_rotate_many(&a, &[1, 4], &keys) {
+            Err(EvalError::MissingRotationKey { steps }) => assert_eq!(steps, 4),
+            other => panic!("expected MissingRotationKey, got {other:?}"),
+        }
+        assert!(eval
+            .try_rotate_many(&a, &[], &keys)
+            .expect("empty")
+            .is_empty());
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, &[1.0, -2.0]);
+        let b = encrypt(&ctx, &keys, &mut rng, &[0.5, 4.0]);
+        let mut acc = a.clone();
+        eval.add_assign(&mut acc, &b);
+        assert_eq!(acc, eval.add(&a, &b));
     }
 
     #[test]

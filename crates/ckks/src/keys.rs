@@ -117,6 +117,15 @@ impl PublicKey {
 pub struct KeySwitchKey {
     /// One `(b_j, a_j)` pair per chain prime, over `Q ∪ P`, coeff form.
     pub(crate) pairs: Vec<(RnsPoly, RnsPoly)>,
+    /// The same pairs forward-NTT'd over the full basis, precomputed at
+    /// generation time. The per-prime NTT is basis-independent, so a
+    /// level-`l` keyswitch slices these residue vectors directly — the hot
+    /// loop never runs `into_eval()` on key material (the software
+    /// analogue of Poseidon keeping keyswitch keys resident in HBM in
+    /// evaluation representation). Empty when the cache was stripped
+    /// ([`without_eval_cache`](Self::without_eval_cache)); apply paths
+    /// then fall back to slicing + NTT, bit-identically.
+    pub(crate) eval_pairs: Vec<(RnsPoly, RnsPoly)>,
 }
 
 impl KeySwitchKey {
@@ -158,7 +167,33 @@ impl KeySwitchKey {
                 (b, a)
             })
             .collect();
-        Self { pairs }
+        let mut key = Self {
+            pairs,
+            eval_pairs: Vec::new(),
+        };
+        key.precompute_eval_pairs();
+        key
+    }
+
+    /// (Re)builds the evaluation-form key cache from the coefficient
+    /// pairs. Called by [`generate`](Self::generate); exposed so keys
+    /// deserialised or stripped for testing can restore the fast path.
+    pub fn precompute_eval_pairs(&mut self) {
+        self.eval_pairs = self
+            .pairs
+            .iter()
+            .map(|(b, a)| (b.clone().into_eval(), a.clone().into_eval()))
+            .collect();
+    }
+
+    /// A copy of this key with the evaluation-form cache stripped, forcing
+    /// apply paths onto the slice + NTT fallback — for bit-exactness tests
+    /// and memory-constrained callers.
+    pub fn without_eval_cache(&self) -> Self {
+        Self {
+            pairs: self.pairs.clone(),
+            eval_pairs: Vec::new(),
+        }
     }
 
     /// The raw per-digit key pairs `(b_j, a_j)` over `Q ∪ P` in coefficient
@@ -182,6 +217,32 @@ impl KeySwitchKey {
         };
         let (b, a) = &self.pairs[j];
         (slice(b), slice(a))
+    }
+
+    /// Pair `j` restricted to level `l` plus the special primes, already
+    /// in evaluation form — served from the precomputed cache, so this is
+    /// a residue copy with **zero** NTT work. Returns `None` when the
+    /// cache is absent (stripped or hand-built key); callers fall back to
+    /// [`sliced`](Self::sliced)` + into_eval()`, which is bit-identical.
+    pub fn eval_sliced(
+        &self,
+        ctx: &CkksContext,
+        j: usize,
+        level: usize,
+    ) -> Option<(RnsPoly, RnsPoly)> {
+        if self.eval_pairs.is_empty() {
+            return None;
+        }
+        let chain_len = ctx.chain_basis().len();
+        let keep = level + 1;
+        let basis = ctx.level_basis(level).concat(ctx.special_basis());
+        let slice = |p: &RnsPoly| {
+            let mut residues = p.all_residues()[..keep].to_vec();
+            residues.extend(p.all_residues()[chain_len..].iter().cloned());
+            RnsPoly::from_residues(&basis, residues, Form::Eval)
+        };
+        let (b, a) = &self.eval_pairs[j];
+        Some((slice(b), slice(a)))
     }
 }
 
@@ -461,11 +522,32 @@ mod tests {
     }
 
     #[test]
+    fn eval_sliced_matches_slice_then_ntt_bit_exactly() {
+        let (ctx, mut rng) = setup();
+        let keys = KeySet::generate(&ctx, &mut rng);
+        let key = keys.relin();
+        assert_eq!(key.eval_pairs.len(), key.pairs.len());
+        for level in 0..ctx.chain_basis().len() {
+            for j in 0..=level {
+                let (b, a) = key.sliced(&ctx, j, level);
+                let (be, ae) = key.eval_sliced(&ctx, j, level).expect("cache present");
+                assert_eq!(b.into_eval(), be, "b digit {j} level {level}");
+                assert_eq!(a.into_eval(), ae, "a digit {j} level {level}");
+            }
+        }
+        let stripped = key.without_eval_cache();
+        assert!(stripped.eval_sliced(&ctx, 0, 0).is_none());
+    }
+
+    #[test]
     fn galois_elements_compose_rotations() {
         let (ctx, _) = setup();
         let keys = KeySet {
             galois: HashMap::new(),
-            relin: KeySwitchKey { pairs: Vec::new() },
+            relin: KeySwitchKey {
+                pairs: Vec::new(),
+                eval_pairs: Vec::new(),
+            },
             secret: SecretKey {
                 ctx: ctx.clone(),
                 coeffs: vec![0; ctx.n()],

@@ -22,6 +22,9 @@ use crate::keys::KeySet;
 /// Panics if `width` is not a power of two or a rotation key is missing.
 pub fn fold_sum(eval: &Evaluator, keys: &KeySet, ct: &Ciphertext, width: usize) -> Ciphertext {
     assert!(width.is_power_of_two(), "fold width must be a power of two");
+    // Each iteration rotates the freshly updated accumulator, so there is
+    // no shared ciphertext to hoist across — `rotate` (internally hoisted
+    // for its single application) is already optimal here.
     let mut acc = ct.clone();
     let mut step = width / 2;
     while step >= 1 {
@@ -124,22 +127,30 @@ impl PlainMatrix {
     /// Panics if rotation keys are missing or every diagonal is zero.
     pub fn apply(&self, eval: &Evaluator, keys: &KeySet, v: &Ciphertext) -> Ciphertext {
         let scale = eval.context().default_scale();
+        let live: Vec<usize> = (0..self.dim)
+            .filter(|&d| !self.diagonal_is_zero(d))
+            .collect();
+        // All rotations act on the same input `v`, so one hoisted batch
+        // pays the digit lift + forward NTTs once for every diagonal.
+        let steps: Vec<i64> = live
+            .iter()
+            .filter(|&&d| d != 0)
+            .map(|&d| d as i64)
+            .collect();
+        let mut rotations = eval.rotate_many(v, &steps, keys).into_iter();
         let mut acc: Option<Ciphertext> = None;
-        for d in 0..self.dim {
-            if self.diagonal_is_zero(d) {
-                continue;
-            }
+        for &d in &live {
             let rot = if d == 0 {
                 v.clone()
             } else {
-                eval.rotate(v, d as i64, keys)
+                rotations.next().expect("one rotation per live diagonal")
             };
             let pt = eval.encode_at_level(&self.diagonals[d], scale, rot.level());
             let term = eval.mul_plain(&rot, &pt);
-            acc = Some(match acc {
-                None => term,
-                Some(a) => eval.add(&a, &term),
-            });
+            match &mut acc {
+                None => acc = Some(term),
+                Some(a) => eval.add_assign(a, &term),
+            }
         }
         eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))
     }
@@ -159,15 +170,13 @@ impl PlainMatrix {
         let gs = dim.div_ceil(bs);
         let scale = eval.context().default_scale();
 
-        // Baby rotations of the input, computed once.
-        let mut baby: Vec<Option<Ciphertext>> = vec![None; bs];
-        for (b, slot) in baby.iter_mut().enumerate() {
-            *slot = Some(if b == 0 {
-                v.clone()
-            } else {
-                eval.rotate(v, b as i64, keys)
-            });
-        }
+        // Baby rotations of the input, computed once — and hoisted once:
+        // all of them rotate the same `v`, so a single digit decomposition
+        // serves the whole block.
+        let baby_steps: Vec<i64> = (1..bs as i64).collect();
+        let mut baby = Vec::with_capacity(bs);
+        baby.push(v.clone());
+        baby.extend(eval.rotate_many(v, &baby_steps, keys));
 
         // For giant block g: Σ_b diag[g·bs + b] rotated... Using the BSGS
         // identity: M·v = Σ_g rot_{g·bs}( Σ_b rot_{-g·bs}(diag_{g·bs+b}) ⊙
@@ -175,7 +184,7 @@ impl PlainMatrix {
         let mut acc: Option<Ciphertext> = None;
         for g in 0..gs {
             let mut inner: Option<Ciphertext> = None;
-            for (b, baby_b) in baby.iter().enumerate().take(bs) {
+            for (b, ct_b) in baby.iter().enumerate().take(bs) {
                 let d = g * bs + b;
                 if d >= dim || self.diagonal_is_zero(d) {
                     continue;
@@ -187,24 +196,25 @@ impl PlainMatrix {
                 let rotated_diag: Vec<Complex> = (0..dim)
                     .map(|i| self.diagonals[d][(i + dim - shift) % dim])
                     .collect();
-                let ct_b = baby_b.as_ref().expect("materialised");
                 let pt = eval.encode_at_level(&rotated_diag, scale, ct_b.level());
                 let term = eval.mul_plain(ct_b, &pt);
-                inner = Some(match inner {
-                    None => term,
-                    Some(a) => eval.add(&a, &term),
-                });
+                match &mut inner {
+                    None => inner = Some(term),
+                    Some(a) => eval.add_assign(a, &term),
+                }
             }
             if let Some(inner) = inner {
+                // Each giant step rotates a *different* inner sum, so
+                // there is nothing to hoist across them.
                 let shifted = if g == 0 {
                     inner
                 } else {
                     eval.rotate(&inner, (g * bs) as i64, keys)
                 };
-                acc = Some(match acc {
-                    None => shifted,
-                    Some(a) => eval.add(&a, &shifted),
-                });
+                match &mut acc {
+                    None => acc = Some(shifted),
+                    Some(a) => eval.add_assign(a, &shifted),
+                }
             }
         }
         eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))

@@ -66,3 +66,41 @@ fn keyswitch_rotate_pipeline_digest_is_deterministic() {
         std::fs::write(&path, format!("{d1:016x}\n")).expect("write digest file");
     }
 }
+
+/// Same contract for the hoisted batch engine: its digest must be stable,
+/// and — since `rotate` routes through the same hoisted code path — each
+/// batched output must be bit-identical to the per-call rotation, so the
+/// hoisted and unhoisted digests written by CI are the same file content.
+#[test]
+fn hoisted_rotation_digest_matches_unhoisted() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD16E57);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    for s in [1i64, 2, 3] {
+        keys.add_rotation_key(s, &mut rng);
+    }
+    let eval = Evaluator::new(&ctx);
+    let z = vec![Complex::new(0.75, 0.0)];
+    let pt = Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+
+    let steps = [1i64, 2, 3];
+    let batch = eval.rotate_many(&ct, &steps, &keys);
+    let mut hoisted = 0u64;
+    let mut unhoisted = 0u64;
+    for (&s, out) in steps.iter().zip(&batch) {
+        hoisted ^= digest(out).rotate_left(s as u32);
+        unhoisted ^= digest(&eval.rotate(&ct, s, &keys)).rotate_left(s as u32);
+    }
+    assert_eq!(
+        hoisted, unhoisted,
+        "hoisted batch diverged from per-call rotations"
+    );
+    if let Ok(path) = std::env::var("POSEIDON_HOISTED_DIGEST_FILE") {
+        std::fs::write(&path, format!("{hoisted:016x}\n")).expect("write digest file");
+    }
+}

@@ -133,6 +133,16 @@ impl PoseidonMachine {
         RnsPoly::from_residues(a.basis(), residues, Form::Coeff)
     }
 
+    /// Evaluation-domain automorphism: one index-permutation pass through
+    /// the Automorphism core per residue (no NTT, no sign logic).
+    fn auto_eval_poly(&mut self, a: &RnsPoly, perm: &[usize]) -> RnsPoly {
+        assert_eq!(a.form(), Form::Eval);
+        let residues = (0..a.level_count())
+            .map(|j| self.pool.automorphism_eval(a.residues(j), perm))
+            .collect();
+        RnsPoly::from_residues(a.basis(), residues, Form::Eval)
+    }
+
     // ---- basic operations ------------------------------------------------
 
     /// HAdd: pure MA traffic on both components.
@@ -355,6 +365,101 @@ impl PoseidonMachine {
         let t1 = self.auto_poly(a.c1(), g);
         let (k0, k1) = self.keyswitch(&t1, key);
         Ok(Ciphertext::new(self.add_poly(&t0, &k0), k1, a.scale()))
+    }
+
+    /// Hoisted batch rotation (Halevi–Shoup): the digit lift + forward
+    /// NTTs of `c_1` run once on the machine cores and serve every step in
+    /// `steps`; each rotation then costs one coefficient automorphism of
+    /// `c_0`, an evaluation-domain index permutation of the hoisted digits
+    /// through the Automorphism core, the key products, and a Moddown.
+    ///
+    /// The key slices come from the eval-form cache when present — the
+    /// paper keeps keyswitch keys HBM-resident in evaluation
+    /// representation (§IV-C), so no NTT-core traffic is charged for key
+    /// material. [`rotate`](Self::rotate) keeps the unhoisted per-call
+    /// dataflow whose operator mix matches Table I exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingRotationKey`] for the first step without a
+    /// Galois key; keys are resolved before any core traffic happens.
+    pub fn try_rotate_many(
+        &mut self,
+        a: &Ciphertext,
+        steps: &[i64],
+        keys: &KeySet,
+    ) -> Result<Vec<Ciphertext>, EvalError> {
+        let resolved: Vec<(u64, &KeySwitchKey)> = steps
+            .iter()
+            .map(|&s| {
+                let g = keys.galois_element(s);
+                keys.galois_key(g)
+                    .map(|k| (g, k))
+                    .ok_or(EvalError::MissingRotationKey { steps: s })
+            })
+            .collect::<Result<_, _>>()?;
+        if resolved.is_empty() {
+            return Ok(Vec::new());
+        }
+        let level = a.level();
+        let ext = self.ctx.level_basis(level).concat(self.ctx.special_basis());
+        // Hoist: lift + forward-NTT each digit of c1 exactly once.
+        let digits: Vec<RnsPoly> = (0..=level)
+            .map(|j| {
+                let t = a.c1().residues(j);
+                let residues: Vec<Vec<u64>> = ext
+                    .primes()
+                    .iter()
+                    .map(|&f| t.iter().map(|&v| v % f).collect())
+                    .collect();
+                let lifted = RnsPoly::from_residues(&ext, residues, Form::Coeff);
+                self.ntt_poly(&lifted)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(resolved.len());
+        for (g, key) in resolved {
+            let perm = he_ntt::galois_permutation(self.ctx.n(), g);
+            let t0 = self.auto_poly(a.c0(), g);
+            let mut acc0: Option<RnsPoly> = None;
+            let mut acc1: Option<RnsPoly> = None;
+            for (j, digit) in digits.iter().enumerate() {
+                let rotated = self.auto_eval_poly(digit, &perm);
+                let cached = key.eval_sliced(&self.ctx, j, level);
+                let (kb, ka) = match cached {
+                    Some(pair) => pair,
+                    None => {
+                        let (kb, ka) = key.sliced(&self.ctx, j, level);
+                        (self.ntt_poly(&kb), self.ntt_poly(&ka))
+                    }
+                };
+                let p0 = self.mul_poly(&rotated, &kb);
+                let p1 = self.mul_poly(&rotated, &ka);
+                acc0 = Some(match acc0 {
+                    None => p0,
+                    Some(acc) => self.add_poly(&acc, &p0),
+                });
+                acc1 = Some(match acc1 {
+                    None => p1,
+                    Some(acc) => self.add_poly(&acc, &p1),
+                });
+            }
+            let a0 = self.intt_poly(&acc0.expect("level ≥ 0"));
+            let a1 = self.intt_poly(&acc1.expect("level ≥ 0"));
+            let k0 = self.moddown(&a0, level + 1);
+            let k1 = self.moddown(&a1, level + 1);
+            out.push(Ciphertext::new(self.add_poly(&t0, &k0), k1, a.scale()));
+        }
+        Ok(out)
+    }
+
+    /// Panicking wrapper over [`try_rotate_many`](Self::try_rotate_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rotation key is missing.
+    pub fn rotate_many(&mut self, a: &Ciphertext, steps: &[i64], keys: &KeySet) -> Vec<Ciphertext> {
+        self.try_rotate_many(a, steps, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Conjugation (rotation cost class): the conjugation automorphism on

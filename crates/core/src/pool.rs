@@ -291,6 +291,22 @@ impl OperatorPool {
         self.auto.apply(data, g, q)
     }
 
+    /// Automorphism core in evaluation-domain mode: the Galois map on an
+    /// NTT-form residue vector is a pure index permutation (see
+    /// [`he_ntt::galois_permutation`]), so the core retires the same
+    /// element count as the coefficient-domain path but issues **no** SBT
+    /// traffic — there is no sign logic to evaluate. This is the datapath
+    /// the hoisted rotation engine drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != perm.len()`.
+    pub fn automorphism_eval(&mut self, data: &[u64], perm: &[usize]) -> Vec<u64> {
+        assert_eq!(data.len(), perm.len(), "permutation length mismatch");
+        let _op = self.retire(Operator::Automorphism, data.len() as u64);
+        perm.iter().map(|&k| data[k]).collect()
+    }
+
     /// Negacyclic polynomial product through the pooled cores: NTT both
     /// inputs, MM pointwise, INTT back — the PMult datapath.
     ///

@@ -103,13 +103,19 @@ fn machine_rotation_matches_evaluator_semantics() {
     let ct = encrypt(&ctx, &keys, &mut rng, &vals);
     let machine_rot = m.rotate(&ct, 1, &keys);
     let eval_rot = eval.rotate(&ct, 1, &keys);
-    // Both decrypt to the same rotated vector (ciphertexts differ only by
-    // the keyswitch noise path — identical here since both use the same
-    // deterministic arithmetic).
-    assert_eq!(machine_rot, eval_rot);
+    // Both decrypt to the same rotated vector. The ciphertext bits differ:
+    // the machine lifts the automorphed c1 (representative q_j − v at
+    // wrapped positions), while the hoisted evaluator automorphs the
+    // lifted digits (representative −v) — CRT-consistent encodings of the
+    // same residue, so the decryptions agree to working precision.
     let got = decrypt(&ctx, &keys, &machine_rot, slots);
+    let got_eval = decrypt(&ctx, &keys, &eval_rot, slots);
     for i in 0..6 {
         assert!((got[i] - vals[(i + 1) % slots]).abs() < 1e-2, "slot {i}");
+        assert!(
+            (got[i] - got_eval[i]).abs() < 1e-3,
+            "slot {i} backend drift"
+        );
     }
     // Rotation uses all five operators (Table I).
     let u = m.usage();

@@ -48,4 +48,4 @@ pub mod negacyclic;
 pub mod table;
 
 pub use fusion::{FusedNtt, FusionAnalysis};
-pub use table::NttTable;
+pub use table::{galois_permutation, NttTable};

@@ -191,6 +191,64 @@ pub fn bit_reverse(v: u64, bits: u32) -> u64 {
     }
 }
 
+/// The slot permutation realising the Galois automorphism `X ↦ X^g` in the
+/// evaluation domain: `out[j] = in[perm[j]]` satisfies
+/// `NTT(a(X^g)) = perm(NTT(a))` for every polynomial `a`.
+///
+/// [`NttTable::forward`] leaves slot `j` holding the evaluation of `a` at
+/// `ψ^(2·brv(j)+1)` (see [`crate::naive::negacyclic_ntt`]). Composing with
+/// the automorphism, slot `j` of `a(X^g)` holds `a(ψ^((2·brv(j)+1)·g))` —
+/// which is slot `k` of `NTT(a)` where `2·brv(k)+1 ≡ (2·brv(j)+1)·g
+/// (mod 2N)`. The exponent law depends only on the slot index and `N`,
+/// never on the prime, so one permutation serves every RNS limb, and no
+/// negacyclic sign correction is needed (the eval-domain automorphism is a
+/// pure permutation). This is what makes Halevi–Shoup hoisting cheap:
+/// digits decomposed and forward-transformed once can be rotated by any
+/// `g` without touching the NTT core again.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `g` is even (even elements are
+/// not units mod 2N and do not define ring automorphisms).
+///
+/// # Examples
+///
+/// ```
+/// use he_ntt::NttTable;
+/// use he_ntt::table::galois_permutation;
+/// let n = 16;
+/// let q = he_math::prime::ntt_prime(20, 2 * n as u64).unwrap();
+/// let t = NttTable::new(n, q);
+/// let mut a: Vec<u64> = (0..n as u64).collect();
+/// // Coefficient-domain automorphism X ↦ X^3 of `a`…
+/// let mut auto = vec![0u64; n];
+/// for (i, &v) in a.iter().enumerate() {
+///     let e = (i * 3) % (2 * n);
+///     if e < n { auto[e] = v } else { auto[e - n] = (q - v) % q }
+/// }
+/// t.forward(&mut auto);
+/// // …equals the permuted spectrum of `a`.
+/// t.forward(&mut a);
+/// let perm = galois_permutation(n, 3);
+/// let permuted: Vec<u64> = perm.iter().map(|&k| a[k]).collect();
+/// assert_eq!(auto, permuted);
+/// ```
+pub fn galois_permutation(n: usize, g: u64) -> Vec<usize> {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    assert_eq!(g % 2, 1, "Galois element must be odd");
+    let log_n = n.trailing_zeros();
+    let two_n = 2 * n as u64;
+    let g = g % two_n;
+    (0..n as u64)
+        .map(|j| {
+            // Exponent evaluated at slot j, composed with the automorphism.
+            let e = ((2 * bit_reverse(j, log_n) + 1) * g) % two_n;
+            // Odd · odd stays odd mod 2N, so (e − 1)/2 is exact.
+            bit_reverse((e - 1) / 2, log_n) as usize
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +290,71 @@ mod tests {
     #[should_panic(expected = "q must satisfy")]
     fn rejects_bad_modulus() {
         let _ = NttTable::new(16, 101); // 101 ≢ 1 mod 32
+    }
+
+    #[test]
+    fn galois_permutation_matches_coefficient_automorphism() {
+        let n = 32usize;
+        let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+        let t = NttTable::new(n, q);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i * 7 + 3) % q).collect();
+        // Conjugation 2N−1 alongside rotation-style elements.
+        for g in [3u64, 5, 25, 2 * n as u64 - 1] {
+            // Coefficient-domain: X ↦ X^g with the negacyclic sign.
+            let mut auto = vec![0u64; n];
+            for (i, &v) in a.iter().enumerate() {
+                let e = (i as u64 * g) % (2 * n as u64);
+                if (e as usize) < n {
+                    auto[e as usize] = v;
+                } else {
+                    auto[e as usize - n] = (q - v) % q;
+                }
+            }
+            t.forward(&mut auto);
+            let mut spec = a.clone();
+            t.forward(&mut spec);
+            let perm = galois_permutation(n, g);
+            let permuted: Vec<u64> = perm.iter().map(|&k| spec[k]).collect();
+            assert_eq!(auto, permuted, "g = {g}");
+        }
+    }
+
+    #[test]
+    fn galois_permutation_agrees_with_naive_oracle() {
+        // Independently of the fast transform: apply the automorphism in
+        // coefficients and evaluate with the O(N²) DFT definition.
+        let n = 16usize;
+        let q = he_math::prime::ntt_prime(20, 2 * n as u64).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 1) % q).collect();
+        let g = 9u64;
+        let mut auto = vec![0u64; n];
+        for (i, &v) in a.iter().enumerate() {
+            let e = (i as u64 * g) % (2 * n as u64);
+            if (e as usize) < n {
+                auto[e as usize] = v;
+            } else {
+                auto[e as usize - n] = (q - v) % q;
+            }
+        }
+        let want = crate::naive::negacyclic_ntt(&auto, q);
+        let spec = crate::naive::negacyclic_ntt(&a, q);
+        let perm = galois_permutation(n, g);
+        let got: Vec<u64> = perm.iter().map(|&k| spec[k]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn galois_permutation_identity_and_inverse() {
+        let n = 16usize;
+        assert_eq!(galois_permutation(n, 1), (0..n).collect::<Vec<_>>());
+        // g·g⁻¹ ≡ 1 (mod 2N) composes to the identity permutation.
+        let g = 5u64;
+        let g_inv = he_math::modops::inv_mod(g, 2 * n as u64).unwrap();
+        let p = galois_permutation(n, g);
+        let p_inv = galois_permutation(n, g_inv);
+        for j in 0..n {
+            assert_eq!(p_inv[p[j]], j);
+        }
     }
 
     #[test]

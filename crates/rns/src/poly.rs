@@ -392,6 +392,42 @@ impl RnsPoly {
         }
     }
 
+    /// Applies the Galois automorphism `X ↦ X^g` in the **evaluation
+    /// domain**: a pure slot permutation, identical for every limb and
+    /// free of the negacyclic sign logic (see
+    /// [`he_ntt::galois_permutation`]).
+    ///
+    /// Bit-exact with the coefficient-domain route:
+    /// `p.automorphism(g).into_eval() == p.clone().into_eval().automorphism_eval(g)`.
+    /// This is the primitive behind rotation hoisting — digits already in
+    /// evaluation form can be rotated without any NTT traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless in evaluation form, or if `g` is even.
+    pub fn automorphism_eval(&self, g: u64) -> Self {
+        assert_eq!(
+            self.form,
+            Form::Eval,
+            "eval-domain automorphism needs evaluation form"
+        );
+        let n = self.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
+        // One index table for all limbs: the slot exponent law depends
+        // only on (j, N), never on the prime.
+        let perm = he_ntt::galois_permutation(n, g);
+        let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
+            let src = &self.residues[j];
+            perm.iter().map(|&k| src[k]).collect()
+        });
+        Self {
+            basis: self.basis.clone(),
+            residues,
+            form: Form::Eval,
+        }
+    }
+
     /// Consumes the polynomial, yielding its residue vectors (so callers
     /// can recycle the allocations through `poseidon_par::scratch`).
     #[inline]
@@ -542,6 +578,26 @@ mod tests {
         let t = x.truncate_basis(2);
         assert_eq!(t.level_count(), 2);
         assert_eq!(t.to_centered_coeffs(), vec![7i64; 16]);
+    }
+
+    #[test]
+    fn automorphism_eval_matches_coefficient_route() {
+        let b = basis();
+        let coeffs: Vec<i64> = (0..16).map(|i| 3 * i - 20).collect();
+        let p = RnsPoly::from_i64_coeffs(&b, &coeffs);
+        for g in [3u64, 5, 15, 31] {
+            let via_coeff = p.automorphism(g).into_eval();
+            let via_eval = p.clone().into_eval().automorphism_eval(g);
+            assert_eq!(via_coeff, via_eval, "g = {g}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation form")]
+    fn automorphism_eval_rejects_coeff_form() {
+        let b = basis();
+        let p = RnsPoly::from_i64_coeffs(&b, &[1i64; 16]);
+        let _ = p.automorphism_eval(3);
     }
 
     #[test]
