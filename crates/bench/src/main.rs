@@ -1,10 +1,13 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|hoisting]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|hoisting|faults]`
 //!
 //! `tables metrics` (build with `--features telemetry`) prints the
 //! runtime per-operator telemetry for a HELR workload.
+//!
+//! `tables faults` (build with `--features faults`) sweeps seeded fault
+//! campaigns over every injection site and reports detection/recovery.
 //!
 //! Each regenerator prints the same rows/series the paper reports;
 //! `published` columns are the paper's own numbers, `model`/`measured`
@@ -54,6 +57,7 @@ fn main() {
     run("pipeline", tables::pipeline);
     run("metrics", tables::metrics);
     run("hoisting", tables::hoisting);
+    run("faults", tables::faults);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

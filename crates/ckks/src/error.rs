@@ -13,7 +13,10 @@
 use std::fmt;
 
 /// Why a homomorphic operation (or context construction) could not proceed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`Eq` is not derived: [`ScaleMismatch`](EvalError::ScaleMismatch)
+/// carries the offending `f64` scales.)
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum EvalError {
     /// No rotation key was generated for this step count
@@ -38,6 +41,35 @@ pub enum EvalError {
     ///
     /// [`CkksParams::validate`]: crate::params::CkksParams::validate
     InvalidParams(String),
+    /// Operand levels disagree where the operation needs them pre-aligned
+    /// (e.g. `add_assign`), or a level would have to be *raised* by
+    /// truncation (`drop_to_level`).
+    LevelMismatch {
+        /// Level of the first operand (or the current level).
+        a: usize,
+        /// Level of the second operand (or the requested level).
+        b: usize,
+    },
+    /// Operand scales differ by more than the floating slack (0.01 %).
+    ScaleMismatch {
+        /// Scale of the first operand.
+        a: f64,
+        /// Scale of the second operand.
+        b: f64,
+    },
+    /// An operand list was empty (`add_many`, `linear_combination`), or a
+    /// paired list (weights) had mismatched length.
+    EmptyOperands,
+    /// Rescale requested at level 0 — no chain prime left to drop.
+    RescaleAtLevelZero,
+    /// The integrity layer detected datapath corruption that survived the
+    /// retry (redundant-residue guard mismatch or duplicate-execution
+    /// checksum divergence). See `he_ckks::integrity`.
+    IntegrityFault {
+        /// The checked boundary that caught the fault (e.g. `"mul"`,
+        /// `"keyswitch"`, `"pool.retire"`).
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -51,6 +83,20 @@ impl fmt::Display for EvalError {
                 write!(f, "missing Galois key for element {g}")
             }
             EvalError::InvalidParams(msg) => write!(f, "invalid CKKS parameters: {msg}"),
+            EvalError::LevelMismatch { a, b } => {
+                write!(f, "level mismatch: {a} vs {b}")
+            }
+            // Exact legacy `assert_scales_match` panic text: downstream
+            // should_panic tests match the "scale mismatch" prefix.
+            EvalError::ScaleMismatch { a, b } => write!(f, "scale mismatch: {a} vs {b}"),
+            EvalError::EmptyOperands => write!(f, "need at least one ciphertext"),
+            EvalError::RescaleAtLevelZero => write!(f, "cannot rescale at level 0"),
+            EvalError::IntegrityFault { site } => {
+                write!(
+                    f,
+                    "integrity fault detected at {site} (persisted across retry)"
+                )
+            }
         }
     }
 }
@@ -77,5 +123,22 @@ mod tests {
         assert!(EvalError::InvalidParams("n must be a power of two".into())
             .to_string()
             .starts_with("invalid CKKS parameters"));
+        // "scale mismatch: {a} vs {b}" is the exact assert_scales_match
+        // text the should_panic tests match on.
+        assert_eq!(
+            EvalError::ScaleMismatch { a: 2.0, b: 6.0 }.to_string(),
+            "scale mismatch: 2 vs 6"
+        );
+        assert_eq!(
+            EvalError::RescaleAtLevelZero.to_string(),
+            "cannot rescale at level 0"
+        );
+        assert_eq!(
+            EvalError::EmptyOperands.to_string(),
+            "need at least one ciphertext"
+        );
+        assert!(EvalError::IntegrityFault { site: "keyswitch" }
+            .to_string()
+            .contains("integrity fault"));
     }
 }

@@ -153,6 +153,33 @@ impl Evaluator {
         (self.drop_to_level(a, level), self.drop_to_level(b, level))
     }
 
+    /// Fallible [`drop_to_level`](Self::drop_to_level).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] if `level` exceeds the current level
+    /// (truncation can only lower a level).
+    pub fn try_drop_to_level(
+        &self,
+        ct: &Ciphertext,
+        level: usize,
+    ) -> Result<Ciphertext, EvalError> {
+        if level > ct.level() {
+            return Err(EvalError::LevelMismatch {
+                a: ct.level(),
+                b: level,
+            });
+        }
+        if level == ct.level() {
+            return Ok(ct.clone());
+        }
+        Ok(Ciphertext::new(
+            ct.c0().truncate_basis(level + 1),
+            ct.c1().truncate_basis(level + 1),
+            ct.scale(),
+        ))
+    }
+
     /// Drops a ciphertext to a lower level without rescaling (modulus
     /// truncation).
     ///
@@ -160,15 +187,24 @@ impl Evaluator {
     ///
     /// Panics if `level` exceeds the current level.
     pub fn drop_to_level(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
-        assert!(level <= ct.level(), "cannot raise level by truncation");
-        if level == ct.level() {
-            return ct.clone();
-        }
-        Ciphertext::new(
-            ct.c0().truncate_basis(level + 1),
-            ct.c1().truncate_basis(level + 1),
-            ct.scale(),
-        )
+        self.try_drop_to_level(ct, level)
+            .unwrap_or_else(|_| panic!("cannot raise level by truncation"))
+    }
+
+    /// Fallible [`add`](Self::add).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ScaleMismatch`] if the scales differ by more than
+    /// 0.01 %.
+    pub fn try_add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let (a, b) = self.align(a, b);
+        check_scales_match(a.scale(), b.scale())?;
+        Ok(Ciphertext::new(
+            a.c0().add(b.c0()),
+            a.c1().add(b.c1()),
+            a.scale(),
+        ))
     }
 
     /// Homomorphic addition (paper HAdd, ct+ct). Operands are aligned to
@@ -178,9 +214,26 @@ impl Evaluator {
     ///
     /// Panics if the scales differ by more than 0.01 %.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        let (a, b) = self.align(a, b);
-        assert_scales_match(a.scale(), b.scale());
-        Ciphertext::new(a.c0().add(b.c0()), a.c1().add(b.c1()), a.scale())
+        self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`add_assign`](Self::add_assign).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] if the operands sit at different
+    /// levels, [`EvalError::ScaleMismatch`] if the scales disagree. `acc`
+    /// is untouched on error.
+    pub fn try_add_assign(&self, acc: &mut Ciphertext, term: &Ciphertext) -> Result<(), EvalError> {
+        if acc.level() != term.level() {
+            return Err(EvalError::LevelMismatch {
+                a: acc.level(),
+                b: term.level(),
+            });
+        }
+        check_scales_match(acc.scale(), term.scale())?;
+        acc.add_assign_raw(term);
+        Ok(())
     }
 
     /// In-place homomorphic addition `acc += term` — the accumulation form
@@ -196,20 +249,35 @@ impl Evaluator {
     ///
     /// Panics if levels differ or scales disagree by more than 0.01 %.
     pub fn add_assign(&self, acc: &mut Ciphertext, term: &Ciphertext) {
-        assert_eq!(
-            acc.level(),
-            term.level(),
-            "add_assign needs pre-aligned levels"
-        );
-        assert_scales_match(acc.scale(), term.scale());
-        acc.add_assign_raw(term);
+        self.try_add_assign(acc, term).unwrap_or_else(|e| match e {
+            EvalError::LevelMismatch { .. } => panic!("add_assign needs pre-aligned levels"),
+            other => panic!("{other}"),
+        })
+    }
+
+    /// Fallible [`sub`](Self::sub).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ScaleMismatch`] if the scales differ by more than
+    /// 0.01 %.
+    pub fn try_sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let (a, b) = self.align(a, b);
+        check_scales_match(a.scale(), b.scale())?;
+        Ok(Ciphertext::new(
+            a.c0().sub(b.c0()),
+            a.c1().sub(b.c1()),
+            a.scale(),
+        ))
     }
 
     /// Homomorphic subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales differ by more than 0.01 %.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        let (a, b) = self.align(a, b);
-        assert_scales_match(a.scale(), b.scale());
-        Ciphertext::new(a.c0().sub(b.c0()), a.c1().sub(b.c1()), a.scale())
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Negation.
@@ -217,19 +285,47 @@ impl Evaluator {
         Ciphertext::new(a.c0().neg(), a.c1().neg(), a.scale())
     }
 
+    /// Fallible [`add_plain`](Self::add_plain).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ScaleMismatch`] if ciphertext and plaintext scales
+    /// disagree.
+    pub fn try_add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        check_scales_match(a.scale(), pt.scale())?;
+        let m = pt.poly().truncate_basis(a.level() + 1);
+        Ok(Ciphertext::new(a.c0().add(&m), a.c1().clone(), a.scale()))
+    }
+
     /// Ciphertext + plaintext addition (paper HAdd, ct+pt): adds `m` to
     /// `c_0` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales disagree by more than 0.01 %.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_scales_match(a.scale(), pt.scale());
+        self.try_add_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`sub_plain`](Self::sub_plain).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ScaleMismatch`] if ciphertext and plaintext scales
+    /// disagree.
+    pub fn try_sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        check_scales_match(a.scale(), pt.scale())?;
         let m = pt.poly().truncate_basis(a.level() + 1);
-        Ciphertext::new(a.c0().add(&m), a.c1().clone(), a.scale())
+        Ok(Ciphertext::new(a.c0().sub(&m), a.c1().clone(), a.scale()))
     }
 
     /// Ciphertext − plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales disagree by more than 0.01 %.
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_scales_match(a.scale(), pt.scale());
-        let m = pt.poly().truncate_basis(a.level() + 1);
-        Ciphertext::new(a.c0().sub(&m), a.c1().clone(), a.scale())
+        self.try_sub_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Plaintext multiplication (paper PMult): `(c_0·m, c_1·m)` with scale
@@ -261,6 +357,23 @@ impl Evaluator {
     /// computes `(d_0, d_1, d_2)` and folds `d_2` back with the relin key.
     /// Result scale is Δ_a · Δ_b; rescale afterwards.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_mul(a, b, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`mul`](Self::mul). Today the only failure mode is an
+    /// integrity escalation reported by the checked evaluation layer; the
+    /// plain path always succeeds but shares this signature so callers can
+    /// swap in checked execution without changing control flow.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for [`EvalError::IntegrityFault`] under checked execution.
+    pub fn try_mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
         let (a, b) = self.align(a, b);
         #[cfg(feature = "telemetry")]
         let _span = self.tel.mul.span(((a.level() + 1) * self.ctx.n()) as u64);
@@ -272,13 +385,23 @@ impl Evaluator {
         let d1 = a0.mul(&b1).add(&a1.mul(&b0)).into_coeff();
         let d2 = a1.mul(&b1).into_coeff();
         let (k0, k1) = self.keyswitch(&d2, keys.relin());
-        Ciphertext::new(d0.add(&k0), d1.add(&k1), a.scale() * b.scale())
+        Ok(Ciphertext::new(
+            d0.add(&k0),
+            d1.add(&k1),
+            a.scale() * b.scale(),
+        ))
     }
 
     /// Squares a ciphertext (saves one eval-form product vs [`mul`]).
     ///
     /// [`mul`]: Self::mul
     pub fn square(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_square(a, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`square`](Self::square); see [`try_mul`](Self::try_mul)
+    /// for the error contract.
+    pub fn try_square(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
         #[cfg(feature = "telemetry")]
         let _span = self.tel.mul.span(((a.level() + 1) * self.ctx.n()) as u64);
         let a0 = a.c0().clone().into_eval();
@@ -288,7 +411,11 @@ impl Evaluator {
         let d1 = cross.add(&cross).into_coeff();
         let d2 = a1.mul(&a1).into_coeff();
         let (k0, k1) = self.keyswitch(&d2, keys.relin());
-        Ciphertext::new(d0.add(&k0), d1.add(&k1), a.scale() * a.scale())
+        Ok(Ciphertext::new(
+            d0.add(&k0),
+            d1.add(&k1),
+            a.scale() * a.scale(),
+        ))
     }
 
     /// The raw keyswitch primitive (paper Keyswitch): given `d` in the
@@ -444,6 +571,29 @@ impl Evaluator {
         Ciphertext::new(t0.add(&k0), k1, a.scale())
     }
 
+    /// Fallible [`rescale`](Self::rescale).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::RescaleAtLevelZero`] at level 0 (no prime left to
+    /// drop).
+    pub fn try_rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if a.level() == 0 {
+            return Err(EvalError::RescaleAtLevelZero);
+        }
+        #[cfg(feature = "telemetry")]
+        let _span = self
+            .tel
+            .rescale
+            .span(((a.level() + 1) * self.ctx.n()) as u64);
+        let dropped = *a.c0().basis().primes().last().expect("non-empty") as f64;
+        Ok(Ciphertext::new(
+            rns_rescale(a.c0()),
+            rns_rescale(a.c1()),
+            a.scale() / dropped,
+        ))
+    }
+
     /// Rescale (paper Rescale): divides by the last chain prime and drops a
     /// level; the tracked scale shrinks by exactly that prime.
     ///
@@ -451,18 +601,7 @@ impl Evaluator {
     ///
     /// Panics at level 0 (no prime left to drop).
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
-        assert!(a.level() >= 1, "cannot rescale at level 0");
-        #[cfg(feature = "telemetry")]
-        let _span = self
-            .tel
-            .rescale
-            .span(((a.level() + 1) * self.ctx.n()) as u64);
-        let dropped = *a.c0().basis().primes().last().expect("non-empty") as f64;
-        Ciphertext::new(
-            rns_rescale(a.c0()),
-            rns_rescale(a.c1()),
-            a.scale() / dropped,
-        )
+        self.try_rescale(a).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Rescales until the scale is within a factor of 2 of the default
@@ -484,7 +623,18 @@ impl Evaluator {
     ///
     /// Panics if `cts` is empty.
     pub fn add_many(&self, cts: &[Ciphertext]) -> Ciphertext {
-        assert!(!cts.is_empty(), "need at least one ciphertext");
+        self.try_add_many(cts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`add_many`](Self::add_many).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyOperands`] if `cts` is empty.
+    pub fn try_add_many(&self, cts: &[Ciphertext]) -> Result<Ciphertext, EvalError> {
+        if cts.is_empty() {
+            return Err(EvalError::EmptyOperands);
+        }
         let level = cts.iter().map(Ciphertext::level).min().expect("non-empty");
         let scale = cts
             .iter()
@@ -494,9 +644,9 @@ impl Evaluator {
         let mut acc = self.adjust(&cts[0], level, scale);
         for ct in &cts[1..] {
             let term = self.adjust(ct, level, scale);
-            self.add_assign(&mut acc, &term);
+            self.try_add_assign(&mut acc, &term)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Slot-wise linear combination `Σ w_i · ct_i` with plaintext scalar
@@ -508,6 +658,24 @@ impl Evaluator {
     pub fn linear_combination(&self, cts: &[Ciphertext], weights: &[f64]) -> Ciphertext {
         assert_eq!(cts.len(), weights.len(), "one weight per ciphertext");
         assert!(!cts.is_empty(), "need at least one term");
+        self.try_linear_combination(cts, weights)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`linear_combination`](Self::linear_combination).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyOperands`] if the lists are empty or their
+    /// lengths differ.
+    pub fn try_linear_combination(
+        &self,
+        cts: &[Ciphertext],
+        weights: &[f64],
+    ) -> Result<Ciphertext, EvalError> {
+        if cts.is_empty() || cts.len() != weights.len() {
+            return Err(EvalError::EmptyOperands);
+        }
         let scale = self.ctx.default_scale();
         let level = cts.iter().map(Ciphertext::level).min().expect("non-empty");
         let ct_scale = cts
@@ -522,10 +690,10 @@ impl Evaluator {
             let term = self.mul_plain(&aligned, &pt);
             match &mut acc {
                 None => acc = Some(term),
-                Some(a) => self.add_assign(a, &term),
+                Some(a) => self.try_add_assign(a, &term)?,
             }
         }
-        self.rescale(&acc.expect("non-empty"))
+        self.try_rescale(&acc.expect("non-empty"))
     }
 
     /// Brings a ciphertext to exactly (`target_level`, ≈`target_scale`) by
@@ -760,11 +928,12 @@ fn lift_digit(t: &[u64], ext_basis: &RnsBasis) -> RnsPoly {
     RnsPoly::from_residues(ext_basis, residues, he_rns::Form::Coeff).into_eval()
 }
 
-fn assert_scales_match(a: f64, b: f64) {
-    assert!(
-        (a - b).abs() <= 1e-4 * a.abs().max(b.abs()),
-        "scale mismatch: {a} vs {b}"
-    );
+fn check_scales_match(a: f64, b: f64) -> Result<(), EvalError> {
+    if (a - b).abs() <= 1e-4 * a.abs().max(b.abs()) {
+        Ok(())
+    } else {
+        Err(EvalError::ScaleMismatch { a, b })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,413 @@
+//! Checked evaluation: duplicate execution with checksum comparison,
+//! retry-once recovery, and typed escalation.
+//!
+//! The FPGA carries no ECC on its datapath BRAMs, so Poseidon-class
+//! accelerators must assume residues, twiddle tables, and key material can
+//! be silently corrupted in flight. This module is the software model of
+//! the detection layer: every basic operation routed through
+//! [`CheckedEvaluator`] is executed **twice** (dual modular redundancy)
+//! and the two result ciphertexts are compared by FNV checksum over their
+//! residue vectors ([`he_rns::integrity::digest_poly`] — the same cheap
+//! digests taken at NTT/keyswitch entry and exit). The policy is:
+//!
+//! 1. **detect** — the duplicate digests disagree (or one execution
+//!    panicked on poisoned data): a datapath fault happened in at least
+//!    one run.
+//! 2. **retry once** — re-execute the duplicated pair. A *transient*
+//!    fault (the model's single-shot injections) has passed; the clean
+//!    pair agrees and the caller never notices beyond the
+//!    `integrity.retried` counter.
+//! 3. **escalate** — the retried pair still disagrees: the fault is
+//!    persistent (stuck-at bit, corrupted table). The operation returns
+//!    [`EvalError::IntegrityFault`] — never a panic — so services can
+//!    fail the request, quarantine the accelerator, and continue.
+//!
+//! Detection of persistent faults works because the deterministic
+//! injector (`poseidon-faults`) derives each corruption from its global
+//! hit counter, just as a real stuck-at bit corrupts different data each
+//! time different values stream past it: the two duplicate executions are
+//! corrupted *differently*, so their digests cannot agree.
+//!
+//! Complementing the DMR layer, `he_rns::integrity::GuardedPoly` provides
+//! the cheaper single-execution redundant-residue (RRNS) check for
+//! pointwise operand flows, and `poseidon_core::OperatorPool::ma_checked`
+//! applies an exact sum-invariant at the MA core's retire boundary.
+//!
+//! Counters are process-global (mirroring `poseidon_par::contained_panics`)
+//! and exported as telemetry scopes `integrity.checked` / `.detected` /
+//! `.retried` / `.escalated` when the `telemetry` feature is on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use he_rns::integrity::{digest_poly, fnv1a_words};
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::error::EvalError;
+use crate::eval::Evaluator;
+use crate::keys::KeySet;
+
+static CHECKED: AtomicU64 = AtomicU64::new(0);
+static DETECTED: AtomicU64 = AtomicU64::new(0);
+static RETRIED: AtomicU64 = AtomicU64::new(0);
+static ESCALATED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide integrity counters (see the module docs for the policy
+/// each one marks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Operations executed under duplicate-execution checking.
+    pub checked: u64,
+    /// Digest mismatches (or contained panics) observed on a first pair.
+    pub detected: u64,
+    /// Detections that recovered on the retried pair (transient faults).
+    pub retried: u64,
+    /// Detections that persisted across the retry and surfaced as
+    /// [`EvalError::IntegrityFault`].
+    pub escalated: u64,
+}
+
+/// Snapshot of the global integrity counters.
+pub fn integrity_stats() -> IntegrityStats {
+    IntegrityStats {
+        checked: CHECKED.load(Ordering::Relaxed),
+        detected: DETECTED.load(Ordering::Relaxed),
+        retried: RETRIED.load(Ordering::Relaxed),
+        escalated: ESCALATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Records a checked operation. Public so external checking layers (the
+/// operator pool's retire-boundary checks, the machine's retry wrapper)
+/// aggregate into the same process-wide counters this module exports.
+pub fn note_checked() {
+    CHECKED.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "telemetry")]
+    tel::checked().add(1);
+}
+
+/// Records a detection (see [`note_checked`]).
+pub fn note_detected() {
+    DETECTED.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "telemetry")]
+    tel::detected().add(1);
+}
+
+/// Records a successful retry after a detection (see [`note_checked`]).
+pub fn note_retried() {
+    RETRIED.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "telemetry")]
+    tel::retried().add(1);
+}
+
+/// Records an escalation to [`EvalError::IntegrityFault`]
+/// (see [`note_checked`]).
+pub fn note_escalated() {
+    ESCALATED.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "telemetry")]
+    tel::escalated().add(1);
+}
+
+#[cfg(feature = "telemetry")]
+mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::Arc;
+
+    pub fn checked() -> Arc<Metric> {
+        Registry::global().scope("integrity.checked")
+    }
+    pub fn detected() -> Arc<Metric> {
+        Registry::global().scope("integrity.detected")
+    }
+    pub fn retried() -> Arc<Metric> {
+        Registry::global().scope("integrity.retried")
+    }
+    pub fn escalated() -> Arc<Metric> {
+        Registry::global().scope("integrity.escalated")
+    }
+}
+
+/// Cheap structural checksum of a ciphertext: FNV over both component
+/// polynomials' residues (form-tagged) and the scale bits.
+pub fn digest_ciphertext(ct: &Ciphertext) -> u64 {
+    fnv1a_words(&[
+        digest_poly(ct.c0()),
+        digest_poly(ct.c1()),
+        ct.scale().to_bits(),
+    ])
+}
+
+/// An [`Evaluator`] wrapper that runs every operation under duplicate
+/// execution with digest comparison and the detect → retry-once →
+/// escalate policy. All methods return `Result`: deterministic operand
+/// errors (scale/level mismatch, missing keys) pass through unchanged;
+/// datapath corruption that survives the retry surfaces as
+/// [`EvalError::IntegrityFault`] — never a panic.
+///
+/// # Examples
+///
+/// ```
+/// use he_ckks::integrity::CheckedEvaluator;
+/// use he_ckks::prelude::*;
+/// use he_ckks::encoding::Complex;
+///
+/// let ctx = CkksContext::new(CkksParams::toy());
+/// let mut rng = rand::thread_rng();
+/// let keys = KeySet::generate(&ctx, &mut rng);
+/// let eval = CheckedEvaluator::new(&ctx);
+/// let z = vec![Complex::new(1.0, 0.0); 4];
+/// let pt = Plaintext::new(
+///     ctx.encoder().encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+///     ctx.default_scale(),
+/// );
+/// let ct = keys.public().encrypt(&pt, &mut rng);
+/// let sum = eval.add(&ct, &ct).expect("no faults armed");
+/// # let _ = sum;
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckedEvaluator {
+    inner: Evaluator,
+}
+
+impl CheckedEvaluator {
+    /// Creates a checked evaluator for `ctx`.
+    pub fn new(ctx: &CkksContext) -> Self {
+        Self {
+            inner: Evaluator::new(ctx),
+        }
+    }
+
+    /// Wraps an existing evaluator.
+    pub fn from_evaluator(inner: Evaluator) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped (unchecked) evaluator.
+    pub fn inner(&self) -> &Evaluator {
+        &self.inner
+    }
+
+    /// One duplicated, digest-compared attempt. `Ok(Some)` = pair agreed,
+    /// `Ok(None)` = mismatch or contained panic (a fault was live),
+    /// `Err` = deterministic operand error (identical in both runs —
+    /// propagate, nothing to retry).
+    fn attempt(
+        &self,
+        f: &impl Fn() -> Result<Ciphertext, EvalError>,
+    ) -> Result<Option<Ciphertext>, EvalError> {
+        let run = || catch_unwind(AssertUnwindSafe(f));
+        let (first, second) = (run(), run());
+        match (first, second) {
+            (Ok(Ok(a)), Ok(Ok(b))) => {
+                if digest_ciphertext(&a) == digest_ciphertext(&b) {
+                    Ok(Some(a))
+                } else {
+                    Ok(None)
+                }
+            }
+            // The same operand error from both runs is deterministic
+            // operand validation, not corruption.
+            (Ok(Err(ea)), Ok(Err(eb))) if ea == eb => Err(ea),
+            // Any panic, or divergent error/ok outcomes: poisoned data
+            // tripped an internal invariant in at least one run.
+            _ => Ok(None),
+        }
+    }
+
+    /// The detect → retry-once → escalate policy around a fallible
+    /// operation closure.
+    fn checked(
+        &self,
+        site: &'static str,
+        f: impl Fn() -> Result<Ciphertext, EvalError>,
+    ) -> Result<Ciphertext, EvalError> {
+        note_checked();
+        if let Some(ct) = self.attempt(&f)? {
+            return Ok(ct);
+        }
+        note_detected();
+        match self.attempt(&f)? {
+            Some(ct) => {
+                note_retried();
+                Ok(ct)
+            }
+            None => {
+                note_escalated();
+                Err(EvalError::IntegrityFault { site })
+            }
+        }
+    }
+
+    /// Checked HAdd (ct+ct).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ScaleMismatch`] on operand mismatch;
+    /// [`EvalError::IntegrityFault`] on persistent corruption.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.checked("add", || self.inner.try_add(a, b))
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// As [`add`](Self::add).
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.checked("sub", || self.inner.try_sub(a, b))
+    }
+
+    /// Checked ct+pt addition.
+    ///
+    /// # Errors
+    ///
+    /// As [`add`](Self::add).
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        self.checked("add_plain", || self.inner.try_add_plain(a, pt))
+    }
+
+    /// Checked PMult.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::IntegrityFault`] on persistent corruption.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        self.checked("mul_plain", || Ok(self.inner.mul_plain(a, pt)))
+    }
+
+    /// Checked CMult with relinearisation (covers the keyswitch datapath:
+    /// digit lift, NTTs, key products, Moddown).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::IntegrityFault`] on persistent corruption.
+    pub fn mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        self.checked("mul", || self.inner.try_mul(a, b, keys))
+    }
+
+    /// Checked squaring.
+    ///
+    /// # Errors
+    ///
+    /// As [`mul`](Self::mul).
+    pub fn square(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        self.checked("square", || self.inner.try_square(a, keys))
+    }
+
+    /// Checked rescale.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::RescaleAtLevelZero`] at level 0;
+    /// [`EvalError::IntegrityFault`] on persistent corruption.
+    pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.checked("rescale", || self.inner.try_rescale(a))
+    }
+
+    /// Checked rotation (covers keyswitch + automorphism).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingRotationKey`] when no key exists;
+    /// [`EvalError::IntegrityFault`] on persistent corruption.
+    pub fn rotate(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        self.checked("rotate", || self.inner.try_rotate(a, steps, keys))
+    }
+
+    /// Checked conjugation.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingConjugationKey`] when no key exists;
+    /// [`EvalError::IntegrityFault`] on persistent corruption.
+    pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        self.checked("conjugate", || self.inner.try_conjugate(a, keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, KeySet, CheckedEvaluator, rand::rngs::StdRng) {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFA17);
+        let keys = KeySet::generate(&ctx, &mut rng);
+        let eval = CheckedEvaluator::new(&ctx);
+        (ctx, keys, eval, rng)
+    }
+
+    fn encrypt(
+        ctx: &CkksContext,
+        keys: &KeySet,
+        rng: &mut rand::rngs::StdRng,
+        v: f64,
+    ) -> Ciphertext {
+        let z = vec![crate::encoding::Complex::new(v, 0.0)];
+        let pt = Plaintext::new(
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        keys.public().encrypt(&pt, rng)
+    }
+
+    #[test]
+    fn checked_ops_match_unchecked_when_clean() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, 2.0);
+        let b = encrypt(&ctx, &keys, &mut rng, 3.0);
+        let plain = Evaluator::new(&ctx);
+        assert_eq!(eval.add(&a, &b).unwrap(), plain.add(&a, &b));
+        assert_eq!(eval.sub(&a, &b).unwrap(), plain.sub(&a, &b));
+        assert_eq!(eval.mul(&a, &b, &keys).unwrap(), plain.mul(&a, &b, &keys));
+        assert_eq!(
+            eval.rescale(&eval.mul(&a, &b, &keys).unwrap()).unwrap(),
+            plain.rescale(&plain.mul(&a, &b, &keys))
+        );
+    }
+
+    #[test]
+    fn deterministic_operand_errors_pass_through() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, 1.0);
+        let before = integrity_stats();
+        // Missing rotation key: deterministic, must not count as a
+        // detection (both duplicate runs fail identically).
+        assert!(matches!(
+            eval.rotate(&a, 7, &keys),
+            Err(EvalError::MissingRotationKey { steps: 7 })
+        ));
+        let low = eval.inner().drop_to_level(&a, 0);
+        assert!(matches!(
+            eval.rescale(&low),
+            Err(EvalError::RescaleAtLevelZero)
+        ));
+        let after = integrity_stats();
+        assert_eq!(after.detected, before.detected);
+        assert_eq!(after.escalated, before.escalated);
+    }
+
+    #[test]
+    fn digest_distinguishes_ciphertexts() {
+        let (ctx, keys, _, mut rng) = setup();
+        let a = encrypt(&ctx, &keys, &mut rng, 1.0);
+        let b = encrypt(&ctx, &keys, &mut rng, 1.0);
+        assert_eq!(digest_ciphertext(&a), digest_ciphertext(&a));
+        // Different encryption randomness → different residues.
+        assert_ne!(digest_ciphertext(&a), digest_ciphertext(&b));
+    }
+}

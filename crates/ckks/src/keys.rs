@@ -239,7 +239,18 @@ impl KeySwitchKey {
         let slice = |p: &RnsPoly| {
             let mut residues = p.all_residues()[..keep].to_vec();
             residues.extend(p.all_residues()[chain_len..].iter().cloned());
-            RnsPoly::from_residues(&basis, residues, Form::Eval)
+            #[allow(unused_mut)]
+            let mut out = RnsPoly::from_residues(&basis, residues, Form::Eval);
+            // Injection point for the `KeyCache` fault site: a corrupted
+            // HBM-resident key digit read from the eval-form cache. The
+            // tamper lands on the sliced copy, never the cache itself, so
+            // a retry re-reads clean key material.
+            #[cfg(feature = "faults")]
+            poseidon_faults::tamper_rows(
+                poseidon_faults::FaultSite::KeyCache,
+                out.all_residues_mut(),
+            );
+            out
         };
         let (b, a) = &self.eval_pairs[j];
         Some((slice(b), slice(a)))

@@ -49,6 +49,7 @@ pub mod context;
 pub mod encoding;
 pub mod error;
 pub mod eval;
+pub mod integrity;
 pub mod keys;
 pub mod linear;
 pub mod noise;

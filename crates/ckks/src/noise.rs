@@ -9,6 +9,7 @@
 use crate::cipher::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::Complex;
+use crate::error::EvalError;
 use crate::keys::SecretKey;
 
 /// Noise statistics of a ciphertext measured against a reference message.
@@ -40,10 +41,32 @@ pub fn measure(
     ct: &Ciphertext,
     reference: &[Complex],
 ) -> NoiseReport {
-    assert!(
-        !reference.is_empty() && reference.len() <= ctx.params().slots(),
-        "reference must fit in the slots"
-    );
+    try_measure(ctx, sk, ct, reference)
+        .unwrap_or_else(|_| panic!("reference must fit in the slots"))
+}
+
+/// Fallible [`measure`].
+///
+/// # Errors
+///
+/// [`EvalError::EmptyOperands`] if `reference` is empty,
+/// [`EvalError::InvalidParams`] if it exceeds the slot count.
+pub fn try_measure(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    reference: &[Complex],
+) -> Result<NoiseReport, EvalError> {
+    if reference.is_empty() {
+        return Err(EvalError::EmptyOperands);
+    }
+    if reference.len() > ctx.params().slots() {
+        return Err(EvalError::InvalidParams(format!(
+            "reference has {} values but the context only has {} slots",
+            reference.len(),
+            ctx.params().slots()
+        )));
+    }
     let dec = sk.decrypt(ct);
     let got = ctx
         .encoder()
@@ -68,13 +91,13 @@ pub fn measure(
         .iter()
         .map(|&q| (q as f64).log2())
         .sum();
-    NoiseReport {
+    Ok(NoiseReport {
         max_error,
         rms_error,
         precision_bits,
         budget_bits: live_bits - ct.scale().log2(),
         level: ct.level(),
-    }
+    })
 }
 
 /// Estimated multiplication depth remaining, assuming each CMult+rescale
@@ -149,6 +172,28 @@ mod tests {
         let r = measure(&ctx, keys.secret(), &ct, &wrong);
         assert!(r.max_error > 3.9);
         assert!(r.precision_bits < 0.0 + 1.0);
+    }
+
+    #[test]
+    fn try_measure_rejects_bad_references() {
+        let (ctx, keys, _, mut rng) = setup();
+        let z = vec![Complex::new(1.0, 0.0); 4];
+        let pt = Plaintext::new(
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        let ct = keys.public().encrypt(&pt, &mut rng);
+        assert!(matches!(
+            try_measure(&ctx, keys.secret(), &ct, &[]),
+            Err(EvalError::EmptyOperands)
+        ));
+        let too_many = vec![Complex::new(0.0, 0.0); ctx.params().slots() + 1];
+        assert!(matches!(
+            try_measure(&ctx, keys.secret(), &ct, &too_many),
+            Err(EvalError::InvalidParams(_))
+        ));
+        assert!(try_measure(&ctx, keys.secret(), &ct, &z).is_ok());
     }
 
     #[test]

@@ -99,6 +99,68 @@ impl PoseidonMachine {
         RnsPoly::from_residues(a.basis(), residues, a.form())
     }
 
+    /// [`add_poly`](Self::add_poly) through the MA core's retire-boundary
+    /// sum check, with the detect → retry-once → escalate policy applied
+    /// per residue limb.
+    fn add_poly_checked(&mut self, a: &RnsPoly, b: &RnsPoly) -> Result<RnsPoly, EvalError> {
+        assert_eq!(a.basis(), b.basis());
+        assert_eq!(a.form(), b.form());
+        let mut residues = Vec::with_capacity(a.level_count());
+        for j in 0..a.level_count() {
+            let q = a.basis().primes()[j];
+            let r = match self.pool.ma_checked(a.residues(j), b.residues(j), q) {
+                Ok(r) => r,
+                Err(_) => {
+                    he_ckks::integrity::note_detected();
+                    match self.pool.ma_checked(a.residues(j), b.residues(j), q) {
+                        Ok(r) => {
+                            he_ckks::integrity::note_retried();
+                            r
+                        }
+                        Err(_) => {
+                            he_ckks::integrity::note_escalated();
+                            return Err(EvalError::IntegrityFault {
+                                site: "pool.retire",
+                            });
+                        }
+                    }
+                }
+            };
+            residues.push(r);
+        }
+        Ok(RnsPoly::from_residues(a.basis(), residues, a.form()))
+    }
+
+    /// Subtraction counterpart of
+    /// [`add_poly_checked`](Self::add_poly_checked).
+    fn sub_poly_checked(&mut self, a: &RnsPoly, b: &RnsPoly) -> Result<RnsPoly, EvalError> {
+        assert_eq!(a.basis(), b.basis());
+        let mut residues = Vec::with_capacity(a.level_count());
+        for j in 0..a.level_count() {
+            let q = a.basis().primes()[j];
+            let r = match self.pool.sub_checked(a.residues(j), b.residues(j), q) {
+                Ok(r) => r,
+                Err(_) => {
+                    he_ckks::integrity::note_detected();
+                    match self.pool.sub_checked(a.residues(j), b.residues(j), q) {
+                        Ok(r) => {
+                            he_ckks::integrity::note_retried();
+                            r
+                        }
+                        Err(_) => {
+                            he_ckks::integrity::note_escalated();
+                            return Err(EvalError::IntegrityFault {
+                                site: "pool.retire",
+                            });
+                        }
+                    }
+                }
+            };
+            residues.push(r);
+        }
+        Ok(RnsPoly::from_residues(a.basis(), residues, a.form()))
+    }
+
     fn sub_poly(&mut self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         assert_eq!(a.basis(), b.basis());
         let residues = (0..a.level_count())
@@ -151,12 +213,33 @@ impl PoseidonMachine {
     ///
     /// Panics if levels or scales are incompatible.
     pub fn hadd(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert_eq!(a.level(), b.level(), "align levels before the machine");
-        Ciphertext::new(
-            self.add_poly(a.c0(), b.c0()),
-            self.add_poly(a.c1(), b.c1()),
+        self.try_hadd(a, b).unwrap_or_else(|e| match e {
+            EvalError::LevelMismatch { .. } => panic!("align levels before the machine"),
+            other => panic!("{other}"),
+        })
+    }
+
+    /// Fallible [`hadd`](Self::hadd): the MA cores run with the
+    /// retire-boundary sum check; a detection is recomputed once and a
+    /// persistent fault escalates instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] on unaligned operands,
+    /// [`EvalError::IntegrityFault`] on persistent retire-check failure.
+    pub fn try_hadd(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                a: a.level(),
+                b: b.level(),
+            });
+        }
+        he_ckks::integrity::note_checked();
+        Ok(Ciphertext::new(
+            self.add_poly_checked(a.c0(), b.c0())?,
+            self.add_poly_checked(a.c1(), b.c1())?,
             a.scale(),
-        )
+        ))
     }
 
     /// Drops a ciphertext to a lower level by modulus truncation — a pure
@@ -166,15 +249,34 @@ impl PoseidonMachine {
     ///
     /// Panics if `level` exceeds the current level.
     pub fn drop_to_level(&mut self, ct: &Ciphertext, level: usize) -> Ciphertext {
-        assert!(level <= ct.level(), "cannot raise level by truncation");
-        if level == ct.level() {
-            return ct.clone();
+        self.try_drop_to_level(ct, level)
+            .unwrap_or_else(|_| panic!("cannot raise level by truncation"))
+    }
+
+    /// Fallible [`drop_to_level`](Self::drop_to_level).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] if `level` exceeds the current level.
+    pub fn try_drop_to_level(
+        &mut self,
+        ct: &Ciphertext,
+        level: usize,
+    ) -> Result<Ciphertext, EvalError> {
+        if level > ct.level() {
+            return Err(EvalError::LevelMismatch {
+                a: ct.level(),
+                b: level,
+            });
         }
-        Ciphertext::new(
+        if level == ct.level() {
+            return Ok(ct.clone());
+        }
+        Ok(Ciphertext::new(
             ct.c0().truncate_basis(level + 1),
             ct.c1().truncate_basis(level + 1),
             ct.scale(),
-        )
+        ))
     }
 
     /// HSub: subtraction on both components (HAdd operator cost class).
@@ -183,18 +285,57 @@ impl PoseidonMachine {
     ///
     /// Panics if levels differ.
     pub fn hsub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert_eq!(a.level(), b.level(), "align levels before the machine");
-        Ciphertext::new(
-            self.sub_poly(a.c0(), b.c0()),
-            self.sub_poly(a.c1(), b.c1()),
+        self.try_hsub(a, b).unwrap_or_else(|e| match e {
+            EvalError::LevelMismatch { .. } => panic!("align levels before the machine"),
+            other => panic!("{other}"),
+        })
+    }
+
+    /// Fallible [`hsub`](Self::hsub); see [`try_hadd`](Self::try_hadd)
+    /// for the error contract.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] on unaligned operands,
+    /// [`EvalError::IntegrityFault`] on persistent retire-check failure.
+    pub fn try_hsub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                a: a.level(),
+                b: b.level(),
+            });
+        }
+        he_ckks::integrity::note_checked();
+        Ok(Ciphertext::new(
+            self.sub_poly_checked(a.c0(), b.c0())?,
+            self.sub_poly_checked(a.c1(), b.c1())?,
             a.scale(),
-        )
+        ))
     }
 
     /// HAdd ct+pt: adds `m` to `c_0` only, through the MA core.
     pub fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_add_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`add_plain`](Self::add_plain) through the checked MA
+    /// core.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::IntegrityFault`] on persistent retire-check failure.
+    pub fn try_add_plain(
+        &mut self,
+        a: &Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, EvalError> {
+        he_ckks::integrity::note_checked();
         let m = pt.poly().truncate_basis(a.level() + 1);
-        Ciphertext::new(self.add_poly(a.c0(), &m), a.c1().clone(), a.scale())
+        Ok(Ciphertext::new(
+            self.add_poly_checked(a.c0(), &m)?,
+            a.c1().clone(),
+            a.scale(),
+        ))
     }
 
     /// PMult: NTT the operands, MM, INTT back (scale multiplies).
@@ -302,7 +443,30 @@ impl PoseidonMachine {
 
     /// CMult with relinearisation, entirely on machine cores.
     pub fn cmult(&mut self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        assert_eq!(a.level(), b.level(), "align levels before the machine");
+        self.try_cmult(a, b, keys).unwrap_or_else(|e| match e {
+            EvalError::LevelMismatch { .. } => panic!("align levels before the machine"),
+            other => panic!("{other}"),
+        })
+    }
+
+    /// Fallible [`cmult`](Self::cmult).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] on unaligned operands; reserved for
+    /// [`EvalError::IntegrityFault`] under checked execution.
+    pub fn try_cmult(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        if a.level() != b.level() {
+            return Err(EvalError::LevelMismatch {
+                a: a.level(),
+                b: b.level(),
+            });
+        }
         let a0 = self.ntt_poly(a.c0());
         let a1 = self.ntt_poly(a.c1());
         let b0 = self.ntt_poly(b.c0());
@@ -322,16 +486,25 @@ impl PoseidonMachine {
             self.intt_poly(&p)
         };
         let (k0, k1) = self.keyswitch(&d2, keys.relin());
-        Ciphertext::new(
+        Ok(Ciphertext::new(
             self.add_poly(&d0, &k0),
             self.add_poly(&d1, &k1),
             a.scale() * b.scale(),
-        )
+        ))
     }
 
     /// Squaring, executed as [`cmult`](Self::cmult) of `a` with itself.
     pub fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
         self.cmult(a, a, keys)
+    }
+
+    /// Fallible [`square`](Self::square).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_cmult`](Self::try_cmult).
+    pub fn try_square(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        self.try_cmult(a, a, keys)
     }
 
     /// Rotation: HFAuto on both components, then keyswitch back to `s`.
@@ -495,7 +668,18 @@ impl PoseidonMachine {
     /// Rescale through the MA/MM cascade: subtract the last component's
     /// lifted residues and scale by `q_l⁻¹` per remaining prime.
     pub fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
-        assert!(a.level() >= 1, "cannot rescale at level 0");
+        self.try_rescale(a).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`rescale`](Self::rescale).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::RescaleAtLevelZero`] at level 0.
+    pub fn try_rescale(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if a.level() == 0 {
+            return Err(EvalError::RescaleAtLevelZero);
+        }
         let rescale_poly = |m: &mut Self, p: &RnsPoly| {
             let l = p.level_count();
             let last_prime = p.basis().primes()[l - 1];
@@ -516,6 +700,17 @@ impl PoseidonMachine {
         let dropped = *a.c0().basis().primes().last().expect("non-empty") as f64;
         let c0 = rescale_poly(self, a.c0());
         let c1 = rescale_poly(self, a.c1());
-        Ciphertext::new(c0, c1, a.scale() / dropped)
+        Ok(Ciphertext::new(c0, c1, a.scale() / dropped))
+    }
+
+    /// Fallible [`pmult`](Self::pmult). The plain path always succeeds;
+    /// the signature is shared with the other backends so checked
+    /// execution can slot in.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for [`EvalError::IntegrityFault`] under checked execution.
+    pub fn try_pmult(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        Ok(self.pmult(a, pt))
     }
 }

@@ -22,8 +22,11 @@ use crate::recorder::RecordingEvaluator;
 /// The basic-operation surface shared by every executor (paper Table I's
 /// operation vocabulary, minus bootstrapping).
 ///
-/// Provided `rotate`/`conjugate` wrappers panic with the legacy message on
-/// a missing key; implement only the `try_` forms.
+/// Every operation is specified by its fallible `try_` form — backends
+/// implement only those — and the familiar panicking methods are provided
+/// wrappers that format the [`EvalError`] (preserving the legacy panic
+/// messages). Checked backends surface persistent datapath corruption as
+/// [`EvalError::IntegrityFault`] through the same `try_` surface.
 ///
 /// # Examples
 ///
@@ -41,29 +44,143 @@ use crate::recorder::RecordingEvaluator;
 /// }
 /// ```
 pub trait HomomorphicOps {
+    /// Fallible HAdd, ct+ct.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ScaleMismatch`] / [`EvalError::LevelMismatch`] on
+    /// operand mismatch; [`EvalError::IntegrityFault`] from checked
+    /// backends.
+    fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible subtraction (HAdd cost class).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_add`](Self::try_add).
+    fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible HAdd, ct+pt.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_add`](Self::try_add).
+    fn try_add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible PMult, ct·pt (scale multiplies; rescale afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Reserved for [`EvalError::IntegrityFault`] from checked backends.
+    fn try_mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible CMult with relinearisation.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] on unaligned operands (machine);
+    /// [`EvalError::IntegrityFault`] from checked backends.
+    fn try_mul(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible squaring (CMult cost class).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_mul`](Self::try_mul).
+    fn try_square(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible rescale.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::RescaleAtLevelZero`] at level 0.
+    fn try_rescale(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError>;
+
+    /// Fallible level drop by modulus truncation (no scale change).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] when `level` exceeds the current
+    /// level.
+    fn try_drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Result<Ciphertext, EvalError>;
+
     /// HAdd, ct+ct.
-    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand mismatch or escalated integrity fault.
+    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// HAdd cost class, subtraction.
-    fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// As [`add`](Self::add).
+    fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// HAdd, ct+pt.
-    fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// As [`add`](Self::add).
+    fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_add_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// PMult, ct·pt (scale multiplies; rescale afterwards).
-    fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// Panics on escalated integrity fault.
+    fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_mul_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// CMult with relinearisation.
-    fn mul(&mut self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// As [`add`](Self::add).
+    fn mul(&mut self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_mul(a, b, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Squaring (CMult cost class).
-    fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// As [`mul`](Self::mul).
+    fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_square(a, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Rescale: drops the chain's last prime and divides the scale.
-    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 0.
+    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
+        self.try_rescale(a).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Level drop by modulus truncation (no scale change).
-    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext;
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` exceeds the current level.
+    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext {
+        self.try_drop_to_level(a, level)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Fallible slot rotation.
     ///
@@ -137,36 +254,41 @@ pub trait HomomorphicOps {
 }
 
 impl HomomorphicOps for Evaluator {
-    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        Evaluator::add(self, a, b)
+    fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_add(self, a, b)
     }
 
-    fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        Evaluator::sub(self, a, b)
+    fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_sub(self, a, b)
     }
 
-    fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        Evaluator::add_plain(self, a, pt)
+    fn try_add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_add_plain(self, a, pt)
     }
 
-    fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        Evaluator::mul_plain(self, a, pt)
+    fn try_mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        Ok(Evaluator::mul_plain(self, a, pt))
     }
 
-    fn mul(&mut self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        Evaluator::mul(self, a, b, keys)
+    fn try_mul(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_mul(self, a, b, keys)
     }
 
-    fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        Evaluator::square(self, a, keys)
+    fn try_square(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_square(self, a, keys)
     }
 
-    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
-        Evaluator::rescale(self, a)
+    fn try_rescale(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_rescale(self, a)
     }
 
-    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext {
-        Evaluator::drop_to_level(self, a, level)
+    fn try_drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Result<Ciphertext, EvalError> {
+        Evaluator::try_drop_to_level(self, a, level)
     }
 
     fn try_rotate(
@@ -193,37 +315,42 @@ impl HomomorphicOps for Evaluator {
 }
 
 impl HomomorphicOps for RecordingEvaluator {
-    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        RecordingEvaluator::add(self, a, b)
+    fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        RecordingEvaluator::try_add(self, a, b)
     }
 
-    fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        RecordingEvaluator::sub(self, a, b)
+    fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        RecordingEvaluator::try_sub(self, a, b)
     }
 
-    fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        RecordingEvaluator::add_plain(self, a, pt)
+    fn try_add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        RecordingEvaluator::try_add_plain(self, a, pt)
     }
 
-    fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        RecordingEvaluator::mul_plain(self, a, pt)
+    fn try_mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        Ok(RecordingEvaluator::mul_plain(self, a, pt))
     }
 
-    fn mul(&mut self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        RecordingEvaluator::mul(self, a, b, keys)
+    fn try_mul(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        RecordingEvaluator::try_mul(self, a, b, keys)
     }
 
-    fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        RecordingEvaluator::square(self, a, keys)
+    fn try_square(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        RecordingEvaluator::try_square(self, a, keys)
     }
 
-    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
-        RecordingEvaluator::rescale(self, a)
+    fn try_rescale(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        RecordingEvaluator::try_rescale(self, a)
     }
 
-    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext {
+    fn try_drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Result<Ciphertext, EvalError> {
         // Free data movement — nothing to record.
-        self.inner().drop_to_level(a, level)
+        self.inner().try_drop_to_level(a, level)
     }
 
     fn try_rotate(
@@ -241,36 +368,41 @@ impl HomomorphicOps for RecordingEvaluator {
 }
 
 impl HomomorphicOps for PoseidonMachine {
-    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        PoseidonMachine::hadd(self, a, b)
+    fn try_add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_hadd(self, a, b)
     }
 
-    fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        PoseidonMachine::hsub(self, a, b)
+    fn try_sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_hsub(self, a, b)
     }
 
-    fn add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        PoseidonMachine::add_plain(self, a, pt)
+    fn try_add_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_add_plain(self, a, pt)
     }
 
-    fn mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        PoseidonMachine::pmult(self, a, pt)
+    fn try_mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_pmult(self, a, pt)
     }
 
-    fn mul(&mut self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        PoseidonMachine::cmult(self, a, b, keys)
+    fn try_mul(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_cmult(self, a, b, keys)
     }
 
-    fn square(&mut self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        PoseidonMachine::square(self, a, keys)
+    fn try_square(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_square(self, a, keys)
     }
 
-    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
-        PoseidonMachine::rescale(self, a)
+    fn try_rescale(&mut self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_rescale(self, a)
     }
 
-    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext {
-        PoseidonMachine::drop_to_level(self, a, level)
+    fn try_drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_drop_to_level(self, a, level)
     }
 
     fn try_rotate(

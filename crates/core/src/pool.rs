@@ -9,7 +9,6 @@
 
 use he_math::BarrettReducer;
 use he_ntt::{FusedNtt, NttTable};
-#[cfg(not(feature = "telemetry"))]
 use std::cell::Cell;
 use std::collections::HashMap;
 
@@ -88,6 +87,8 @@ pub struct OperatorPool {
     usage: Cell<OperatorCounts>,
     #[cfg(feature = "telemetry")]
     metrics: PoolMetrics,
+    /// `Cell`: bumped while a telemetry retire-span still borrows `self`.
+    retire_checks: Cell<RetireCheckCounts>,
 }
 
 impl OperatorPool {
@@ -114,6 +115,7 @@ impl OperatorPool {
             usage: Cell::new(OperatorCounts::ZERO),
             #[cfg(feature = "telemetry")]
             metrics: PoolMetrics::new(),
+            retire_checks: Cell::new(RetireCheckCounts::default()),
         }
     }
 
@@ -324,7 +326,128 @@ impl OperatorPool {
     }
 }
 
+/// Counters for the retire-boundary integrity checks
+/// ([`OperatorPool::ma_checked`] / [`OperatorPool::sub_checked`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetireCheckCounts {
+    /// Retire boundaries that ran the sum-invariant check.
+    pub checked: u64,
+    /// Checks whose invariant failed (corruption between compute and
+    /// retire).
+    pub detected: u64,
+}
+
 impl OperatorPool {
+    /// Retire-boundary integrity counters accumulated so far.
+    pub fn retire_checks(&self) -> RetireCheckCounts {
+        self.retire_checks.get()
+    }
+
+    fn bump_retire_check(&self, detected: bool) {
+        let mut c = self.retire_checks.get();
+        c.checked += 1;
+        c.detected += u64::from(detected);
+        self.retire_checks.set(c);
+    }
+
+    /// MA core with an ABFT sum-invariant verified at the retire boundary.
+    ///
+    /// While the adder computes `c_i = a_i + b_i − w_i·q` it also counts
+    /// the wraps `w = Σ w_i`; at retire the exact (u128) identity
+    /// `Σ c_i + w·q = Σ a_i + Σ b_i` is re-checked against the output
+    /// buffer as written back. Any single-word corruption of the result —
+    /// a flipped bit `2^j` with `j` below the prime's width is never a
+    /// multiple of `q` — breaks the identity, so single-residue faults at
+    /// this boundary are detected with certainty, at the cost of two
+    /// u128 accumulations per element instead of a duplicate execution.
+    ///
+    /// With the `faults` feature and an armed `RnsResidue` plan, the
+    /// output buffer is tampered between compute and retire — the model
+    /// of a writeback-path upset.
+    ///
+    /// # Errors
+    ///
+    /// [`he_rns::IntegrityError::ChecksumMismatch`] when the retire
+    /// invariant fails; the caller decides whether to recompute (retry)
+    /// or escalate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn ma_checked(
+        &mut self,
+        a: &[u64],
+        b: &[u64],
+        q: u64,
+    ) -> Result<Vec<u64>, he_rns::IntegrityError> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        let _op = self.retire(Operator::Ma, a.len() as u64);
+        let mut wraps: u128 = 0;
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let s = x as u128 + y as u128;
+            if s >= q as u128 {
+                wraps += 1;
+                out.push((s - q as u128) as u64);
+            } else {
+                out.push(s as u64);
+            }
+        }
+        #[cfg(feature = "faults")]
+        poseidon_faults::tamper(poseidon_faults::FaultSite::RnsResidue, &mut out);
+        let sum_in: u128 = a.iter().zip(b).map(|(&x, &y)| x as u128 + y as u128).sum();
+        let sum_out: u128 = out.iter().map(|&v| v as u128).sum();
+        let bad = sum_out + wraps * q as u128 != sum_in;
+        self.bump_retire_check(bad);
+        if bad {
+            return Err(he_rns::IntegrityError::ChecksumMismatch { site: "pool.ma" });
+        }
+        Ok(out)
+    }
+
+    /// MA core in subtract mode with the retire-boundary sum invariant:
+    /// `Σ c_i = Σ a_i − Σ b_i + w·q` with `w` the borrow count. See
+    /// [`ma_checked`](Self::ma_checked).
+    ///
+    /// # Errors
+    ///
+    /// [`he_rns::IntegrityError::ChecksumMismatch`] when the invariant
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn sub_checked(
+        &mut self,
+        a: &[u64],
+        b: &[u64],
+        q: u64,
+    ) -> Result<Vec<u64>, he_rns::IntegrityError> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        let _op = self.retire(Operator::Ma, a.len() as u64);
+        let mut borrows: i128 = 0;
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            if x >= y {
+                out.push(x - y);
+            } else {
+                borrows += 1;
+                out.push(x + q - y);
+            }
+        }
+        #[cfg(feature = "faults")]
+        poseidon_faults::tamper(poseidon_faults::FaultSite::RnsResidue, &mut out);
+        let sum_a: i128 = a.iter().map(|&v| v as i128).sum();
+        let sum_b: i128 = b.iter().map(|&v| v as i128).sum();
+        let sum_out: i128 = out.iter().map(|&v| v as i128).sum();
+        let bad = sum_out != sum_a - sum_b + borrows * q as i128;
+        self.bump_retire_check(bad);
+        if bad {
+            return Err(he_rns::IntegrityError::ChecksumMismatch { site: "pool.ma" });
+        }
+        Ok(out)
+    }
+
     /// MA core in subtract mode (hardware MA handles add and subtract via
     /// operand negation on the same datapath).
     ///

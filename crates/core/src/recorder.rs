@@ -80,20 +80,51 @@ impl RecordingEvaluator {
 
     /// Recorded HAdd.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible HAdd: nothing is recorded when the operands are
+    /// rejected (the operation never executed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalError`].
+    pub fn try_add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_add(a, b)?;
         self.record(BasicOp::HAdd, a);
-        self.inner.add(a, b)
+        Ok(out)
     }
 
     /// Recorded HAdd (subtraction variant — same operator cost).
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalError`].
+    pub fn try_sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_sub(a, b)?;
         self.record(BasicOp::HAdd, a);
-        self.inner.sub(a, b)
+        Ok(out)
     }
 
     /// Recorded ciphertext-plaintext addition.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_add_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible ciphertext-plaintext addition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalError`].
+    pub fn try_add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_add_plain(a, pt)?;
         self.record(BasicOp::HAdd, a);
-        self.inner.add_plain(a, pt)
+        Ok(out)
     }
 
     /// Recorded PMult.
@@ -104,20 +135,55 @@ impl RecordingEvaluator {
 
     /// Recorded CMult (with relinearisation).
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_mul(a, b, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible CMult.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalError`].
+    pub fn try_mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_mul(a, b, keys)?;
         self.record(BasicOp::CMult, a);
-        self.inner.mul(a, b, keys)
+        Ok(out)
     }
 
     /// Recorded squaring (CMult cost class).
     pub fn square(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        self.try_square(a, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible squaring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's [`EvalError`].
+    pub fn try_square(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_square(a, keys)?;
         self.record(BasicOp::CMult, a);
-        self.inner.square(a, keys)
+        Ok(out)
     }
 
     /// Recorded Rescale.
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        self.try_rescale(a).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible Rescale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError::RescaleAtLevelZero`] from the evaluator.
+    pub fn try_rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_rescale(a)?;
         self.record(BasicOp::Rescale, a);
-        self.inner.rescale(a)
+        Ok(out)
     }
 
     /// Recorded Rotation.

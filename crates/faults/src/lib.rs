@@ -1,0 +1,481 @@
+//! Deterministic fault injection for the Poseidon datapath model.
+//!
+//! The paper's datapath (operator pool, 512-lane cores, scratchpad, 32 HBM
+//! channels) is modeled in this workspace as pure-Rust functional cores. A
+//! production service built on that stack has to survive corrupted buffers
+//! and flaky workers, so the integrity layer (RRNS guard limbs, FNV
+//! checksums, retry/escalation — see `he_rns::integrity` and
+//! `he_ckks::integrity`) needs something to *catch*. This crate is that
+//! something: a seeded, fully deterministic injector that corrupts residue
+//! words at named hook sites sprinkled through the stack.
+//!
+//! Design constraints:
+//!
+//! * **Deterministic.** A [`FaultPlan`] carries a seed; the corrupted word
+//!   index, bit position, and payload derive from `splitmix64(seed, hit)`.
+//!   Re-arming the same plan reproduces the same corruption sequence
+//!   exactly, so every detection test is replayable.
+//! * **No-op when disarmed.** The hot-path check is one relaxed atomic
+//!   load; consumer crates additionally gate every hook call site behind
+//!   their own `faults` cargo feature, so a build without the feature
+//!   compiles the hooks away entirely (mirroring the `telemetry` gate) and
+//!   stays bit-identical to `main`.
+//! * **Dependency-free.** `std`-only, like the rest of the workspace.
+//!
+//! Hook sites (see [`FaultSite`]) map to the paper's hardware structures:
+//! RNS residue vectors (register files / scratchpad lines), NTT twiddle
+//! tables (BRAM), the eval-form key-switch key cache (HBM-resident keys),
+//! `poseidon-par` scratch buffers (on-chip scratchpad), and the simulator's
+//! HBM channel model (memory-side corruption).
+//!
+//! # Examples
+//!
+//! ```
+//! use poseidon_faults::{arm, disarm, fired, tamper, FaultKind, FaultPlan, FaultSite};
+//!
+//! let _lock = poseidon_faults::test_lock();
+//! arm(FaultPlan::transient(FaultSite::RnsResidue, FaultKind::BitFlip, 42));
+//! let mut buf = vec![7u64; 16];
+//! assert!(tamper(FaultSite::RnsResidue, &mut buf)); // fires once…
+//! assert!(!tamper(FaultSite::RnsResidue, &mut buf)); // …then never again
+//! assert_eq!(fired(), 1);
+//! disarm();
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Where in the modeled datapath a fault lands. Each variant corresponds
+/// to one family of hook call sites in the consumer crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `RnsPoly` residue vectors at NTT entry (`he-rns`): register-file /
+    /// scratchpad-line corruption of live ciphertext limbs.
+    RnsResidue,
+    /// NTT working vectors at transform entry (`he-ntt`): models a
+    /// corrupted twiddle BRAM word poisoning the butterfly network.
+    NttTwiddle,
+    /// The eval-form key-switch key cache read path (`he-ckks`): models a
+    /// corrupted HBM-resident key digit.
+    KeyCache,
+    /// `poseidon-par` scratch-pool buffers at hand-out: models stale or
+    /// flipped scratchpad contents.
+    ParScratch,
+    /// The simulator's HBM channel model (`poseidon-sim`): corrupted beats
+    /// on one channel of a striped transfer.
+    HbmChannel,
+}
+
+impl FaultSite {
+    /// Every site, in hook order.
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::RnsResidue,
+        FaultSite::NttTwiddle,
+        FaultSite::KeyCache,
+        FaultSite::ParScratch,
+        FaultSite::HbmChannel,
+    ];
+
+    /// Stable lower-case name (used by the `tables faults` report).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::RnsResidue => "rns_residue",
+            FaultSite::NttTwiddle => "ntt_twiddle",
+            FaultSite::KeyCache => "key_cache",
+            FaultSite::ParScratch => "par_scratch",
+            FaultSite::HbmChannel => "hbm_channel",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::RnsResidue => 0,
+            FaultSite::NttTwiddle => 1,
+            FaultSite::KeyCache => 2,
+            FaultSite::ParScratch => 3,
+            FaultSite::HbmChannel => 4,
+        }
+    }
+}
+
+/// What corruption a firing hook applies to the chosen word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit (position derived from the seed, confined to
+    /// [`FaultPlan::bit_width`] so the word stays in-range for the modeled
+    /// datapath width).
+    BitFlip,
+    /// Flip two distinct bits of the same word.
+    DoubleBitFlip,
+    /// Force the word to a fixed value (stuck-at pattern).
+    StuckAt(u64),
+    /// Zero a run of `len` words starting at the chosen index (clamped to
+    /// the buffer end).
+    ZeroRange(usize),
+}
+
+/// Whether a plan fires once or on every matching hook hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Persistence {
+    /// Fire exactly once, then fall silent (a transient upset — SEU).
+    Transient,
+    /// Fire on every matching hit (a stuck datapath element).
+    Persistent,
+}
+
+/// A complete, deterministic description of one injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Hook family to target.
+    pub site: FaultSite,
+    /// Corruption applied on fire.
+    pub kind: FaultKind,
+    /// One-shot or every-hit.
+    pub persistence: Persistence,
+    /// Number of matching hits to let pass before the first fire (selects
+    /// *which* buffer in a pipeline gets hit — deterministically).
+    pub skip: u64,
+    /// Seed for the word/bit/payload choices.
+    pub seed: u64,
+    /// Bit width of the modeled datapath word: flips land in bits
+    /// `0..bit_width`. Residues are < 2^31 here, so the default 28 keeps
+    /// corrupted words inside the arithmetic range a real RNS lane holds
+    /// (flipping bit 63 of a software u64 would model a fault in storage
+    /// the hardware doesn't have).
+    pub bit_width: u32,
+}
+
+impl FaultPlan {
+    /// A one-shot plan with default skip 0 and bit width 28.
+    pub fn transient(site: FaultSite, kind: FaultKind, seed: u64) -> Self {
+        Self {
+            site,
+            kind,
+            persistence: Persistence::Transient,
+            skip: 0,
+            seed,
+            bit_width: 28,
+        }
+    }
+
+    /// An every-hit plan with default skip 0 and bit width 28.
+    pub fn persistent(site: FaultSite, kind: FaultKind, seed: u64) -> Self {
+        Self {
+            persistence: Persistence::Persistent,
+            ..Self::transient(site, kind, seed)
+        }
+    }
+
+    /// Lets the first `skip` matching hits pass untouched.
+    pub fn after(mut self, skip: u64) -> Self {
+        self.skip = skip;
+        self
+    }
+
+    /// Overrides the modeled datapath word width.
+    pub fn width(mut self, bits: u32) -> Self {
+        self.bit_width = bits.clamp(1, 63);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    plan: FaultPlan,
+    /// Matching hook hits seen since arming.
+    hits: u64,
+    /// Fires applied since arming.
+    fired: u64,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static FIRED: AtomicU64 = AtomicU64::new(0);
+static SITE_HITS: [AtomicU64; 5] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+fn state() -> &'static Mutex<Option<Armed>> {
+    static S: OnceLock<Mutex<Option<Armed>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(None))
+}
+
+/// SplitMix64 — the standard 64-bit mixer; deterministic and
+/// dependency-free. Public so tests can predict injector choices.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Arms the global injector with `plan`, resetting hit/fire counters.
+/// Any previously armed plan is replaced.
+pub fn arm(plan: FaultPlan) {
+    let mut s = state().lock().expect("fault injector poisoned");
+    *s = Some(Armed {
+        plan,
+        hits: 0,
+        fired: 0,
+    });
+    FIRED.store(0, Ordering::Relaxed);
+    for h in &SITE_HITS {
+        h.store(0, Ordering::Relaxed);
+    }
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Disarms the injector. Hooks return to the single-atomic-load fast path.
+pub fn disarm() {
+    ACTIVE.store(false, Ordering::Release);
+    let mut s = state().lock().expect("fault injector poisoned");
+    *s = None;
+}
+
+/// Whether a plan is currently armed.
+pub fn armed() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Total fires since the last [`arm`].
+pub fn fired() -> u64 {
+    FIRED.load(Ordering::Relaxed)
+}
+
+/// Matching-or-not hook hits per site since the last [`arm`] (coverage
+/// observability: proves a sweep actually reached a site).
+pub fn site_hits(site: FaultSite) -> u64 {
+    SITE_HITS[site.index()].load(Ordering::Relaxed)
+}
+
+/// The hook. Call sites pass the site they model and the buffer about to
+/// be consumed; when the armed plan matches and its trigger conditions are
+/// met, the buffer is corrupted in place and `true` is returned.
+///
+/// Disarmed cost is one relaxed atomic load; consumer crates additionally
+/// compile the call out entirely without their `faults` feature.
+pub fn tamper(site: FaultSite, buf: &mut [u64]) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) || buf.is_empty() {
+        return false;
+    }
+    let mut guard = state().lock().expect("fault injector poisoned");
+    let Some(armed) = guard.as_mut() else {
+        return false;
+    };
+    SITE_HITS[site.index()].fetch_add(1, Ordering::Relaxed);
+    if armed.plan.site != site {
+        return false;
+    }
+    armed.hits += 1;
+    if armed.hits <= armed.plan.skip {
+        return false;
+    }
+    if armed.plan.persistence == Persistence::Transient && armed.fired >= 1 {
+        return false;
+    }
+    let draw = splitmix64(armed.plan.seed ^ armed.hits.wrapping_mul(0xA24B_AED4_963E_E407));
+    let idx = (draw % buf.len() as u64) as usize;
+    match armed.plan.kind {
+        FaultKind::BitFlip => {
+            let bit = (splitmix64(draw) % u64::from(armed.plan.bit_width)) as u32;
+            buf[idx] ^= 1u64 << bit;
+        }
+        FaultKind::DoubleBitFlip => {
+            let w = u64::from(armed.plan.bit_width);
+            let b1 = (splitmix64(draw) % w) as u32;
+            let b2 = ((splitmix64(draw ^ 1) % (w - 1) + 1 + u64::from(b1)) % w) as u32;
+            buf[idx] ^= (1u64 << b1) | (1u64 << b2);
+        }
+        FaultKind::StuckAt(v) => {
+            buf[idx] = v & ((1u64 << armed.plan.bit_width) - 1);
+        }
+        FaultKind::ZeroRange(len) => {
+            let end = (idx + len.max(1)).min(buf.len());
+            for w in &mut buf[idx..end] {
+                *w = 0;
+            }
+        }
+    }
+    armed.fired += 1;
+    FIRED.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Convenience hook for per-limb residue matrices: tampers each row in
+/// order (serially, before any parallel dispatch, so the firing sequence
+/// is independent of thread count).
+pub fn tamper_rows(site: FaultSite, rows: &mut [Vec<u64>]) -> bool {
+    let mut any = false;
+    for row in rows {
+        any |= tamper(site, row);
+    }
+    any
+}
+
+/// Runs `f` with the injector temporarily silenced, restoring the previous
+/// armed state afterwards — models re-dispatching work to a known-good
+/// spare unit. Panic-safe.
+pub fn suppressed<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.store(self.0, Ordering::Release);
+        }
+    }
+    let _restore = Restore(ACTIVE.swap(false, Ordering::AcqRel));
+    f()
+}
+
+/// Serialises tests that arm the global injector. Every test (in any
+/// crate) that calls [`arm`] should hold this for its duration; the guard
+/// also recovers from a poisoned lock so one failing test doesn't cascade.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_hook_is_inert() {
+        let _l = test_lock();
+        disarm();
+        let mut buf = vec![3u64; 8];
+        assert!(!tamper(FaultSite::RnsResidue, &mut buf));
+        assert_eq!(buf, vec![3u64; 8]);
+    }
+
+    #[test]
+    fn transient_fires_exactly_once_and_is_reproducible() {
+        let _l = test_lock();
+        let run = || {
+            arm(FaultPlan::transient(
+                FaultSite::NttTwiddle,
+                FaultKind::BitFlip,
+                0xFEED,
+            ));
+            let mut buf = vec![0u64; 32];
+            assert!(tamper(FaultSite::NttTwiddle, &mut buf));
+            let first = buf.clone();
+            assert!(!tamper(FaultSite::NttTwiddle, &mut buf));
+            assert_eq!(buf, first, "transient must not fire twice");
+            disarm();
+            first
+        };
+        assert_eq!(run(), run(), "same seed must corrupt identically");
+    }
+
+    #[test]
+    fn persistent_fires_every_hit() {
+        let _l = test_lock();
+        arm(FaultPlan::persistent(
+            FaultSite::ParScratch,
+            FaultKind::StuckAt(0xAB),
+            7,
+        ));
+        let mut buf = vec![1u64; 16];
+        for _ in 0..4 {
+            assert!(tamper(FaultSite::ParScratch, &mut buf));
+        }
+        assert_eq!(fired(), 4);
+        disarm();
+    }
+
+    #[test]
+    fn skip_delays_the_first_fire() {
+        let _l = test_lock();
+        arm(FaultPlan::transient(FaultSite::KeyCache, FaultKind::BitFlip, 1).after(2));
+        let mut buf = vec![9u64; 8];
+        assert!(!tamper(FaultSite::KeyCache, &mut buf));
+        assert!(!tamper(FaultSite::KeyCache, &mut buf));
+        assert_eq!(buf, vec![9u64; 8]);
+        assert!(tamper(FaultSite::KeyCache, &mut buf));
+        disarm();
+    }
+
+    #[test]
+    fn mismatched_site_counts_hits_but_never_fires() {
+        let _l = test_lock();
+        arm(FaultPlan::persistent(
+            FaultSite::HbmChannel,
+            FaultKind::BitFlip,
+            3,
+        ));
+        let mut buf = vec![5u64; 4];
+        assert!(!tamper(FaultSite::RnsResidue, &mut buf));
+        assert_eq!(buf, vec![5u64; 4]);
+        assert_eq!(site_hits(FaultSite::RnsResidue), 1);
+        assert_eq!(fired(), 0);
+        disarm();
+    }
+
+    #[test]
+    fn bit_flip_respects_modeled_word_width() {
+        let _l = test_lock();
+        for seed in 0..64u64 {
+            arm(FaultPlan::persistent(FaultSite::RnsResidue, FaultKind::BitFlip, seed).width(28));
+            let mut buf = vec![0u64; 8];
+            assert!(tamper(FaultSite::RnsResidue, &mut buf));
+            let word = *buf.iter().find(|&&w| w != 0).expect("one bit flipped");
+            assert!(
+                word < (1 << 28),
+                "flip escaped the datapath width: {word:#x}"
+            );
+            disarm();
+        }
+    }
+
+    #[test]
+    fn double_flip_touches_two_distinct_bits() {
+        let _l = test_lock();
+        arm(FaultPlan::transient(
+            FaultSite::RnsResidue,
+            FaultKind::DoubleBitFlip,
+            11,
+        ));
+        let mut buf = vec![0u64; 4];
+        assert!(tamper(FaultSite::RnsResidue, &mut buf));
+        let word = *buf.iter().find(|&&w| w != 0).expect("bits flipped");
+        assert_eq!(word.count_ones(), 2);
+        disarm();
+    }
+
+    #[test]
+    fn zero_range_clamps_to_buffer_end() {
+        let _l = test_lock();
+        arm(FaultPlan::transient(
+            FaultSite::ParScratch,
+            FaultKind::ZeroRange(1000),
+            5,
+        ));
+        let mut buf = vec![7u64; 8];
+        assert!(tamper(FaultSite::ParScratch, &mut buf));
+        assert!(buf.contains(&0));
+        disarm();
+    }
+
+    #[test]
+    fn suppressed_silences_and_restores() {
+        let _l = test_lock();
+        arm(FaultPlan::persistent(
+            FaultSite::RnsResidue,
+            FaultKind::BitFlip,
+            2,
+        ));
+        let mut buf = vec![1u64; 8];
+        suppressed(|| {
+            assert!(!tamper(FaultSite::RnsResidue, &mut buf));
+        });
+        assert_eq!(buf, vec![1u64; 8]);
+        assert!(armed(), "suppression must restore the armed state");
+        assert!(tamper(FaultSite::RnsResidue, &mut buf));
+        disarm();
+    }
+}

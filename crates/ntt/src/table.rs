@@ -138,6 +138,11 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "input length must equal N");
         #[cfg(feature = "telemetry")]
         let _span = tel::forward().span(self.n as u64);
+        // Injection point for the `NttTwiddle` fault site: a corrupted
+        // twiddle BRAM word is modeled as corruption of the working vector
+        // entering the butterfly network.
+        #[cfg(feature = "faults")]
+        poseidon_faults::tamper(poseidon_faults::FaultSite::NttTwiddle, a);
         crate::negacyclic::forward_in_place(a, &self.psi_rev, self.q);
     }
 
@@ -150,6 +155,8 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "input length must equal N");
         #[cfg(feature = "telemetry")]
         let _span = tel::inverse().span(self.n as u64);
+        #[cfg(feature = "faults")]
+        poseidon_faults::tamper(poseidon_faults::FaultSite::NttTwiddle, a);
         crate::negacyclic::inverse_in_place(a, &self.inv_psi_rev, &self.n_inv, self.q);
     }
 

@@ -67,6 +67,11 @@ mod tel {
         static M: OnceLock<Arc<Metric>> = OnceLock::new();
         M.get_or_init(|| Registry::global().scope("par.worker"))
     }
+
+    pub fn contained() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("par.contained"))
+    }
 }
 
 /// Dispatches whose total work (items × per-item weight) falls below this
@@ -78,6 +83,18 @@ pub const PAR_THRESHOLD: usize = 1 << 13;
 
 /// `0` means "not set": fall back to `POSEIDON_THREADS` or the host.
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker panics contained — and recovered by a serial re-dispatch — since
+/// process start (see [`par_map`]).
+static CONTAINED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of worker panics that [`par_map`]/[`par_map_unzip`] contained
+/// and recovered via serial re-dispatch since process start. A panic that
+/// reproduces on the retry is *not* counted — it propagates to the caller
+/// unchanged.
+pub fn contained_panics() -> u64 {
+    CONTAINED.load(Ordering::Relaxed)
+}
 
 thread_local! {
     /// Scoped override installed by [`with_threads`].
@@ -287,6 +304,17 @@ where
 /// Builds `vec![f(0), f(1), …, f(n-1)]`, evaluating `f` across the thread
 /// team. `weight` as in [`par_for_each_mut`]. Output order is index order
 /// regardless of scheduling, keeping results bit-identical to serial.
+///
+/// # Panic containment
+///
+/// On the parallel path each item runs under `catch_unwind`: a panicking
+/// item does not tear down the dispatch. Failed items are re-run serially
+/// on the calling thread, once each — a transient failure (a poisoned
+/// limb job) recovers and bumps [`contained_panics`]; a panic that
+/// reproduces on the retry propagates to the caller with its original
+/// payload, so deterministic `assert!` failures behave exactly as before.
+/// The retry re-invokes `f` from scratch, which is sound here because
+/// dispatch closures in this workspace are pure per-index producers.
 pub fn par_map<U, F>(n: usize, weight: usize, f: F) -> Vec<U>
 where
     U: Send,
@@ -302,9 +330,15 @@ where
     #[cfg(feature = "telemetry")]
     let _dispatch = tel::dispatch().span(t as u64);
     let bounds = chunk_bounds(n, t);
-    let mut out = Vec::with_capacity(n);
+    // Items evaluate to Ok(value) or Err(index) when the item panicked;
+    // the unwind payload is dropped in the worker and regenerated (or not)
+    // by the serial retry below.
+    let run_contained = |i: usize| -> Result<U, usize> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|_| i)
+    };
+    let mut attempts: Vec<Result<U, usize>> = Vec::with_capacity(n);
     std::thread::scope(|s| {
-        let f = &f;
+        let run = &run_contained;
         let handles: Vec<_> = bounds[1..]
             .iter()
             .map(|&(start, end)| {
@@ -312,7 +346,7 @@ where
                     let _guard = WorkerGuard::enter();
                     #[cfg(feature = "telemetry")]
                     let _busy = tel::worker().span((end - start) as u64);
-                    (start..end).map(f).collect::<Vec<U>>()
+                    (start..end).map(run).collect::<Vec<Result<U, usize>>>()
                 })
             })
             .collect();
@@ -320,16 +354,33 @@ where
             let _guard = WorkerGuard::enter();
             #[cfg(feature = "telemetry")]
             let _busy = tel::worker().span((bounds[0].1 - bounds[0].0) as u64);
-            out.extend((bounds[0].0..bounds[0].1).map(f));
+            attempts.extend((bounds[0].0..bounds[0].1).map(run));
         }
         for h in handles {
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok(part) => attempts.extend(part),
+                // Unreachable in practice (items are contained), but a
+                // panic outside the contained region must still surface.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
-    out
+    attempts
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(i) => {
+                // Serial re-dispatch of the poisoned item on the calling
+                // thread; a second failure propagates unchanged.
+                let _guard = WorkerGuard::enter();
+                let v = f(i);
+                CONTAINED.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                tel::contained().add(1);
+                v
+            }
+        })
+        .collect()
 }
 
 /// Two-result variant of [`par_map`]: evaluates `f(j) -> (A, B)` over the
@@ -448,6 +499,8 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates() {
+        // A deterministic panic survives the contained retry and reaches
+        // the caller with its original payload.
         let caught = std::panic::catch_unwind(|| {
             with_threads(4, || {
                 par_map(8, PAR_THRESHOLD, |i| {
@@ -458,6 +511,42 @@ mod tests {
                 })
             })
         });
-        assert!(caught.is_err());
+        let payload = caught.expect_err("persistent panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn transient_worker_panic_is_contained() {
+        use std::sync::atomic::AtomicBool;
+        static TRIPPED: AtomicBool = AtomicBool::new(false);
+        TRIPPED.store(false, Ordering::SeqCst);
+        let before = contained_panics();
+        let out = with_threads(4, || {
+            par_map(8, PAR_THRESHOLD, |i| {
+                if i == 3 && !TRIPPED.swap(true, Ordering::SeqCst) {
+                    panic!("transient limb failure");
+                }
+                i * 2
+            })
+        });
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(contained_panics(), before + 1);
+    }
+
+    #[test]
+    fn unzip_recovers_transient_panics_too() {
+        use std::sync::atomic::AtomicBool;
+        static TRIPPED: AtomicBool = AtomicBool::new(false);
+        TRIPPED.store(false, Ordering::SeqCst);
+        let (a, b) = with_threads(4, || {
+            par_map_unzip(6, PAR_THRESHOLD, |i| {
+                if i == 5 && !TRIPPED.swap(true, Ordering::SeqCst) {
+                    panic!("transient");
+                }
+                (i, i as u64)
+            })
+        });
+        assert_eq!(a, (0..6).collect::<Vec<_>>());
+        assert_eq!(b, (0..6).map(|i| i as u64).collect::<Vec<_>>());
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod basis;
 pub mod conv;
+pub mod integrity;
 pub mod poly;
 
 /// Telemetry scopes for the RNS kernels. With the `telemetry` feature off,
@@ -64,4 +65,5 @@ pub(crate) mod tel {
 }
 
 pub use basis::RnsBasis;
+pub use integrity::{GuardedPoly, IntegrityError};
 pub use poly::{Form, RnsPoly};

@@ -142,6 +142,14 @@ impl RnsPoly {
     /// accelerator streaming one limb per HBM channel).
     pub fn into_eval(mut self) -> Self {
         if self.form == Form::Coeff {
+            // Injection point for the `RnsResidue` fault site: corrupt the
+            // limbs serially, before the parallel dispatch, so the firing
+            // order is independent of thread count.
+            #[cfg(feature = "faults")]
+            poseidon_faults::tamper_rows(
+                poseidon_faults::FaultSite::RnsResidue,
+                &mut self.residues,
+            );
             let n = self.basis.n();
             let tables = self.basis.tables();
             poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
@@ -156,6 +164,11 @@ impl RnsPoly {
     /// No-op if already in coefficient form.
     pub fn into_coeff(mut self) -> Self {
         if self.form == Form::Eval {
+            #[cfg(feature = "faults")]
+            poseidon_faults::tamper_rows(
+                poseidon_faults::FaultSite::RnsResidue,
+                &mut self.residues,
+            );
             let n = self.basis.n();
             let tables = self.basis.tables();
             poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {

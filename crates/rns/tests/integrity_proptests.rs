@@ -1,0 +1,110 @@
+//! Property-based tests for the redundant-residue (RRNS) integrity guard:
+//! detection coverage over a random corpus, guard algebra under the
+//! pointwise ops, and re-anchoring across form changes.
+
+use he_rns::{GuardedPoly, RnsBasis, RnsPoly};
+use proptest::prelude::*;
+
+const N: usize = 16;
+const LIMBS: usize = 3;
+
+fn basis() -> RnsBasis {
+    RnsBasis::generate(N, 28, LIMBS)
+}
+
+fn arb_coeffs() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-(1i64 << 20)..(1i64 << 20), N)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The acceptance criterion of the PR: every single-bit flip of any
+    // residue word is caught by the guard check (the flip perturbs the
+    // CRT projection by a non-multiple of Q mod the guard prime).
+    #[test]
+    fn single_bit_flip_is_always_detected(
+        coeffs in arb_coeffs(),
+        limb in 0usize..LIMBS,
+        idx in 0usize..N,
+        bit in 0u32..28,
+    ) {
+        let q = basis();
+        let gp = GuardedPoly::guard_prime_for(&q);
+        let poly = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let mut g = GuardedPoly::attach(poly, gp);
+        prop_assert!(g.verify().is_ok(), "clean poly must verify");
+        g.poly_mut().all_residues_mut()[limb][idx] ^= 1u64 << bit;
+        prop_assert!(g.verify().is_err(), "flip limb {limb} idx {idx} bit {bit} undetected");
+    }
+
+    // Guards ride through add/sub/neg without re-projection and still
+    // verify; the carried result equals the plain RnsPoly op.
+    #[test]
+    fn guard_carries_through_pointwise_ops(a in arb_coeffs(), b in arb_coeffs()) {
+        let q = basis();
+        let gp = GuardedPoly::guard_prime_for(&q);
+        let pa = RnsPoly::from_i64_coeffs(&q, &a);
+        let pb = RnsPoly::from_i64_coeffs(&q, &b);
+        let ga = GuardedPoly::attach(pa.clone(), gp);
+        let gb = GuardedPoly::attach(pb.clone(), gp);
+
+        let sum = ga.add(&gb);
+        prop_assert!(sum.verify().is_ok());
+        prop_assert_eq!(sum.poly(), &pa.add(&pb));
+
+        let diff = ga.sub(&gb);
+        prop_assert!(diff.verify().is_ok());
+        prop_assert_eq!(diff.poly(), &pa.sub(&pb));
+
+        let neg = ga.neg();
+        prop_assert!(neg.verify().is_ok());
+        prop_assert_eq!(neg.poly(), &pa.neg());
+    }
+
+    // Multiplication verifies its inputs and re-anchors: the product
+    // matches the plain path and the fresh guard verifies.
+    #[test]
+    fn mul_verifies_inputs_and_reanchors(a in arb_coeffs(), b in arb_coeffs()) {
+        let q = basis();
+        let gp = GuardedPoly::guard_prime_for(&q);
+        let pa = RnsPoly::from_i64_coeffs(&q, &a).into_eval();
+        let pb = RnsPoly::from_i64_coeffs(&q, &b).into_eval();
+        let ga = GuardedPoly::attach(pa.clone(), gp);
+        let gb = GuardedPoly::attach(pb.clone(), gp);
+        let prod = ga.mul(&gb).expect("clean operands");
+        prop_assert!(prod.verify().is_ok());
+        prop_assert_eq!(prod.poly(), &pa.mul(&pb));
+    }
+
+    // A corrupted operand is refused at the next checked boundary (mul /
+    // form change) rather than silently laundered into a fresh guard.
+    #[test]
+    fn corrupted_operand_is_refused_at_boundaries(
+        coeffs in arb_coeffs(),
+        limb in 0usize..LIMBS,
+        idx in 0usize..N,
+        bit in 0u32..28,
+    ) {
+        let q = basis();
+        let gp = GuardedPoly::guard_prime_for(&q);
+        let mut ga = GuardedPoly::attach(RnsPoly::from_i64_coeffs(&q, &coeffs).into_eval(), gp);
+        ga.poly_mut().all_residues_mut()[limb][idx] ^= 1u64 << bit;
+        let gb = GuardedPoly::attach(RnsPoly::from_i64_coeffs(&q, &coeffs).into_eval(), gp);
+        prop_assert!(ga.mul(&gb).is_err(), "corrupt mul operand accepted");
+        prop_assert!(ga.into_coeff().is_err(), "corrupt form change accepted");
+    }
+
+    // Form changes verify then re-anchor, round-tripping cleanly.
+    #[test]
+    fn form_changes_reverify_and_round_trip(coeffs in arb_coeffs()) {
+        let q = basis();
+        let gp = GuardedPoly::guard_prime_for(&q);
+        let p = RnsPoly::from_i64_coeffs(&q, &coeffs);
+        let g = GuardedPoly::attach(p.clone(), gp);
+        let eval = g.into_eval().expect("clean");
+        let back = eval.into_coeff().expect("clean");
+        prop_assert!(back.verify().is_ok());
+        prop_assert_eq!(back.poly(), &p);
+    }
+}

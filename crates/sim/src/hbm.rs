@@ -76,6 +76,18 @@ impl HbmLayout {
     pub fn poly_bytes(n: usize, word: u64) -> u64 {
         n as u64 * word
     }
+
+    /// Streams a residue vector through the striped channels and returns
+    /// the per-channel byte loads of the transfer. The timing model alone
+    /// never touches data; this is the data-bearing variant the integrity
+    /// layer exercises — with the `faults` feature and an armed
+    /// `HbmChannel` plan, the payload is corrupted in flight, the model's
+    /// stand-in for a bad beat on one channel of a striped read.
+    pub fn stream_through(&self, words: &mut [u64]) -> Vec<u64> {
+        #[cfg(feature = "faults")]
+        poseidon_faults::tamper(poseidon_faults::FaultSite::HbmChannel, words);
+        self.channel_loads(words.len() as u64 * 8)
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +131,37 @@ mod tests {
         let t = l.transfer_seconds(bytes, per_channel);
         let ideal = bytes as f64 / cfg.hbm_bytes_per_sec;
         assert!((t - ideal).abs() < ideal * 1e-9, "{t} vs {ideal}");
+    }
+
+    #[test]
+    fn stream_through_reports_loads_and_passes_data() {
+        let l = layout();
+        let mut words = vec![0xAAu64; 1 << 12];
+        let loads = l.stream_through(&mut words);
+        assert_eq!(loads.iter().sum::<u64>(), (1u64 << 12) * 8);
+        #[cfg(not(feature = "faults"))]
+        assert!(words.iter().all(|&w| w == 0xAA));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn stream_through_corrupts_when_channel_fault_armed() {
+        use poseidon_faults::{arm, disarm, FaultKind, FaultPlan, FaultSite};
+        let _lock = poseidon_faults::test_lock();
+        let l = layout();
+        arm(FaultPlan::transient(
+            FaultSite::HbmChannel,
+            FaultKind::BitFlip,
+            0xC0FFEE,
+        ));
+        let mut words = vec![0u64; 1 << 10];
+        l.stream_through(&mut words);
+        disarm();
+        assert_eq!(
+            words.iter().filter(|&&w| w != 0).count(),
+            1,
+            "exactly one word corrupted in flight"
+        );
     }
 
     #[test]

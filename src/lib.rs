@@ -4,5 +4,7 @@ pub use he_math as math;
 pub use he_ntt as ntt;
 pub use he_rns as rns;
 pub use poseidon_core as core;
+#[cfg(feature = "faults")]
+pub use poseidon_faults as faults;
 pub use poseidon_par as par;
 pub use poseidon_sim as sim;
