@@ -60,6 +60,7 @@ fn main() {
         json.push_str(&poseidon_telemetry::Registry::global().snapshot().to_json());
     }
     json.push_str("\n}\n");
-    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
-    println!("integrity snapshot written to BENCH_faults.json");
+    let path = poseidon_bench::export_path("BENCH_faults.json");
+    std::fs::write(&path, &json).expect("write BENCH_faults.json");
+    println!("integrity snapshot written to {}", path.display());
 }

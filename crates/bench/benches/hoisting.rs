@@ -69,7 +69,8 @@ fn main() {
     #[cfg(feature = "telemetry")]
     {
         let json = poseidon_telemetry::Registry::global().snapshot().to_json();
-        std::fs::write("BENCH_hoisting.json", &json).expect("write BENCH_hoisting.json");
-        println!("telemetry snapshot written to BENCH_hoisting.json");
+        let path = poseidon_bench::export_path("BENCH_hoisting.json");
+        std::fs::write(&path, &json).expect("write BENCH_hoisting.json");
+        println!("telemetry snapshot written to {}", path.display());
     }
 }

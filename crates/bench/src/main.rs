@@ -1,7 +1,7 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|hoisting|faults]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|hoisting|faults|serve]`
 //!
 //! `tables metrics` (build with `--features telemetry`) prints the
 //! runtime per-operator telemetry for a HELR workload.
@@ -58,6 +58,7 @@ fn main() {
     run("metrics", tables::metrics);
     run("hoisting", tables::hoisting);
     run("faults", tables::faults);
+    run("serve", tables::serve);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

@@ -1282,3 +1282,165 @@ pub fn faults() {
         s.checked, s.detected, s.retried, s.escalated
     );
 }
+
+/// `tables serve`: the batch-serving layer in one table — wire frame
+/// sizes for the payloads crossing the TCP boundary, served operations
+/// checked bit-for-bit against the bare evaluator, and an 8-rotation
+/// burst timed per-call (eight singleton batches, eight hoisted lifts)
+/// versus coalesced (one batch, one lift). With `--features telemetry`
+/// the hoist counters backing the claim are printed too.
+pub fn serve() {
+    use he_ckks::cipher::Plaintext;
+    use he_ckks::context::CkksContext;
+    use he_ckks::encoding::Complex;
+    use he_ckks::eval::Evaluator;
+    use he_ckks::keys::KeySet;
+    use he_ckks::params::CkksParams;
+    use poseidon_serve::{EvalService, Request, ServiceConfig};
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    let steps: Vec<i64> = (1..=8).collect();
+    let ctx = CkksContext::new(CkksParams::paper_32bit(1 << 12, 4));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5E4E);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    for &s in &steps {
+        keys.add_rotation_key(s, &mut rng);
+    }
+    let eval = Evaluator::new(&ctx);
+    let z: Vec<Complex> = (0..8).map(|i| Complex::new(0.1 * i as f64, 0.0)).collect();
+    let pt = Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    let a = keys.public().encrypt(&pt, &mut rng);
+    let b = keys.public().encrypt(&pt, &mut rng);
+
+    println!("N=2^12, L={} (4 chain primes + 1 special)", ctx.max_level());
+
+    // -- wire frames -------------------------------------------------------
+    let ct_frame = poseidon_wire::encode_ciphertext(&ctx, &a);
+    let pk_frame = poseidon_wire::encode_keyset_public(&ctx, &keys);
+    let pt_frame = poseidon_wire::encode_plaintext(&ctx, &pt);
+    println!("\n-- wire frame sizes --");
+    println!("{:<26} {:>12}", "frame", "bytes");
+    println!("{:<26} {:>12}", "ciphertext", ct_frame.len());
+    println!("{:<26} {:>12}", "plaintext", pt_frame.len());
+    println!("{:<26} {:>12}", "public keyset (+8 rot)", pk_frame.len());
+    let back = poseidon_wire::decode_ciphertext(&ctx, &ct_frame).expect("round trip");
+    assert_eq!(back.c0(), a.c0(), "wire round trip changed ciphertext bits");
+
+    // -- served ops vs the bare evaluator ---------------------------------
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("tables", ctx.clone(), keys.clone());
+    let served = service
+        .call(
+            "tables",
+            Request::Mul {
+                a: a.clone(),
+                b: b.clone(),
+            },
+        )
+        .expect("served mul");
+    let local = eval.mul(&a, &b, &keys);
+    assert_eq!(served.c0(), local.c0(), "served mul diverged from local");
+    println!("\nserved CMult is bit-identical to the local evaluator");
+
+    // -- 8-rotation burst: per-call vs coalesced --------------------------
+    #[cfg(feature = "telemetry")]
+    let reg = poseidon_telemetry::Registry::global();
+    #[cfg(feature = "telemetry")]
+    let hoists = |d: &poseidon_telemetry::Snapshot| d.get("keyswitch.hoist").map_or(0, |s| s.count);
+
+    #[cfg(feature = "telemetry")]
+    let before = reg.snapshot();
+    let t0 = Instant::now();
+    let per_call: Vec<_> = steps
+        .iter()
+        .map(|&s| {
+            service
+                .call(
+                    "tables",
+                    Request::Rotate {
+                        a: a.clone(),
+                        steps: s,
+                    },
+                )
+                .expect("served rotate")
+        })
+        .collect();
+    let per_call_t = t0.elapsed().as_secs_f64();
+    #[cfg(feature = "telemetry")]
+    let per_call_hoists = hoists(&reg.snapshot().since(&before));
+
+    #[cfg(feature = "telemetry")]
+    let before = reg.snapshot();
+    let t1 = Instant::now();
+    service.suspend();
+    let tickets: Vec<_> = steps
+        .iter()
+        .map(|&s| {
+            service
+                .submit(
+                    "tables",
+                    Request::Rotate {
+                        a: a.clone(),
+                        steps: s,
+                    },
+                )
+                .expect("submit")
+        })
+        .collect();
+    service.resume();
+    let batched: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("batched rotate"))
+        .collect();
+    let batched_t = t1.elapsed().as_secs_f64();
+    #[cfg(feature = "telemetry")]
+    let batched_hoists = hoists(&reg.snapshot().since(&before));
+
+    for (p, q) in per_call.iter().zip(&batched) {
+        assert_eq!(p.c0(), q.c0(), "batched rotation diverged from per-call");
+    }
+    service.shutdown();
+
+    println!("\n-- 8-rotation burst, one ciphertext (bit-identical outputs) --");
+    println!("{:<26} {:>10} {:>8}", "schedule", "ms", "hoists");
+    #[cfg(feature = "telemetry")]
+    {
+        println!(
+            "{:<26} {:>10.3} {:>8}",
+            "per-call (8 batches)",
+            per_call_t * 1e3,
+            per_call_hoists
+        );
+        println!(
+            "{:<26} {:>10.3} {:>8}",
+            "coalesced (1 batch)",
+            batched_t * 1e3,
+            batched_hoists
+        );
+        assert!(
+            batched_hoists < per_call_hoists,
+            "coalesced batch must hoist fewer times than per-call"
+        );
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        println!(
+            "{:<26} {:>10.3} {:>8}",
+            "per-call (8 batches)",
+            per_call_t * 1e3,
+            "n/a"
+        );
+        println!(
+            "{:<26} {:>10.3} {:>8}",
+            "coalesced (1 batch)",
+            batched_t * 1e3,
+            "n/a"
+        );
+        println!("(rebuild with --features telemetry for the hoist counters)");
+    }
+}

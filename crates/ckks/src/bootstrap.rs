@@ -25,9 +25,10 @@
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::encoding::Complex;
+use crate::error::EvalError;
 use crate::eval::Evaluator;
 use crate::keys::KeySet;
-use crate::polyeval::evaluate_monomial;
+use crate::polyeval::try_evaluate_monomial;
 use he_rns::RnsPoly;
 
 /// Telemetry scopes for the bootstrapping stages (items = slot count).
@@ -210,7 +211,27 @@ impl Bootstrapper {
     ///
     /// Panics unless the ciphertext is at level 0.
     pub fn mod_raise(&self, ct: &Ciphertext) -> Ciphertext {
-        assert_eq!(ct.level(), 0, "ModRaise expects an exhausted ciphertext");
+        match self.try_mod_raise(ct) {
+            Ok(ct) => ct,
+            Err(EvalError::LevelMismatch { .. }) => {
+                panic!("ModRaise expects an exhausted ciphertext")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`mod_raise`](Self::mod_raise).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] unless the ciphertext is at level 0.
+    pub fn try_mod_raise(&self, ct: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if ct.level() != 0 {
+            return Err(EvalError::LevelMismatch {
+                a: ct.level(),
+                b: 0,
+            });
+        }
         #[cfg(feature = "telemetry")]
         let _span = tel::modraise().span(self.slots as u64);
         let full = self.ctx.chain_basis();
@@ -218,18 +239,20 @@ impl Bootstrapper {
             let centered = p.to_centered_coeffs();
             RnsPoly::from_i64_coeffs(full, &centered)
         };
-        Ciphertext::new(raise(ct.c0()), raise(ct.c1()), ct.scale())
+        Ok(Ciphertext::new(raise(ct.c0()), raise(ct.c1()), ct.scale()))
     }
 
     /// Homomorphic diagonal matrix-vector product `M·v` on the slot vector
-    /// of `ct` (n'-periodic diagonals). Consumes one level.
-    fn matvec(
+    /// of `ct` (n'-periodic diagonals). Consumes one level. An
+    /// all-(near-)zero matrix or a level-exhausted operand is a typed
+    /// error, never a panic.
+    fn try_matvec(
         &self,
         eval: &Evaluator,
         keys: &KeySet,
         rotated: &[Ciphertext],
         m: &[Vec<Complex>],
-    ) -> Ciphertext {
+    ) -> Result<Ciphertext, EvalError> {
         let _ = keys;
         let scale = self.ctx.default_scale();
         let mut acc: Option<Ciphertext> = None;
@@ -244,10 +267,10 @@ impl Bootstrapper {
             let term = eval.mul_plain(ct_d, &pt);
             match &mut acc {
                 None => acc = Some(term),
-                Some(a) => eval.add_assign(a, &term),
+                Some(a) => eval.try_add_assign(a, &term)?,
             }
         }
-        eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))
+        eval.try_rescale(&acc.ok_or(EvalError::EmptyOperands)?)
     }
 
     /// All left-rotations `0..n'` of a ciphertext (index 0 = the input).
@@ -256,16 +279,36 @@ impl Bootstrapper {
     /// every rotation acts on the same input — the textbook hoisting case:
     /// one batched call pays the digit lift + forward NTTs once for all
     /// `n' − 1` rotations.
-    fn all_rotations(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Vec<Ciphertext> {
+    fn try_all_rotations(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        ct: &Ciphertext,
+    ) -> Result<Vec<Ciphertext>, EvalError> {
         let steps: Vec<i64> = (1..self.slots as i64).collect();
         let mut out = Vec::with_capacity(self.slots);
         out.push(ct.clone());
-        out.extend(eval.rotate_many(ct, &steps, keys));
-        out
+        out.extend(eval.try_rotate_many(ct, &steps, keys)?);
+        Ok(out)
     }
 
     /// SubSum: trace onto the sparse subring (step 2).
     pub fn subsum(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        self.try_subsum(eval, keys, ct)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`subsum`](Self::subsum).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingRotationKey`] for an absent trace rotation key.
+    pub fn try_subsum(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        ct: &Ciphertext,
+    ) -> Result<Ciphertext, EvalError> {
         #[cfg(feature = "telemetry")]
         let _span = tel::subsum().span(self.slots as u64);
         let total = self.ctx.n() / 2;
@@ -275,11 +318,11 @@ impl Bootstrapper {
         let mut acc = ct.clone();
         let mut s = self.slots;
         while s < total {
-            let rot = eval.rotate(&acc, s as i64, keys);
-            acc = eval.add(&acc, &rot);
+            let rot = eval.try_rotate(&acc, s as i64, keys)?;
+            acc = eval.try_add(&acc, &rot)?;
             s *= 2;
         }
-        acc
+        Ok(acc)
     }
 
     /// CoeffToSlot (step 3): returns `(ct_low, ct_high)` whose slots hold
@@ -290,20 +333,41 @@ impl Bootstrapper {
         keys: &KeySet,
         ct: &Ciphertext,
     ) -> (Ciphertext, Ciphertext) {
+        match self.try_coeff_to_slot(eval, keys, ct) {
+            Ok(pair) => pair,
+            Err(EvalError::EmptyOperands) => panic!("matrix must have a non-zero diagonal"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`coeff_to_slot`](Self::coeff_to_slot).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingRotationKey`]/[`EvalError::MissingGaloisKey`]
+    /// for absent keys; [`EvalError::RescaleAtLevelZero`] when the chain
+    /// is too short; [`EvalError::EmptyOperands`] for a degenerate
+    /// (all-zero) transform matrix.
+    pub fn try_coeff_to_slot(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        ct: &Ciphertext,
+    ) -> Result<(Ciphertext, Ciphertext), EvalError> {
         #[cfg(feature = "telemetry")]
         let _span = tel::c2s().span(self.slots as u64);
-        let conj = eval.conjugate(ct, keys);
-        let rot_w = self.all_rotations(eval, keys, ct);
-        let rot_cw = self.all_rotations(eval, keys, &conj);
-        let low = eval.add(
-            &self.matvec(eval, keys, &rot_w, &self.a_low_w),
-            &self.matvec(eval, keys, &rot_cw, &self.a_low_cw),
-        );
-        let high = eval.add(
-            &self.matvec(eval, keys, &rot_w, &self.a_high_w),
-            &self.matvec(eval, keys, &rot_cw, &self.a_high_cw),
-        );
-        (low, high)
+        let conj = eval.try_conjugate(ct, keys)?;
+        let rot_w = self.try_all_rotations(eval, keys, ct)?;
+        let rot_cw = self.try_all_rotations(eval, keys, &conj)?;
+        let low = eval.try_add(
+            &self.try_matvec(eval, keys, &rot_w, &self.a_low_w)?,
+            &self.try_matvec(eval, keys, &rot_cw, &self.a_low_cw)?,
+        )?;
+        let high = eval.try_add(
+            &self.try_matvec(eval, keys, &rot_w, &self.a_high_w)?,
+            &self.try_matvec(eval, keys, &rot_cw, &self.a_high_cw)?,
+        )?;
+        Ok((low, high))
     }
 
     /// SlotToCoeff (step 5).
@@ -314,23 +378,59 @@ impl Bootstrapper {
         low: &Ciphertext,
         high: &Ciphertext,
     ) -> Ciphertext {
+        match self.try_slot_to_coeff(eval, keys, low, high) {
+            Ok(ct) => ct,
+            Err(EvalError::EmptyOperands) => panic!("matrix must have a non-zero diagonal"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`slot_to_coeff`](Self::slot_to_coeff).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_coeff_to_slot`](Self::try_coeff_to_slot).
+    pub fn try_slot_to_coeff(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        low: &Ciphertext,
+        high: &Ciphertext,
+    ) -> Result<Ciphertext, EvalError> {
         #[cfg(feature = "telemetry")]
         let _span = tel::s2c().span(self.slots as u64);
         let level = low.level().min(high.level());
         let scale = low.scale();
-        let low = eval.adjust(low, level, scale);
-        let high = eval.adjust(high, level, scale);
-        let rot_low = self.all_rotations(eval, keys, &low);
-        let rot_high = self.all_rotations(eval, keys, &high);
-        eval.add(
-            &self.matvec(eval, keys, &rot_low, &self.f_low),
-            &self.matvec(eval, keys, &rot_high, &self.f_high),
+        let low = eval.try_adjust(low, level, scale)?;
+        let high = eval.try_adjust(high, level, scale)?;
+        let rot_low = self.try_all_rotations(eval, keys, &low)?;
+        let rot_high = self.try_all_rotations(eval, keys, &high)?;
+        eval.try_add(
+            &self.try_matvec(eval, keys, &rot_low, &self.f_low)?,
+            &self.try_matvec(eval, keys, &rot_high, &self.f_high)?,
         )
     }
 
     /// EvalMod (step 4): approximates `x mod q_0` on the slot values of
     /// `ct`, accounting for the trace factor `D = N/(2n')`.
     pub fn eval_mod(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        self.try_eval_mod(eval, keys, ct)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`eval_mod`](Self::eval_mod).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::RescaleAtLevelZero`] when the modulus chain runs out
+    /// mid-approximation (the chain must fund two argument scalings, the
+    /// Taylor tree, and `doublings` double-angle squarings).
+    pub fn try_eval_mod(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        ct: &Ciphertext,
+    ) -> Result<Ciphertext, EvalError> {
         #[cfg(feature = "telemetry")]
         let _span = tel::evalmod().span(self.slots as u64);
         let r_pow = 2f64.powi(self.doublings as i32);
@@ -349,33 +449,33 @@ impl Bootstrapper {
                 self.ctx.default_scale(),
                 y.level(),
             );
-            y = eval.rescale(&eval.mul_plain(&y, &pt));
+            y = eval.try_rescale(&eval.mul_plain(&y, &pt))?;
         }
 
         // Taylor sine and cosine of the divided angle.
-        let mut s = evaluate_monomial(eval, keys, &y, &SIN_COEFFS);
-        let mut co = evaluate_monomial(eval, keys, &y, &COS_COEFFS);
+        let mut s = try_evaluate_monomial(eval, keys, &y, &SIN_COEFFS)?;
+        let mut co = try_evaluate_monomial(eval, keys, &y, &COS_COEFFS)?;
 
         // r double-angle iterations: s ← 2sc, c ← 1 − 2s².
         for _ in 0..self.doublings {
             let level = s.level().min(co.level());
             let scale = s.scale();
-            let s_al = eval.adjust(&s, level, scale);
-            let c_al = eval.adjust(&co, level, scale);
-            let sc = eval.rescale(&eval.mul(&s_al, &c_al, keys));
-            let s2 = eval.rescale(&eval.square(&s_al, keys));
+            let s_al = eval.try_adjust(&s, level, scale)?;
+            let c_al = eval.try_adjust(&co, level, scale)?;
+            let sc = eval.try_rescale(&eval.try_mul(&s_al, &c_al, keys)?)?;
+            let s2 = eval.try_rescale(&eval.try_square(&s_al, keys)?)?;
             // 2·sc and 1 − 2·s²: doubling by self-addition is exact.
-            let mut s_next = eval.add(&sc, &sc);
-            let s2_doubled = eval.add(&s2, &s2);
+            let mut s_next = eval.try_add(&sc, &sc)?;
+            let s2_doubled = eval.try_add(&s2, &s2)?;
             let one = eval.encode_at_level(
                 &[Complex::new(1.0, 0.0)],
                 s2_doubled.scale(),
                 s2_doubled.level(),
             );
-            let mut c_next = eval.neg(&eval.sub_plain(&s2_doubled, &one));
+            let mut c_next = eval.neg(&eval.try_sub_plain(&s2_doubled, &one)?);
             let level = s_next.level().min(c_next.level());
-            s_next = eval.adjust(&s_next, level, s_next.scale());
-            c_next = eval.adjust(&c_next, level, c_next.scale());
+            s_next = eval.try_adjust(&s_next, level, s_next.scale())?;
+            c_next = eval.try_adjust(&c_next, level, c_next.scale())?;
             s = s_next;
             co = c_next;
         }
@@ -389,7 +489,7 @@ impl Bootstrapper {
             self.ctx.default_scale(),
             s.level(),
         );
-        eval.rescale(&eval.mul_plain(&s, &pt))
+        eval.try_rescale(&eval.mul_plain(&s, &pt))
     }
 
     /// Runs the full bootstrapping pipeline on an exhausted (level 0)
@@ -401,14 +501,42 @@ impl Bootstrapper {
     /// Panics if required rotation/conjugation keys are missing or the
     /// input is not at level 0.
     pub fn bootstrap(&self, eval: &Evaluator, keys: &KeySet, ct: &Ciphertext) -> Ciphertext {
+        match self.try_bootstrap(eval, keys, ct) {
+            Ok(ct) => ct,
+            Err(EvalError::EmptyOperands) => panic!("matrix must have a non-zero diagonal"),
+            Err(EvalError::LevelMismatch { .. }) => {
+                panic!("ModRaise expects an exhausted ciphertext")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`bootstrap`](Self::bootstrap): every degenerate input —
+    /// missing keys, a chain too short for EvalMod, a non-exhausted input,
+    /// an all-zero transform matrix — comes back as a typed
+    /// [`EvalError`] instead of aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] unless the input is at level 0;
+    /// [`EvalError::RescaleAtLevelZero`] when the modulus chain is too
+    /// short to fund the pipeline; [`EvalError::EmptyOperands`] for a
+    /// degenerate linear-transform matrix; the missing-key variants for
+    /// absent rotation/conjugation keys.
+    pub fn try_bootstrap(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        ct: &Ciphertext,
+    ) -> Result<Ciphertext, EvalError> {
         #[cfg(feature = "telemetry")]
         let _span = tel::total().span(self.slots as u64);
-        let raised = self.mod_raise(ct);
-        let traced = self.subsum(eval, keys, &raised);
-        let (low, high) = self.coeff_to_slot(eval, keys, &traced);
-        let low = self.eval_mod(eval, keys, &low);
-        let high = self.eval_mod(eval, keys, &high);
-        self.slot_to_coeff(eval, keys, &low, &high)
+        let raised = self.try_mod_raise(ct)?;
+        let traced = self.try_subsum(eval, keys, &raised)?;
+        let (low, high) = self.try_coeff_to_slot(eval, keys, &traced)?;
+        let low = self.try_eval_mod(eval, keys, &low)?;
+        let high = self.try_eval_mod(eval, keys, &high)?;
+        self.try_slot_to_coeff(eval, keys, &low, &high)
     }
 }
 
@@ -568,6 +696,46 @@ mod tests {
         for (a, b) in coeffs.iter().zip(&direct) {
             assert_eq!(a.rem_euclid(q0 as i64), b.rem_euclid(q0 as i64));
         }
+    }
+
+    #[test]
+    fn try_bootstrap_on_short_chain_reports_level_exhaustion() {
+        // A 4-prime chain cannot fund EvalMod's Taylor tree: the pipeline
+        // must surface RescaleAtLevelZero instead of aborting mid-flight.
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut keys = KeySet::generate_sparse(&ctx, 8, &mut rng);
+        let eval = Evaluator::new(&ctx);
+        let bs = Bootstrapper::new(&ctx, 4, 2);
+        keys.add_rotation_keys(bs.required_rotations(), &mut rng);
+        keys.add_conjugation_key(&mut rng);
+        let z = vec![Complex::new(0.25, 0.0); 4];
+        let pt = encode_for_bootstrap(&ctx, &z);
+        let ct = keys.public().encrypt(&pt, &mut rng);
+        let exhausted = exhaust_to_level0(&eval, &ct);
+        let err = bs
+            .try_bootstrap(&eval, &keys, &exhausted)
+            .expect_err("toy chain is too short to bootstrap");
+        assert!(
+            matches!(err, EvalError::RescaleAtLevelZero),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn try_bootstrap_on_fresh_ciphertext_reports_level_mismatch() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let keys = KeySet::generate_sparse(&ctx, 8, &mut rng);
+        let eval = Evaluator::new(&ctx);
+        let bs = Bootstrapper::new(&ctx, 4, 2);
+        let z = vec![Complex::new(0.25, 0.0); 4];
+        let pt = encode_for_bootstrap(&ctx, &z);
+        let ct = keys.public().encrypt(&pt, &mut rng);
+        let err = bs
+            .try_bootstrap(&eval, &keys, &ct)
+            .expect_err("input is not exhausted");
+        assert!(matches!(err, EvalError::LevelMismatch { .. }));
     }
 
     #[test]

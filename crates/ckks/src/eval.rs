@@ -733,6 +733,57 @@ impl Evaluator {
         out
     }
 
+    /// Fallible [`adjust`](Self::adjust) — the same level/scale alignment,
+    /// but degenerate inputs surface as typed errors instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] if `target_level` exceeds the current
+    /// level (truncation cannot raise a level);
+    /// [`EvalError::ScaleMismatch`] if a scale correction is needed but is
+    /// not an up-scaling, or if the drift is too large to absorb with no
+    /// spare level to correct on.
+    pub fn try_adjust(
+        &self,
+        ct: &Ciphertext,
+        target_level: usize,
+        target_scale: f64,
+    ) -> Result<Ciphertext, EvalError> {
+        if target_level > ct.level() {
+            return Err(EvalError::LevelMismatch {
+                a: ct.level(),
+                b: target_level,
+            });
+        }
+        let rel = (ct.scale() - target_scale).abs() / target_scale;
+        if rel <= 1e-9 || ct.level() == target_level {
+            if rel > 1e-4 {
+                // No spare level to correct with and the drift is beyond
+                // the tolerated approximate-rescaling slack.
+                return Err(EvalError::ScaleMismatch {
+                    a: ct.scale(),
+                    b: target_scale,
+                });
+            }
+            let mut out = self.try_drop_to_level(ct, target_level)?;
+            out.set_scale(target_scale);
+            return Ok(out);
+        }
+        let staged = self.try_drop_to_level(ct, target_level + 1)?;
+        let dropped = *staged.c0().basis().primes().last().expect("non-empty") as f64;
+        let correction = target_scale * dropped / staged.scale();
+        if correction <= 1.0 {
+            return Err(EvalError::ScaleMismatch {
+                a: staged.scale(),
+                b: target_scale,
+            });
+        }
+        let one = self.encode_at_level(&[Complex::new(1.0, 0.0)], correction, staged.level());
+        let mut out = self.try_rescale(&self.mul_plain(&staged, &one))?;
+        out.set_scale(target_scale);
+        Ok(out)
+    }
+
     /// Applies Galois element `g` to both components and keyswitches back
     /// to `s` using `key` (which must match `g`).
     ///

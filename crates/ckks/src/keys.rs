@@ -34,6 +34,20 @@ impl SecretKey {
         }
     }
 
+    /// Rebuilds a secret key from its signed coefficients — the
+    /// deserialization entry point for the wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is not exactly `N` long.
+    pub fn from_coeffs(ctx: &CkksContext, coeffs: Vec<i64>) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "secret must have N coefficients");
+        Self {
+            ctx: ctx.clone(),
+            coeffs,
+        }
+    }
+
     /// The signed ternary coefficients of `s`.
     #[inline]
     pub fn coeffs(&self) -> &[i64] {
@@ -84,6 +98,28 @@ impl PublicKey {
             b,
             a,
         }
+    }
+
+    /// Rebuilds a public key from its `(b, a)` components (chain basis,
+    /// coefficient form) — the deserialization entry point.
+    pub fn from_parts(ctx: &CkksContext, b: RnsPoly, a: RnsPoly) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            b,
+            a,
+        }
+    }
+
+    /// The masked component `b = −a·s + e`.
+    #[inline]
+    pub fn b(&self) -> &RnsPoly {
+        &self.b
+    }
+
+    /// The uniform component `a`.
+    #[inline]
+    pub fn a(&self) -> &RnsPoly {
+        &self.a
     }
 
     /// Encrypts a plaintext: `(v·b + e_0 + m, v·a + e_1)`.
@@ -167,6 +203,18 @@ impl KeySwitchKey {
                 (b, a)
             })
             .collect();
+        let mut key = Self {
+            pairs,
+            eval_pairs: Vec::new(),
+        };
+        key.precompute_eval_pairs();
+        key
+    }
+
+    /// Rebuilds a key from its raw digit pairs (over `Q ∪ P`, coefficient
+    /// form), restoring the evaluation-form cache — the deserialization
+    /// entry point for the wire format.
+    pub fn from_pairs(pairs: Vec<(RnsPoly, RnsPoly)>) -> Self {
         let mut key = Self {
             pairs,
             eval_pairs: Vec::new(),
@@ -314,6 +362,34 @@ impl KeySet {
             relin,
             galois: HashMap::new(),
         }
+    }
+
+    /// Rebuilds a key set from deserialized components. Galois keys are
+    /// keyed by their raw Galois element `g` (rotations use `5^k mod 2N`,
+    /// conjugation uses `2N − 1`).
+    pub fn from_parts(
+        ctx: &CkksContext,
+        secret: SecretKey,
+        public: PublicKey,
+        relin: KeySwitchKey,
+        galois: Vec<(u64, KeySwitchKey)>,
+    ) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            secret,
+            public,
+            relin,
+            galois: galois.into_iter().collect(),
+        }
+    }
+
+    /// All Galois keys as `(g, key)` pairs, sorted by `g` — a deterministic
+    /// iteration order for serialization (the backing map is unordered).
+    pub fn galois_entries(&self) -> Vec<(u64, &KeySwitchKey)> {
+        let mut entries: Vec<(u64, &KeySwitchKey)> =
+            self.galois.iter().map(|(&g, k)| (g, k)).collect();
+        entries.sort_unstable_by_key(|&(g, _)| g);
+        entries
     }
 
     /// The secret key.

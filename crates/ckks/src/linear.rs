@@ -8,6 +8,7 @@
 
 use crate::cipher::Ciphertext;
 use crate::encoding::Complex;
+use crate::error::EvalError;
 use crate::eval::Evaluator;
 use crate::keys::KeySet;
 
@@ -22,17 +23,35 @@ use crate::keys::KeySet;
 /// Panics if `width` is not a power of two or a rotation key is missing.
 pub fn fold_sum(eval: &Evaluator, keys: &KeySet, ct: &Ciphertext, width: usize) -> Ciphertext {
     assert!(width.is_power_of_two(), "fold width must be a power of two");
+    try_fold_sum(eval, keys, ct, width).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fold_sum`].
+///
+/// # Errors
+///
+/// [`EvalError::EmptyOperands`] if `width` is not a power of two;
+/// [`EvalError::MissingRotationKey`] for an absent fold key.
+pub fn try_fold_sum(
+    eval: &Evaluator,
+    keys: &KeySet,
+    ct: &Ciphertext,
+    width: usize,
+) -> Result<Ciphertext, EvalError> {
+    if !width.is_power_of_two() {
+        return Err(EvalError::EmptyOperands);
+    }
     // Each iteration rotates the freshly updated accumulator, so there is
     // no shared ciphertext to hoist across — `rotate` (internally hoisted
     // for its single application) is already optimal here.
     let mut acc = ct.clone();
     let mut step = width / 2;
     while step >= 1 {
-        let rot = eval.rotate(&acc, step as i64, keys);
-        acc = eval.add(&acc, &rot);
+        let rot = eval.try_rotate(&acc, step as i64, keys)?;
+        acc = eval.try_add(&acc, &rot)?;
         step /= 2;
     }
-    acc
+    Ok(acc)
 }
 
 /// Homomorphic inner product `⟨x, w⟩` with a plaintext weight vector of
@@ -48,9 +67,25 @@ pub fn inner_product_plain(
     ct: &Ciphertext,
     weights: &[Complex],
 ) -> Ciphertext {
+    try_inner_product_plain(eval, keys, ct, weights).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`inner_product_plain`].
+///
+/// # Errors
+///
+/// [`EvalError::EmptyOperands`] for a non-power-of-two weight vector;
+/// [`EvalError::RescaleAtLevelZero`] on an exhausted ciphertext;
+/// [`EvalError::MissingRotationKey`] for an absent fold key.
+pub fn try_inner_product_plain(
+    eval: &Evaluator,
+    keys: &KeySet,
+    ct: &Ciphertext,
+    weights: &[Complex],
+) -> Result<Ciphertext, EvalError> {
     let pt = eval.encode_at_level(weights, eval.context().default_scale(), ct.level());
-    let prod = eval.rescale(&eval.mul_plain(ct, &pt));
-    fold_sum(eval, keys, &prod, weights.len())
+    let prod = eval.try_rescale(&eval.mul_plain(ct, &pt))?;
+    try_fold_sum(eval, keys, &prod, weights.len())
 }
 
 /// A plaintext matrix prepared for homomorphic matrix-vector products on
@@ -126,6 +161,27 @@ impl PlainMatrix {
     ///
     /// Panics if rotation keys are missing or every diagonal is zero.
     pub fn apply(&self, eval: &Evaluator, keys: &KeySet, v: &Ciphertext) -> Ciphertext {
+        match self.try_apply(eval, keys, v) {
+            Ok(ct) => ct,
+            Err(EvalError::EmptyOperands) => panic!("matrix must have a non-zero diagonal"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`apply`](Self::apply) — an all-(near-)zero matrix or a
+    /// missing rotation key is reported instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyOperands`] if every diagonal is numerically zero;
+    /// [`EvalError::MissingRotationKey`] for an absent key;
+    /// [`EvalError::RescaleAtLevelZero`] on an exhausted ciphertext.
+    pub fn try_apply(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        v: &Ciphertext,
+    ) -> Result<Ciphertext, EvalError> {
         let scale = eval.context().default_scale();
         let live: Vec<usize> = (0..self.dim)
             .filter(|&d| !self.diagonal_is_zero(d))
@@ -137,7 +193,7 @@ impl PlainMatrix {
             .filter(|&&d| d != 0)
             .map(|&d| d as i64)
             .collect();
-        let mut rotations = eval.rotate_many(v, &steps, keys).into_iter();
+        let mut rotations = eval.try_rotate_many(v, &steps, keys)?.into_iter();
         let mut acc: Option<Ciphertext> = None;
         for &d in &live {
             let rot = if d == 0 {
@@ -149,10 +205,10 @@ impl PlainMatrix {
             let term = eval.mul_plain(&rot, &pt);
             match &mut acc {
                 None => acc = Some(term),
-                Some(a) => eval.add_assign(a, &term),
+                Some(a) => eval.try_add_assign(a, &term)?,
             }
         }
-        eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))
+        eval.try_rescale(&acc.ok_or(EvalError::EmptyOperands)?)
     }
 
     /// Applies `M·v` with baby-step/giant-step: `√dim` baby rotations of
@@ -165,6 +221,26 @@ impl PlainMatrix {
     ///
     /// Panics if rotation keys are missing.
     pub fn apply_bsgs(&self, eval: &Evaluator, keys: &KeySet, v: &Ciphertext) -> Ciphertext {
+        match self.try_apply_bsgs(eval, keys, v) {
+            Ok(ct) => ct,
+            Err(EvalError::EmptyOperands) => panic!("matrix must have a non-zero diagonal"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`apply_bsgs`](Self::apply_bsgs).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyOperands`] if every diagonal is numerically zero;
+    /// [`EvalError::MissingRotationKey`] for an absent baby/giant key;
+    /// [`EvalError::RescaleAtLevelZero`] on an exhausted ciphertext.
+    pub fn try_apply_bsgs(
+        &self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        v: &Ciphertext,
+    ) -> Result<Ciphertext, EvalError> {
         let dim = self.dim;
         let bs = (dim as f64).sqrt().ceil() as usize; // baby block
         let gs = dim.div_ceil(bs);
@@ -176,7 +252,7 @@ impl PlainMatrix {
         let baby_steps: Vec<i64> = (1..bs as i64).collect();
         let mut baby = Vec::with_capacity(bs);
         baby.push(v.clone());
-        baby.extend(eval.rotate_many(v, &baby_steps, keys));
+        baby.extend(eval.try_rotate_many(v, &baby_steps, keys)?);
 
         // For giant block g: Σ_b diag[g·bs + b] rotated... Using the BSGS
         // identity: M·v = Σ_g rot_{g·bs}( Σ_b rot_{-g·bs}(diag_{g·bs+b}) ⊙
@@ -200,7 +276,7 @@ impl PlainMatrix {
                 let term = eval.mul_plain(ct_b, &pt);
                 match &mut inner {
                     None => inner = Some(term),
-                    Some(a) => eval.add_assign(a, &term),
+                    Some(a) => eval.try_add_assign(a, &term)?,
                 }
             }
             if let Some(inner) = inner {
@@ -209,15 +285,15 @@ impl PlainMatrix {
                 let shifted = if g == 0 {
                     inner
                 } else {
-                    eval.rotate(&inner, (g * bs) as i64, keys)
+                    eval.try_rotate(&inner, (g * bs) as i64, keys)?
                 };
                 match &mut acc {
                     None => acc = Some(shifted),
-                    Some(a) => eval.add_assign(a, &shifted),
+                    Some(a) => eval.try_add_assign(a, &shifted)?,
                 }
             }
         }
-        eval.rescale(&acc.expect("matrix must have a non-zero diagonal"))
+        eval.try_rescale(&acc.ok_or(EvalError::EmptyOperands)?)
     }
 }
 
@@ -363,5 +439,31 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_dimension() {
         let _ = PlainMatrix::new(vec![vec![Complex::default(); 3]; 3]);
+    }
+
+    #[test]
+    fn zero_matrix_reports_empty_operands_instead_of_panicking() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let zero = PlainMatrix::new(vec![vec![Complex::default(); DIM]; DIM]);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ct = encrypt(&ctx, &keys, &mut rng, &x);
+        assert!(matches!(
+            zero.try_apply(&eval, &keys, &ct),
+            Err(crate::error::EvalError::EmptyOperands)
+        ));
+        assert!(matches!(
+            zero.try_apply_bsgs(&eval, &keys, &ct),
+            Err(crate::error::EvalError::EmptyOperands)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must have a non-zero diagonal")]
+    fn zero_matrix_panicking_wrapper_keeps_legacy_message() {
+        let (ctx, keys, eval, mut rng) = setup();
+        let zero = PlainMatrix::new(vec![vec![Complex::default(); DIM]; DIM]);
+        let x = [1.0; DIM];
+        let ct = encrypt(&ctx, &keys, &mut rng, &x);
+        let _ = zero.apply(&eval, &keys, &ct);
     }
 }

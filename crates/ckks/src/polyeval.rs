@@ -9,6 +9,7 @@ use std::collections::HashMap;
 
 use crate::cipher::Ciphertext;
 use crate::encoding::Complex;
+use crate::error::EvalError;
 use crate::eval::Evaluator;
 use crate::keys::KeySet;
 
@@ -48,20 +49,40 @@ impl PowerBasis {
     /// modulus chain runs out of levels.
     pub fn power(&mut self, eval: &Evaluator, keys: &KeySet, j: u32) -> Ciphertext {
         assert!(j >= 1, "power must be at least 1");
+        self.try_power(eval, keys, j)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`power`](Self::power).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyOperands`] if `j == 0`;
+    /// [`EvalError::RescaleAtLevelZero`] when the modulus chain runs out
+    /// of levels mid-tree.
+    pub fn try_power(
+        &mut self,
+        eval: &Evaluator,
+        keys: &KeySet,
+        j: u32,
+    ) -> Result<Ciphertext, EvalError> {
+        if j == 0 {
+            return Err(EvalError::EmptyOperands);
+        }
         if let Some(ct) = self.cache.get(&j) {
-            return ct.clone();
+            return Ok(ct.clone());
         }
         let hi = j / 2 + j % 2;
         let lo = j / 2;
-        let a = self.power(eval, keys, hi);
-        let b = self.power(eval, keys, lo);
+        let a = self.try_power(eval, keys, hi)?;
+        let b = self.try_power(eval, keys, lo)?;
         // Align operands, multiply, rescale back to the working scale.
         let level = a.level().min(b.level());
-        let a = eval.drop_to_level(&a, level);
-        let b = eval.drop_to_level(&b, level);
-        let prod = eval.rescale(&eval.mul(&a, &b, keys));
+        let a = eval.try_drop_to_level(&a, level)?;
+        let b = eval.try_drop_to_level(&b, level)?;
+        let prod = eval.try_rescale(&eval.try_mul(&a, &b, keys)?)?;
         self.cache.insert(j, prod.clone());
-        prod
+        Ok(prod)
     }
 }
 
@@ -79,12 +100,30 @@ pub fn evaluate_monomial(
     coeffs: &[f64],
 ) -> Ciphertext {
     assert!(!coeffs.is_empty(), "need at least one coefficient");
+    try_evaluate_monomial(eval, keys, x, coeffs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`evaluate_monomial`].
+///
+/// # Errors
+///
+/// [`EvalError::EmptyOperands`] if `coeffs` is empty;
+/// [`EvalError::RescaleAtLevelZero`] when the chain runs out of levels.
+pub fn try_evaluate_monomial(
+    eval: &Evaluator,
+    keys: &KeySet,
+    x: &Ciphertext,
+    coeffs: &[f64],
+) -> Result<Ciphertext, EvalError> {
+    if coeffs.is_empty() {
+        return Err(EvalError::EmptyOperands);
+    }
     let mut powers = PowerBasis::new(x.clone());
     // Materialise all needed powers first to learn the deepest level.
     let mut terms: Vec<(f64, Ciphertext)> = Vec::new();
     for (j, &c) in coeffs.iter().enumerate().skip(1) {
         if c != 0.0 {
-            terms.push((c, powers.power(eval, keys, j as u32)));
+            terms.push((c, powers.try_power(eval, keys, j as u32)?));
         }
     }
 
@@ -92,35 +131,33 @@ pub fn evaluate_monomial(
     if terms.is_empty() {
         // Pure constant: encode at the input's level as a "ciphertext" by
         // adding to an explicit zero — callers normally avoid this path.
-        let zero = eval.sub(x, x);
+        let zero = eval.try_sub(x, x)?;
         let pt = eval.encode_at_level(&[Complex::new(coeffs[0], 0.0)], zero.scale(), zero.level());
-        return eval.add_plain(&zero, &pt);
+        return eval.try_add_plain(&zero, &pt);
     }
 
     // Multiply each term by its coefficient (PMult + rescale), then align
     // everything to the deepest resulting level and working scale.
-    let mut scaled: Vec<Ciphertext> = terms
-        .iter()
-        .map(|(c, ct)| {
-            let pt = eval.encode_at_level(&[Complex::new(*c, 0.0)], scale, ct.level());
-            eval.rescale(&eval.mul_plain(ct, &pt))
-        })
-        .collect();
+    let mut scaled = Vec::with_capacity(terms.len());
+    for (c, ct) in &terms {
+        let pt = eval.encode_at_level(&[Complex::new(*c, 0.0)], scale, ct.level());
+        scaled.push(eval.try_rescale(&eval.mul_plain(ct, &pt))?);
+    }
     let target_level = scaled.iter().map(|c| c.level()).min().expect("non-empty");
     let target_scale = scaled
         .iter()
         .find(|c| c.level() == target_level)
         .expect("non-empty")
         .scale();
-    let mut acc = eval.adjust(&scaled.remove(0), target_level, target_scale);
+    let mut acc = eval.try_adjust(&scaled.remove(0), target_level, target_scale)?;
     for t in &scaled {
-        acc = eval.add(&acc, &eval.adjust(t, target_level, target_scale));
+        acc = eval.try_add(&acc, &eval.try_adjust(t, target_level, target_scale)?)?;
     }
     if coeffs[0] != 0.0 {
         let pt = eval.encode_at_level(&[Complex::new(coeffs[0], 0.0)], acc.scale(), acc.level());
-        acc = eval.add_plain(&acc, &pt);
+        acc = eval.try_add_plain(&acc, &pt)?;
     }
-    acc
+    Ok(acc)
 }
 
 #[cfg(test)]

@@ -64,16 +64,21 @@ pub enum FaultSite {
     /// The simulator's HBM channel model (`poseidon-sim`): corrupted beats
     /// on one channel of a striped transfer.
     HbmChannel,
+    /// Serialized frames at wire decode entry (`poseidon-wire`): models
+    /// corruption on the host↔accelerator link or in a network buffer —
+    /// the decoder's checksum must catch every flip.
+    WireFrame,
 }
 
 impl FaultSite {
     /// Every site, in hook order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::RnsResidue,
         FaultSite::NttTwiddle,
         FaultSite::KeyCache,
         FaultSite::ParScratch,
         FaultSite::HbmChannel,
+        FaultSite::WireFrame,
     ];
 
     /// Stable lower-case name (used by the `tables faults` report).
@@ -84,6 +89,7 @@ impl FaultSite {
             FaultSite::KeyCache => "key_cache",
             FaultSite::ParScratch => "par_scratch",
             FaultSite::HbmChannel => "hbm_channel",
+            FaultSite::WireFrame => "wire_frame",
         }
     }
 
@@ -94,6 +100,7 @@ impl FaultSite {
             FaultSite::KeyCache => 2,
             FaultSite::ParScratch => 3,
             FaultSite::HbmChannel => 4,
+            FaultSite::WireFrame => 5,
         }
     }
 }
@@ -190,7 +197,8 @@ struct Armed {
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static FIRED: AtomicU64 = AtomicU64::new(0);
-static SITE_HITS: [AtomicU64; 5] = [
+static SITE_HITS: [AtomicU64; 6] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -296,6 +304,56 @@ pub fn tamper(site: FaultSite, buf: &mut [u64]) -> bool {
             let end = (idx + len.max(1)).min(buf.len());
             for w in &mut buf[idx..end] {
                 *w = 0;
+            }
+        }
+    }
+    armed.fired += 1;
+    FIRED.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Byte-buffer variant of [`tamper`] for serialized frames: the same plan
+/// logic (site match, skip, persistence, seeded draws) applied to a byte
+/// slice — the chosen index is a byte, and flips land within that byte.
+/// [`FaultKind::StuckAt`]/[`ZeroRange`](FaultKind::ZeroRange) act on bytes.
+pub fn tamper_bytes(site: FaultSite, buf: &mut [u8]) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) || buf.is_empty() {
+        return false;
+    }
+    let mut guard = state().lock().expect("fault injector poisoned");
+    let Some(armed) = guard.as_mut() else {
+        return false;
+    };
+    SITE_HITS[site.index()].fetch_add(1, Ordering::Relaxed);
+    if armed.plan.site != site {
+        return false;
+    }
+    armed.hits += 1;
+    if armed.hits <= armed.plan.skip {
+        return false;
+    }
+    if armed.plan.persistence == Persistence::Transient && armed.fired >= 1 {
+        return false;
+    }
+    let draw = splitmix64(armed.plan.seed ^ armed.hits.wrapping_mul(0xA24B_AED4_963E_E407));
+    let idx = (draw % buf.len() as u64) as usize;
+    match armed.plan.kind {
+        FaultKind::BitFlip => {
+            let bit = (splitmix64(draw) % 8) as u32;
+            buf[idx] ^= 1u8 << bit;
+        }
+        FaultKind::DoubleBitFlip => {
+            let b1 = (splitmix64(draw) % 8) as u32;
+            let b2 = ((splitmix64(draw ^ 1) % 7 + 1 + u64::from(b1)) % 8) as u32;
+            buf[idx] ^= (1u8 << b1) | (1u8 << b2);
+        }
+        FaultKind::StuckAt(v) => {
+            buf[idx] = v as u8;
+        }
+        FaultKind::ZeroRange(len) => {
+            let end = (idx + len.max(1)).min(buf.len());
+            for b in &mut buf[idx..end] {
+                *b = 0;
             }
         }
     }
@@ -459,6 +517,29 @@ mod tests {
         assert!(tamper(FaultSite::ParScratch, &mut buf));
         assert!(buf.contains(&0));
         disarm();
+    }
+
+    #[test]
+    fn tamper_bytes_flips_within_one_byte_and_is_reproducible() {
+        let _l = test_lock();
+        let run = || {
+            arm(FaultPlan::transient(
+                FaultSite::WireFrame,
+                FaultKind::BitFlip,
+                0xBEEF,
+            ));
+            let mut buf = vec![0u8; 64];
+            assert!(tamper_bytes(FaultSite::WireFrame, &mut buf));
+            assert_eq!(
+                buf.iter().map(|b| b.count_ones()).sum::<u32>(),
+                1,
+                "exactly one bit flipped"
+            );
+            assert!(!tamper_bytes(FaultSite::WireFrame, &mut buf));
+            disarm();
+            buf
+        };
+        assert_eq!(run(), run(), "same seed must corrupt identically");
     }
 
     #[test]

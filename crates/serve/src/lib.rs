@@ -1,0 +1,207 @@
+//! Multi-tenant batch evaluation service over the Poseidon wire format.
+//!
+//! The paper's deployment model (§VII) is an accelerator shared by many
+//! client keys: requests arrive as serialized ciphertexts, are queued,
+//! batched, and executed against per-tenant key material resident on the
+//! device. This crate is the software model of that serving layer, built
+//! on std-only threads:
+//!
+//! - **Tenant registry** — each tenant registers a [`CkksContext`] +
+//!   `KeySet` (in-process, or as a [`poseidon_wire::decode_keyset`]
+//!   frame over TCP). Evaluation state ([`Evaluator`],
+//!   [`CheckedEvaluator`]) is built once per tenant.
+//! - **Bounded queue with admission control** — [`EvalService::submit`]
+//!   rejects with [`ServeError::QueueFull`] instead of buffering without
+//!   bound; rejects are counted (`serve.reject`) so operators see
+//!   backpressure.
+//! - **Batching scheduler** — the dispatcher drains up to
+//!   `max_batch` jobs at once and coalesces rotation requests on the
+//!   *same ciphertext* into one hoisted
+//!   [`Evaluator::try_rotate_many`] call: the expensive digit
+//!   decomposition (`keyswitch.hoist`) is paid once per batch instead of
+//!   once per request — the software analogue of the paper's reuse of a
+//!   decomposed operand across automorphisms.
+//! - **Integrity escalation** — non-rotation ops run under
+//!   [`CheckedEvaluator`] (dual execution + digest compare), so a
+//!   persistent datapath fault surfaces as a per-request
+//!   [`EvalError::IntegrityFault`] response, never a crashed server.
+//!   Worker panics are contained and returned as
+//!   [`ServeError::Internal`].
+//! - **TCP front-end** — [`tcp`] frames wire blobs over a
+//!   length-prefixed loopback protocol with a tiny blocking client.
+//!
+//! [`CkksContext`]: he_ckks::context::CkksContext
+//! [`Evaluator`]: he_ckks::eval::Evaluator
+//! [`Evaluator::try_rotate_many`]: he_ckks::eval::Evaluator::try_rotate_many
+//! [`CheckedEvaluator`]: he_ckks::integrity::CheckedEvaluator
+//! [`EvalError::IntegrityFault`]: he_ckks::error::EvalError::IntegrityFault
+
+use std::fmt;
+
+use he_ckks::cipher::{Ciphertext, Plaintext};
+use he_ckks::error::EvalError;
+use poseidon_wire::WireError;
+
+mod service;
+pub mod tcp;
+
+pub use service::{EvalService, ServiceConfig, Ticket};
+
+/// One evaluation request against a tenant's key material. Ciphertexts
+/// are owned: the service executes asynchronously to the submitter.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Request {
+    /// Homomorphic addition.
+    Add {
+        /// Left operand.
+        a: Ciphertext,
+        /// Right operand.
+        b: Ciphertext,
+    },
+    /// Homomorphic subtraction.
+    Sub {
+        /// Left operand.
+        a: Ciphertext,
+        /// Right operand.
+        b: Ciphertext,
+    },
+    /// Relinearised multiplication.
+    Mul {
+        /// Left operand.
+        a: Ciphertext,
+        /// Right operand.
+        b: Ciphertext,
+    },
+    /// Relinearised squaring.
+    Square {
+        /// Operand.
+        a: Ciphertext,
+    },
+    /// Rescale by the top chain prime.
+    Rescale {
+        /// Operand.
+        a: Ciphertext,
+    },
+    /// Slot rotation — the request kind the scheduler coalesces.
+    Rotate {
+        /// Operand.
+        a: Ciphertext,
+        /// Left-rotation step count.
+        steps: i64,
+    },
+    /// Slot-wise complex conjugation.
+    Conjugate {
+        /// Operand.
+        a: Ciphertext,
+    },
+    /// Ciphertext + plaintext addition.
+    AddPlain {
+        /// Ciphertext operand.
+        a: Ciphertext,
+        /// Plaintext operand.
+        pt: Plaintext,
+    },
+    /// Ciphertext × plaintext multiplication.
+    MulPlain {
+        /// Ciphertext operand.
+        a: Ciphertext,
+        /// Plaintext operand.
+        pt: Plaintext,
+    },
+}
+
+/// Why a request was rejected or failed. Like the wire layer, serving is
+/// panic-free: every failure mode is a typed response.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No tenant registered under this identifier.
+    UnknownTenant(String),
+    /// Admission control: the bounded queue is at capacity.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The evaluation itself failed (missing key, level exhaustion,
+    /// integrity escalation, …).
+    Eval(EvalError),
+    /// A wire frame in the request could not be decoded.
+    Wire(WireError),
+    /// The service is shutting down; queued jobs are drained with this.
+    ShuttingDown,
+    /// A contained worker panic or broken internal channel.
+    Internal(String),
+    /// A malformed TCP protocol frame (not a wire-format issue).
+    Protocol(String),
+    /// A client-side socket error.
+    Io(String),
+    /// A server-reported failure, as seen by the TCP client: the
+    /// server's error code (see [`tcp`] docs) plus its message.
+    Remote {
+        /// Server-side error code (1 = unknown tenant, 2 = queue full,
+        /// 3 = eval, 4 = wire, 5 = shutting down, 6 = internal,
+        /// 7 = protocol).
+        code: u8,
+        /// The server's rendered error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            ServeError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "queue full: admission control rejected (capacity {capacity})"
+                )
+            }
+            ServeError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ServeError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Io(msg) => write!(f, "socket error: {msg}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EvalError> for ServeError {
+    fn from(e: EvalError) -> Self {
+        ServeError::Eval(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// Queue/batch observability scopes (compiled away without `telemetry`).
+#[cfg(feature = "telemetry")]
+pub(crate) mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    macro_rules! scope_fn {
+        ($fn_name:ident, $scope:literal) => {
+            pub fn $fn_name() -> &'static Arc<Metric> {
+                static M: OnceLock<Arc<Metric>> = OnceLock::new();
+                M.get_or_init(|| Registry::global().scope($scope))
+            }
+        };
+    }
+
+    scope_fn!(enqueue, "serve.enqueue");
+    scope_fn!(dequeue, "serve.dequeue");
+    scope_fn!(batch, "serve.batch.size");
+    scope_fn!(reject, "serve.reject");
+}

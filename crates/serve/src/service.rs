@@ -1,0 +1,391 @@
+//! The in-process service: tenant registry, bounded queue, and the
+//! batching dispatcher thread.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use he_ckks::cipher::Ciphertext;
+use he_ckks::context::CkksContext;
+use he_ckks::eval::Evaluator;
+use he_ckks::integrity::{digest_ciphertext, CheckedEvaluator};
+use he_ckks::keys::KeySet;
+
+use crate::{Request, ServeError};
+
+/// Sizing knobs for the queue and scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Admission-control bound: submissions beyond this many queued jobs
+    /// are rejected with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Upper bound on jobs drained into one scheduling batch (the
+    /// coalescing window for same-ciphertext rotations).
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Per-tenant evaluation state, built once at registration.
+pub(crate) struct Tenant {
+    pub(crate) ctx: CkksContext,
+    pub(crate) keys: KeySet,
+    eval: Evaluator,
+    checked: CheckedEvaluator,
+}
+
+struct Job {
+    tenant_id: String,
+    tenant: Arc<Tenant>,
+    request: Request,
+    reply: mpsc::Sender<Result<Ciphertext, ServeError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    suspended: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// Handle to one submitted job; [`wait`](Ticket::wait) blocks for its
+/// result.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Ciphertext, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the dispatcher answers this job.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the dispatcher reported — or [`ServeError::Internal`] if
+    /// it dropped the reply channel without answering.
+    pub fn wait(self) -> Result<Ciphertext, ServeError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("reply channel dropped".into())))
+    }
+}
+
+/// The batch evaluation service. One dispatcher thread drains the
+/// bounded queue in batches; see the crate docs for the scheduling
+/// policy.
+pub struct EvalService {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl EvalService {
+    /// Starts the service and its dispatcher thread.
+    pub fn start(config: ServiceConfig) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            config,
+            tenants: RwLock::new(HashMap::new()),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                suspended: false,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("poseidon-serve-dispatch".into())
+            .spawn(move || dispatch_loop(worker_shared))
+            .expect("spawn dispatcher");
+        Arc::new(Self {
+            shared,
+            worker: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Registers (or replaces) a tenant from in-process key material.
+    pub fn register_tenant(&self, id: impl Into<String>, ctx: CkksContext, keys: KeySet) {
+        let eval = Evaluator::new(&ctx);
+        let checked = CheckedEvaluator::new(&ctx);
+        let tenant = Arc::new(Tenant {
+            ctx,
+            keys,
+            eval,
+            checked,
+        });
+        self.shared
+            .tenants
+            .write()
+            .expect("tenant registry poisoned")
+            .insert(id.into(), tenant);
+    }
+
+    /// Registers a tenant from a serialized key-set frame (the TCP
+    /// provisioning path). The frame carries its own parameters; the
+    /// context is derived deterministically from them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Wire`] if the frame does not decode.
+    pub fn register_tenant_frame(
+        &self,
+        id: impl Into<String>,
+        frame: &[u8],
+    ) -> Result<(), ServeError> {
+        let (ctx, keys) = poseidon_wire::decode_keyset(frame)?;
+        self.register_tenant(id, ctx, keys);
+        Ok(())
+    }
+
+    pub(crate) fn tenant(&self, id: &str) -> Option<Arc<Tenant>> {
+        self.shared
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// The tenant's context, for decoding its wire frames.
+    pub fn tenant_context(&self, id: &str) -> Option<CkksContext> {
+        self.tenant(id).map(|t| t.ctx.clone())
+    }
+
+    /// Enqueues one request. Admission control is strict: a full queue
+    /// rejects immediately rather than blocking the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`], [`ServeError::QueueFull`], or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit(&self, tenant_id: &str, request: Request) -> Result<Ticket, ServeError> {
+        let tenant = self
+            .tenant(tenant_id)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant_id.into()))?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.shared.config.queue_capacity {
+                #[cfg(feature = "telemetry")]
+                crate::tel::reject().add(1);
+                return Err(ServeError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            q.jobs.push_back(Job {
+                tenant_id: tenant_id.into(),
+                tenant,
+                request,
+                reply: tx,
+            });
+        }
+        #[cfg(feature = "telemetry")]
+        crate::tel::enqueue().add(1);
+        self.shared.cv.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit + wait: the blocking convenience used by the TCP front-end.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit) and [`Ticket::wait`].
+    pub fn call(&self, tenant_id: &str, request: Request) -> Result<Ciphertext, ServeError> {
+        self.submit(tenant_id, request)?.wait()
+    }
+
+    /// Pauses the dispatcher (jobs accumulate). Lets tests and operators
+    /// control batch formation deterministically.
+    pub fn suspend(&self) {
+        self.shared.queue.lock().expect("queue poisoned").suspended = true;
+    }
+
+    /// Resumes the dispatcher.
+    pub fn resume(&self) {
+        self.shared.queue.lock().expect("queue poisoned").suspended = false;
+        self.shared.cv.notify_all();
+    }
+
+    /// Jobs currently queued (excluding any batch in flight).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Stops the dispatcher; queued jobs are answered with
+    /// [`ServeError::ShuttingDown`]. Called automatically on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker handle poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EvalService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(shared: Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if q.shutdown {
+                    while let Some(job) = q.jobs.pop_front() {
+                        let _ = job.reply.send(Err(ServeError::ShuttingDown));
+                    }
+                    return;
+                }
+                if !q.suspended && !q.jobs.is_empty() {
+                    break;
+                }
+                q = shared.cv.wait(q).expect("queue poisoned");
+            }
+            let n = q.jobs.len().min(shared.config.max_batch);
+            q.jobs.drain(..n).collect()
+        };
+        #[cfg(feature = "telemetry")]
+        {
+            crate::tel::dequeue().add(batch.len() as u64);
+            crate::tel::batch().add(batch.len() as u64);
+        }
+        execute_batch(batch);
+    }
+}
+
+/// Coalescing key for rotation jobs: tenant plus a cheap ciphertext
+/// digest (level/scale folded in). Digest ties are confirmed by exact
+/// residue comparison before jobs share a hoist.
+fn rotation_key(tenant_id: &str, ct: &Ciphertext) -> (String, u64, usize, u64) {
+    (
+        tenant_id.to_string(),
+        digest_ciphertext(ct),
+        ct.level(),
+        ct.scale().to_bits(),
+    )
+}
+
+fn execute_batch(batch: Vec<Job>) {
+    // Rotation groups: representative ciphertext + member jobs.
+    type Key = (String, u64, usize, u64);
+    let mut groups: Vec<(Key, Vec<Job>)> = Vec::new();
+    let mut singles: Vec<Job> = Vec::new();
+
+    for job in batch {
+        let Request::Rotate { ref a, .. } = job.request else {
+            singles.push(job);
+            continue;
+        };
+        let key = rotation_key(&job.tenant_id, a);
+        let slot = groups.iter_mut().find(|(k, jobs)| {
+            *k == key
+                && matches!(
+                    &jobs[0].request,
+                    // Digest collisions must not merge distinct operands.
+                    Request::Rotate { a: rep, .. } if rep.c0() == a.c0() && rep.c1() == a.c1()
+                )
+        });
+        match slot {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+
+    for (_, jobs) in groups {
+        run_rotation_group(jobs);
+    }
+    for job in singles {
+        let result = contain(|| run_one(&job.tenant, &job.request).map_err(ServeError::Eval));
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Executes one same-ciphertext rotation group through a single hoisted
+/// `try_rotate_many` lift — k requests, one digit decomposition.
+fn run_rotation_group(jobs: Vec<Job>) {
+    let steps: Vec<i64> = jobs
+        .iter()
+        .map(|j| match &j.request {
+            Request::Rotate { steps, .. } => *steps,
+            _ => unreachable!("rotation group holds only Rotate jobs"),
+        })
+        .collect();
+    let tenant = Arc::clone(&jobs[0].tenant);
+    let Request::Rotate { a, .. } = jobs[0].request.clone() else {
+        unreachable!("rotation group holds only Rotate jobs");
+    };
+    let outcome = contain(|| {
+        tenant
+            .eval
+            .try_rotate_many(&a, &steps, &tenant.keys)
+            .map_err(ServeError::Eval)
+    });
+    match outcome {
+        Ok(rotated) => {
+            for (job, ct) in jobs.into_iter().zip(rotated) {
+                let _ = job.reply.send(Ok(ct));
+            }
+        }
+        Err(e) => {
+            for job in jobs {
+                let _ = job.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// Non-rotation ops run under the integrity-checked evaluator: a
+/// persistent datapath fault comes back as `EvalError::IntegrityFault`
+/// for this request only.
+fn run_one(tenant: &Tenant, request: &Request) -> Result<Ciphertext, he_ckks::error::EvalError> {
+    match request {
+        Request::Add { a, b } => tenant.checked.add(a, b),
+        Request::Sub { a, b } => tenant.checked.sub(a, b),
+        Request::Mul { a, b } => tenant.checked.mul(a, b, &tenant.keys),
+        Request::Square { a } => tenant.checked.square(a, &tenant.keys),
+        Request::Rescale { a } => tenant.checked.rescale(a),
+        // Fallback for a Rotate that reached the scalar path.
+        Request::Rotate { a, steps } => tenant.checked.rotate(a, *steps, &tenant.keys),
+        Request::Conjugate { a } => tenant.checked.conjugate(a, &tenant.keys),
+        Request::AddPlain { a, pt } => tenant.checked.add_plain(a, pt),
+        Request::MulPlain { a, pt } => tenant.checked.mul_plain(a, pt),
+    }
+}
+
+/// Panic containment: a worker panic answers this request with
+/// `Internal` instead of killing the dispatcher.
+fn contain<R>(f: impl FnOnce() -> Result<R, ServeError>) -> Result<R, ServeError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            Err(ServeError::Internal(msg))
+        }
+    }
+}

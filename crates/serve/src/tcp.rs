@@ -1,0 +1,463 @@
+//! Length-prefixed TCP front-end over the wire format, plus a tiny
+//! blocking client.
+//!
+//! ## Protocol
+//!
+//! Both directions speak `u32` little-endian length-prefixed frames
+//! (length excludes the prefix itself; bounded by [`MAX_FRAME`]).
+//!
+//! **Request** frame body:
+//!
+//! ```text
+//! opcode: u8 | tenant_len: u16 LE | tenant: utf-8
+//! [steps: i64 LE]                     -- Rotate only
+//! blobs: (u32 LE length | bytes)*     -- poseidon-wire frames
+//! ```
+//!
+//! Two-blob ops: `Add`/`Sub`/`Mul` (two ciphertexts), `AddPlain`/
+//! `MulPlain` (ciphertext, plaintext). One-blob ops: `Square`,
+//! `Rescale`, `Rotate`, `Conjugate` (ciphertext), `RegisterTenant`
+//! (key-set frame, normally [`poseidon_wire::encode_keyset_public`]).
+//!
+//! **Response** frame body: status `u8` — `0` = ok followed by one
+//! optional blob (`u32` LE length, possibly zero, then a ciphertext
+//! frame), `1` = error followed by `code: u8 | msg_len: u16 LE | msg`.
+//!
+//! A protocol-level parse failure answers with an error frame and drops
+//! the connection; a wire/eval failure answers with an error frame and
+//! keeps serving. Malformed input never panics the server.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{EvalService, Request, ServeError};
+
+/// Upper bound on one protocol frame (64 MiB — comfortably above any
+/// supported key-set frame).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Op {
+    Add = 1,
+    Sub = 2,
+    Mul = 3,
+    Square = 4,
+    Rescale = 5,
+    Rotate = 6,
+    Conjugate = 7,
+    AddPlain = 8,
+    MulPlain = 9,
+    RegisterTenant = 10,
+}
+
+impl Op {
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => Op::Add,
+            2 => Op::Sub,
+            3 => Op::Mul,
+            4 => Op::Square,
+            5 => Op::Rescale,
+            6 => Op::Rotate,
+            7 => Op::Conjugate,
+            8 => Op::AddPlain,
+            9 => Op::MulPlain,
+            10 => Op::RegisterTenant,
+            _ => return None,
+        })
+    }
+}
+
+fn error_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::UnknownTenant(_) => 1,
+        ServeError::QueueFull { .. } => 2,
+        ServeError::Eval(_) => 3,
+        ServeError::Wire(_) => 4,
+        ServeError::ShuttingDown => 5,
+        ServeError::Internal(_) => 6,
+        _ => 7,
+    }
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF before a
+/// prefix.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match stream.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn ok_response(blob: Option<&[u8]>) -> Vec<u8> {
+    let blob = blob.unwrap_or(&[]);
+    let mut out = Vec::with_capacity(5 + blob.len());
+    out.push(0);
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+    out
+}
+
+fn err_response(e: &ServeError) -> Vec<u8> {
+    let msg = e.to_string();
+    let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
+    let mut out = Vec::with_capacity(4 + msg.len());
+    out.push(1);
+    out.push(error_code(e));
+    out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ServeError::Protocol(format!(
+                "request frame truncated: wanted {n} more bytes"
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn blob(&mut self) -> Result<&'a [u8], ServeError> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")) as usize;
+        self.take(len)
+    }
+
+    fn done(&self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Protocol(format!(
+                "{} trailing bytes after request",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses and executes one request frame; `Ok(Some(bytes))` is a
+/// ciphertext frame to return, `Ok(None)` an empty success.
+fn process(service: &EvalService, frame: &[u8]) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut r = FrameReader { buf: frame, pos: 0 };
+    let code = r.take(1)?[0];
+    let op = Op::from_code(code)
+        .ok_or_else(|| ServeError::Protocol(format!("unknown opcode {code}")))?;
+    let tenant_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
+    let tenant = std::str::from_utf8(r.take(tenant_len)?)
+        .map_err(|_| ServeError::Protocol("tenant id is not utf-8".into()))?
+        .to_string();
+
+    if op == Op::RegisterTenant {
+        let frame = r.blob()?;
+        r.done()?;
+        service.register_tenant_frame(&tenant, frame)?;
+        return Ok(None);
+    }
+
+    let steps = if op == Op::Rotate {
+        Some(i64::from_le_bytes(
+            r.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    } else {
+        None
+    };
+
+    let ctx = service
+        .tenant_context(&tenant)
+        .ok_or_else(|| ServeError::UnknownTenant(tenant.clone()))?;
+    let a = poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?;
+    let request = match op {
+        Op::Add => Request::Add {
+            a,
+            b: poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?,
+        },
+        Op::Sub => Request::Sub {
+            a,
+            b: poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?,
+        },
+        Op::Mul => Request::Mul {
+            a,
+            b: poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?,
+        },
+        Op::Square => Request::Square { a },
+        Op::Rescale => Request::Rescale { a },
+        Op::Rotate => Request::Rotate {
+            a,
+            steps: steps.expect("steps parsed for Rotate"),
+        },
+        Op::Conjugate => Request::Conjugate { a },
+        Op::AddPlain => Request::AddPlain {
+            a,
+            pt: poseidon_wire::decode_plaintext(&ctx, r.blob()?)?,
+        },
+        Op::MulPlain => Request::MulPlain {
+            a,
+            pt: poseidon_wire::decode_plaintext(&ctx, r.blob()?)?,
+        },
+        Op::RegisterTenant => unreachable!("handled above"),
+    };
+    r.done()?;
+    let out = service.call(&tenant, request)?;
+    Ok(Some(poseidon_wire::encode_ciphertext(&ctx, &out)))
+}
+
+fn handle_connection(service: Arc<EvalService>, mut stream: TcpStream) {
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let response = match process(&service, &frame) {
+            Ok(blob) => ok_response(blob.as_deref()),
+            Err(e) => err_response(&e),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+        // A protocol desync is unrecoverable mid-stream; close after
+        // reporting it. Wire/eval errors keep the connection alive.
+        if let Err(ServeError::Protocol(_)) = process_status(&frame) {
+            break;
+        }
+    }
+}
+
+/// Re-checks only the cheap protocol framing of a request (no decode, no
+/// execution) so the connection loop can decide whether the stream is
+/// still in sync.
+fn process_status(frame: &[u8]) -> Result<(), ServeError> {
+    let mut r = FrameReader { buf: frame, pos: 0 };
+    let code = r.take(1)?[0];
+    let op = Op::from_code(code)
+        .ok_or_else(|| ServeError::Protocol(format!("unknown opcode {code}")))?;
+    let tenant_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
+    r.take(tenant_len)?;
+    if op == Op::Rotate {
+        r.take(8)?;
+    }
+    let blobs = match op {
+        Op::Add | Op::Sub | Op::Mul | Op::AddPlain | Op::MulPlain => 2,
+        _ => 1,
+    };
+    for _ in 0..blobs {
+        r.blob()?;
+    }
+    r.done()
+}
+
+/// Binds `addr` and serves connections on background threads; returns
+/// the bound address (use port 0 for an ephemeral port) and the acceptor
+/// handle. The acceptor runs until the process exits or the listener
+/// errors; per-connection threads are detached.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn listen(
+    service: Arc<EvalService>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("poseidon-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { break };
+                let service = Arc::clone(&service);
+                let _ = std::thread::Builder::new()
+                    .name("poseidon-serve-conn".into())
+                    .spawn(move || handle_connection(service, stream));
+            }
+        })?;
+    Ok((local, handle))
+}
+
+/// Minimal blocking client for the protocol above. All payloads are
+/// `poseidon-wire` frames; encoding/decoding stays on the caller's side
+/// (the client never needs key material).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn roundtrip(
+        &mut self,
+        op: Op,
+        tenant: &str,
+        steps: Option<i64>,
+        blobs: &[&[u8]],
+    ) -> Result<Option<Vec<u8>>, ServeError> {
+        let mut body = Vec::new();
+        body.push(op as u8);
+        let id = tenant.as_bytes();
+        body.extend_from_slice(&(id.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        body.extend_from_slice(&id[..id.len().min(u16::MAX as usize)]);
+        if let Some(s) = steps {
+            body.extend_from_slice(&s.to_le_bytes());
+        }
+        for blob in blobs {
+            body.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            body.extend_from_slice(blob);
+        }
+        write_frame(&mut self.stream, &body).map_err(|e| ServeError::Io(e.to_string()))?;
+        let response = read_frame(&mut self.stream)
+            .map_err(|e| ServeError::Io(e.to_string()))?
+            .ok_or_else(|| ServeError::Io("server closed the connection".into()))?;
+
+        let mut r = FrameReader {
+            buf: &response,
+            pos: 0,
+        };
+        match r.take(1)?[0] {
+            0 => {
+                let blob = r.blob()?;
+                r.done()?;
+                Ok(if blob.is_empty() {
+                    None
+                } else {
+                    Some(blob.to_vec())
+                })
+            }
+            1 => {
+                let code = r.take(1)?[0];
+                let len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
+                let message = String::from_utf8_lossy(r.take(len)?).into_owned();
+                r.done()?;
+                Err(ServeError::Remote { code, message })
+            }
+            s => Err(ServeError::Protocol(format!("unknown response status {s}"))),
+        }
+    }
+
+    fn expect_blob(result: Result<Option<Vec<u8>>, ServeError>) -> Result<Vec<u8>, ServeError> {
+        result?.ok_or_else(|| ServeError::Protocol("expected a ciphertext in response".into()))
+    }
+
+    /// Registers a tenant from a key-set frame.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn register_tenant(&mut self, tenant: &str, keyset_frame: &[u8]) -> Result<(), ServeError> {
+        self.roundtrip(Op::RegisterTenant, tenant, None, &[keyset_frame])
+            .map(|_| ())
+    }
+
+    /// Homomorphic addition of two ciphertext frames.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn add(&mut self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Add, tenant, None, &[a, b]))
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn sub(&mut self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Sub, tenant, None, &[a, b]))
+    }
+
+    /// Relinearised multiplication.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn mul(&mut self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Mul, tenant, None, &[a, b]))
+    }
+
+    /// Relinearised squaring.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn square(&mut self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Square, tenant, None, &[a]))
+    }
+
+    /// Rescale by the top chain prime.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn rescale(&mut self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Rescale, tenant, None, &[a]))
+    }
+
+    /// Slot rotation by `steps`.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn rotate(&mut self, tenant: &str, a: &[u8], steps: i64) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Rotate, tenant, Some(steps), &[a]))
+    }
+
+    /// Slot-wise conjugation.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn conjugate(&mut self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::Conjugate, tenant, None, &[a]))
+    }
+
+    /// Ciphertext + plaintext addition.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn add_plain(&mut self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::AddPlain, tenant, None, &[a, pt]))
+    }
+
+    /// Ciphertext × plaintext multiplication.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message.
+    pub fn mul_plain(&mut self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.roundtrip(Op::MulPlain, tenant, None, &[a, pt]))
+    }
+}

@@ -1,0 +1,104 @@
+//! Telemetry-gated proof that the batching scheduler actually coalesces:
+//! k same-ciphertext rotations served in one batch cost one
+//! `keyswitch.hoist` lift, versus k lifts when served one at a time.
+//!
+//! Kept to a single test function: the telemetry registry is
+//! process-global, and this binary must not race itself on the counters.
+
+#![cfg(feature = "telemetry")]
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use poseidon_serve::{EvalService, Request, ServiceConfig};
+use poseidon_telemetry::{Registry, Snapshot};
+use rand::SeedableRng;
+
+fn count(snap: &Snapshot, scope: &str) -> u64 {
+    snap.get(scope).map(|s| s.count).unwrap_or(0)
+}
+
+fn items(snap: &Snapshot, scope: &str) -> u64 {
+    snap.get(scope).map(|s| s.items).unwrap_or(0)
+}
+
+#[test]
+fn batched_rotations_hoist_once() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0157);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    keys.add_rotation_keys([1, 2, 3, 4], &mut rng);
+    let pt = Plaintext::new(
+        ctx.encoder().encode_rns(
+            ctx.chain_basis(),
+            &[Complex::new(0.5, 0.0), Complex::new(0.25, 0.0)],
+            ctx.default_scale(),
+        ),
+        ctx.default_scale(),
+    );
+    let ct = keys.public().encrypt(&pt, &mut rng);
+
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+    let steps = [1i64, 2, 3, 4];
+
+    // Per-call baseline: wait for each rotation before submitting the
+    // next, so every request forms its own singleton batch (one hoist
+    // each).
+    let before = Registry::global().snapshot();
+    for s in steps {
+        service
+            .call(
+                "acme",
+                Request::Rotate {
+                    a: ct.clone(),
+                    steps: s,
+                },
+            )
+            .expect("rotation");
+    }
+    let per_call = Registry::global().snapshot().since(&before);
+    let per_call_hoists = count(&per_call, "keyswitch.hoist");
+    assert_eq!(
+        per_call_hoists,
+        steps.len() as u64,
+        "one hoist per singleton batch"
+    );
+    assert_eq!(count(&per_call, "serve.enqueue"), steps.len() as u64);
+
+    // Batched: freeze the dispatcher, enqueue all four, release — one
+    // coalesced group, one hoist.
+    let before = Registry::global().snapshot();
+    service.suspend();
+    let tickets: Vec<_> = steps
+        .iter()
+        .map(|&s| {
+            service
+                .submit(
+                    "acme",
+                    Request::Rotate {
+                        a: ct.clone(),
+                        steps: s,
+                    },
+                )
+                .expect("submit")
+        })
+        .collect();
+    service.resume();
+    for t in tickets {
+        t.wait().expect("rotation");
+    }
+    let batched = Registry::global().snapshot().since(&before);
+    let batched_hoists = count(&batched, "keyswitch.hoist");
+    assert_eq!(batched_hoists, 1, "coalesced batch must hoist exactly once");
+    assert!(
+        batched_hoists < per_call_hoists,
+        "batched ({batched_hoists}) must beat per-call ({per_call_hoists})"
+    );
+    // The batch scope saw one batch of four jobs.
+    assert_eq!(count(&batched, "serve.batch.size"), 1);
+    assert_eq!(items(&batched, "serve.batch.size"), steps.len() as u64);
+    assert_eq!(items(&batched, "serve.dequeue"), steps.len() as u64);
+}

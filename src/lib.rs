@@ -7,4 +7,6 @@ pub use poseidon_core as core;
 #[cfg(feature = "faults")]
 pub use poseidon_faults as faults;
 pub use poseidon_par as par;
+pub use poseidon_serve as serve;
 pub use poseidon_sim as sim;
+pub use poseidon_wire as wire;
