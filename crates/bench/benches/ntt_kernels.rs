@@ -1,0 +1,107 @@
+//! Per-kernel NTT benches: the scalar oracle against the lazy and fused
+//! radix-8 production kernels, at the transform level (forward/inverse
+//! across ring degrees) and end to end (the 8-rotation hoisting workloads
+//! rebuilt under each kernel).
+//!
+//! The manual `main` re-times the same sweeps with plain `Instant` loops
+//! and writes `BENCH_ntt_kernels.json` — the shim criterion keeps no
+//! on-disk results, and CI's acceptance gate (fused forward ≥ 1.3× scalar
+//! at N ≥ 2^12, visible end-to-end hoisting gain) parses that file.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use he_ntt::{KernelKind, NttTable};
+use poseidon_bench::tables::{ntt_end_to_end, ntt_kernel_sweep};
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_kernels");
+    for log_n in [10u32, 12, 13] {
+        let n = 1usize << log_n;
+        let q = he_math::prime::ntt_prime(30, 2 * n as u64).unwrap();
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(2654435761).wrapping_add(97)) % q)
+            .collect();
+        for kind in KernelKind::ALL {
+            let t = NttTable::with_kernel(n, q, kind);
+            let mut buf = input.clone();
+            group.bench_function(
+                BenchmarkId::new(format!("forward/{}", kind.name()), n),
+                |b| b.iter(|| t.forward(&mut buf)),
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("inverse/{}", kind.name()), n),
+                |b| b.iter(|| t.inverse(&mut buf)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transforms
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Kernel names are lowercase identifiers; nothing to escape.
+    name
+}
+
+fn main() {
+    benches();
+
+    // Measured sweep for the export (independent of the criterion run).
+    let rows = ntt_kernel_sweep(&[10, 11, 12, 13]);
+    let e2e = ntt_end_to_end(2);
+
+    let mut json = String::from("{\n  \"bench\": \"ntt_kernels\",\n  \"transforms\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"log_n\": {}, \"forward_ns\": {:.1}, \"inverse_ns\": {:.1}}}{}\n",
+            json_escape_free(r.kernel),
+            r.log_n,
+            r.forward_ns,
+            r.inverse_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_vs_scalar\": {\n");
+    let fwd = |kernel: &str, log_n: u32| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.log_n == log_n)
+            .map(|r| r.forward_ns)
+            .unwrap()
+    };
+    let speedup_logs: Vec<u32> = vec![12, 13];
+    for (i, &log_n) in speedup_logs.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"forward_n{}\": {{\"lazy\": {:.3}, \"fused_radix8\": {:.3}}}{}\n",
+            1usize << log_n,
+            fwd("scalar", log_n) / fwd("lazy", log_n),
+            fwd("scalar", log_n) / fwd("fused_radix8", log_n),
+            if i + 1 < speedup_logs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n  \"end_to_end_ms\": [\n");
+    for (i, (kernel, rot, bsgs)) in e2e.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"rotate_x8_ms\": {rot:.3}, \"bsgs_matvec_ms\": {bsgs:.3}}}{}\n",
+            if i + 1 < e2e.len() { "," } else { "" }
+        ));
+    }
+    let scalar = e2e.iter().find(|r| r.0 == "scalar").unwrap();
+    let fused = e2e.iter().find(|r| r.0 == "fused_radix8").unwrap();
+    json.push_str(&format!(
+        "  ],\n  \"end_to_end_gain_vs_scalar\": {{\"rotate_x8\": {:.3}, \"bsgs_matvec\": {:.3}}},\n",
+        scalar.1 / fused.1,
+        scalar.2 / fused.2
+    ));
+    json.push_str("  \"acceptance\": {\"min_forward_speedup_n4096\": 1.3}\n}\n");
+
+    let path = poseidon_bench::export_path("BENCH_ntt_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_ntt_kernels.json");
+    println!("kernel sweep written to {}", path.display());
+
+    let measured = fwd("scalar", 12) / fwd("fused_radix8", 12);
+    println!("fused_radix8 forward speedup at N=2^12: {measured:.2}x (acceptance: >= 1.3x)");
+}

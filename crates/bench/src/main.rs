@@ -1,7 +1,11 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|hoisting|faults|serve]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|serve]`
+//!
+//! `tables ntt` times every butterfly kernel (`scalar`, `lazy`,
+//! `fused_radix8`) across ring degrees and reports the end-to-end delta
+//! on the 8-rotation hoisting workloads.
 //!
 //! `tables metrics` (build with `--features telemetry`) prints the
 //! runtime per-operator telemetry for a HELR workload.
@@ -56,6 +60,7 @@ fn main() {
     run("parallel", tables::parallel_scaling);
     run("pipeline", tables::pipeline);
     run("metrics", tables::metrics);
+    run("ntt", tables::ntt);
     run("hoisting", tables::hoisting);
     run("faults", tables::faults);
     run("serve", tables::serve);

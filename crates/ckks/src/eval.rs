@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use he_rns::conv::{moddown, rescale as rns_rescale};
-use he_rns::{RnsBasis, RnsPoly};
+use he_rns::{RnsBasis, RnsPoly, ShoupOperand};
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
@@ -330,12 +330,17 @@ impl Evaluator {
 
     /// Plaintext multiplication (paper PMult): `(c_0·m, c_1·m)` with scale
     /// Δ_ct · Δ_pt. Rescale afterwards to restore the working scale.
+    ///
+    /// The plaintext is a fixed multiplicand known ahead of the
+    /// ciphertext, so its residues are lifted to Shoup lanes once
+    /// ([`he_rns::ShoupOperand`]) and reused for both components — no
+    /// Barrett reduction on the pointwise path.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let m = pt.poly().truncate_basis(a.level() + 1).into_eval();
+        let m = ShoupOperand::new(&pt.poly().truncate_basis(a.level() + 1).into_eval());
         let mut c0 = a.c0().clone().into_eval();
-        c0.mul_assign(&m);
+        c0.mul_assign_shoup(&m);
         let mut c1 = a.c1().clone().into_eval();
-        c1.mul_assign(&m);
+        c1.mul_assign_shoup(&m);
         Ciphertext::new(c0.into_coeff(), c1.into_coeff(), a.scale() * pt.scale())
     }
 

@@ -59,6 +59,34 @@ pub fn neg_mod(a: u64, q: u64) -> u64 {
     }
 }
 
+/// Conditionally subtracts `m` once: maps `[0, 2m)` to `[0, m)`.
+///
+/// The correction step of every lazy-reduction kernel: Harvey butterflies
+/// keep values in a redundant range (`[0, 2q)` or `[0, 4q)`) and call this
+/// at entry or at stage-group boundaries instead of running a full modular
+/// reduction per stage. Branch-predictable and compiled to a `cmov`, it is
+/// the software analogue of the single compare-and-correct stage of the
+/// paper's MA core.
+///
+/// Unlike the reduced-input operations above, `a` may be any value below
+/// `2m`; larger inputs are folded by only one `m`, so chains of `csub`
+/// calls (`csub(csub(v, 2q), q)`) handle wider redundant ranges.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(he_math::modops::csub(9, 7), 2);
+/// assert_eq!(he_math::modops::csub(5, 7), 5);
+/// ```
+#[inline(always)]
+pub fn csub(a: u64, m: u64) -> u64 {
+    if a >= m {
+        a - m
+    } else {
+        a
+    }
+}
+
 /// Multiplies two residues modulo `q` through a `u128` intermediate.
 ///
 /// This is the reference implementation that the Barrett and Shoup fast

@@ -44,6 +44,12 @@ impl ShoupMul {
         self.w
     }
 
+    /// The precomputed quotient constant `floor(w · 2^64 / q)`.
+    #[inline]
+    pub fn quotient(&self) -> u64 {
+        self.w_shoup
+    }
+
     /// Computes `a · w mod q` for reduced `a`.
     ///
     /// The result of the core step lies in `[0, 2q)`; one conditional
@@ -69,6 +75,56 @@ impl ShoupMul {
         let quot = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
         (self.w.wrapping_mul(a)).wrapping_sub(quot.wrapping_mul(self.q))
     }
+
+    /// Computes `a · w mod q` in `[0, 2q)` for **any** `a`, reduced or not.
+    ///
+    /// This is the multiply of Harvey's lazy butterfly: with
+    /// `w' = floor(w·2^64/q)` the quotient estimate
+    /// `floor(w'·a / 2^64)` undershoots `floor(w·a/q)` by at most one for
+    /// every `a < 2^64`, so the remainder lands in `[0, 2q)` with no
+    /// correction — the caller keeps values in redundant representation
+    /// and corrects once per stage group (or never, until the final
+    /// reduction pass). Requires `q < 2^63` (guaranteed by [`new`]).
+    ///
+    /// [`new`]: Self::new
+    #[inline(always)]
+    pub fn mul_lazy_unreduced(&self, a: u64) -> u64 {
+        let quot = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
+        (self.w.wrapping_mul(a)).wrapping_sub(quot.wrapping_mul(self.q))
+    }
+}
+
+/// Precomputes the Shoup quotient `floor(w · 2^64 / q)` for a reduced
+/// operand `w < q` — the lane-vector form of [`ShoupMul::new`] used when a
+/// whole residue vector is a fixed multiplicand (plaintext lanes, twiddle
+/// lanes) and storing per-element `ShoupMul` structs would triple memory.
+///
+/// # Panics
+///
+/// Panics (debug) if `w >= q`.
+#[inline]
+pub fn shoup_quotient(w: u64, q: u64) -> u64 {
+    debug_assert!(w < q, "operand must be reduced");
+    (((w as u128) << 64) / q as u128) as u64
+}
+
+/// Computes `a · w mod q` (fully reduced) from a raw `(w, quotient)` lane
+/// pair as produced by [`shoup_quotient`]. Valid for any `a < 2^64` and
+/// `q < 2^63`.
+///
+/// # Examples
+///
+/// ```
+/// use he_math::shoup::{mul_shoup_lane, shoup_quotient};
+/// let (w, q) = (3u64, 17u64);
+/// let wq = shoup_quotient(w, q);
+/// assert_eq!(mul_shoup_lane(10, w, wq, q), 13);
+/// ```
+#[inline(always)]
+pub fn mul_shoup_lane(a: u64, w: u64, w_quot: u64, q: u64) -> u64 {
+    let quot = ((w_quot as u128 * a as u128) >> 64) as u64;
+    let r = (w.wrapping_mul(a)).wrapping_sub(quot.wrapping_mul(q));
+    crate::modops::csub(r, q)
 }
 
 #[cfg(test)]
@@ -95,6 +151,32 @@ mod tests {
             let m = ShoupMul::new(w, q);
             for &a in &samples {
                 assert_eq!(m.mul(a), mul_mod(a, w, q), "w={w} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_unreduced_accepts_redundant_inputs() {
+        // Inputs up to 4q (the Harvey butterfly range) stay within [0, 2q)
+        // and agree with the reference modulo q.
+        let q = (1u64 << 61) - 1;
+        let m = ShoupMul::new(q - 3, q);
+        for a in [0u64, 1, q - 1, q, q + 5, 2 * q - 1, 2 * q, 4 * q - 1] {
+            let r = m.mul_lazy_unreduced(a);
+            assert!(r < 2 * q, "a={a}");
+            assert_eq!(r % q, mul_mod(a % q, q - 3, q), "a={a}");
+        }
+    }
+
+    #[test]
+    fn lane_form_matches_struct_form() {
+        let q = 786_433u64;
+        for w in [0u64, 1, 5, q / 2, q - 1] {
+            let m = ShoupMul::new(w, q);
+            let wq = shoup_quotient(w, q);
+            assert_eq!(wq, m.quotient());
+            for a in [0u64, 1, q - 1, 2 * q - 1, u64::MAX] {
+                assert_eq!(mul_shoup_lane(a, w, wq, q), mul_mod(a % q, w, q));
             }
         }
     }

@@ -9,7 +9,13 @@
 //! * [`table::NttTable`] — per-(N, q) precomputed twiddle tables (ψ powers in
 //!   bit-reversed order, Shoup constants, N⁻¹).
 //! * [`negacyclic`] — the classic iterative radix-2 forward (Cooley–Tukey,
-//!   decimation-in-time) and inverse (Gentleman–Sande) transforms.
+//!   decimation-in-time) and inverse (Gentleman–Sande) transforms, retained
+//!   as the bit-exact oracle for the production kernels.
+//! * [`kernel`] — the production lazy-reduction kernels behind
+//!   [`NttTable::forward`]/[`NttTable::inverse`]: Harvey butterflies in
+//!   redundant representation with fused radix-8 stage groups
+//!   ([`KernelKind::FusedRadix8`], the default), selectable per table or
+//!   via `POSEIDON_NTT_KERNEL`.
 //! * [`fusion`] — the radix-2^k *fused* NTT of the paper's §III-A: k
 //!   butterfly stages are collapsed into one "fused TAM" kernel that applies
 //!   a precomputed 2^k × 2^k coefficient matrix with a **single** modular
@@ -43,9 +49,11 @@
 
 pub mod access;
 pub mod fusion;
+pub mod kernel;
 pub mod naive;
 pub mod negacyclic;
 pub mod table;
 
 pub use fusion::{FusedNtt, FusionAnalysis};
+pub use kernel::{set_default_kind, KernelKind};
 pub use table::{galois_permutation, NttTable};

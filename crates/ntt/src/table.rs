@@ -1,5 +1,6 @@
 //! Precomputed twiddle tables for the negacyclic NTT.
 
+use crate::kernel::KernelKind;
 use he_math::modops::{inv_mod_prime, pow_mod};
 use he_math::prime::root_of_unity;
 use he_math::{BarrettReducer, ShoupMul};
@@ -54,6 +55,9 @@ pub struct NttTable {
     n_inv: ShoupMul,
     /// Shared Barrett reducer (the crate-level stand-in for the SBT core).
     reducer: BarrettReducer,
+    /// Which butterfly kernel [`forward`](Self::forward) and
+    /// [`inverse`](Self::inverse) dispatch to.
+    kernel: KernelKind,
 }
 
 impl NttTable {
@@ -65,6 +69,12 @@ impl NttTable {
     /// Panics if `n` is not a power of two or `q` is not an NTT prime for
     /// this degree.
     pub fn new(n: usize, q: u64) -> Self {
+        Self::with_kernel(n, q, KernelKind::default_kind())
+    }
+
+    /// Builds tables like [`new`](Self::new) with an explicit butterfly
+    /// kernel instead of the process default.
+    pub fn with_kernel(n: usize, q: u64, kernel: KernelKind) -> Self {
         assert!(
             n.is_power_of_two() && n >= 2,
             "n must be a power of two ≥ 2"
@@ -92,7 +102,21 @@ impl NttTable {
             inv_psi_rev,
             n_inv,
             reducer: BarrettReducer::new(q),
+            kernel,
         }
+    }
+
+    /// The butterfly kernel this table dispatches to.
+    #[inline]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Switches the butterfly kernel. All kernels are bit-identical, so
+    /// this never changes transform outputs — only how they are computed.
+    #[inline]
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        self.kernel = kernel;
     }
 
     /// Ring degree `N`.
@@ -143,7 +167,11 @@ impl NttTable {
         // entering the butterfly network.
         #[cfg(feature = "faults")]
         poseidon_faults::tamper(poseidon_faults::FaultSite::NttTwiddle, a);
-        crate::negacyclic::forward_in_place(a, &self.psi_rev, self.q);
+        match self.kernel {
+            KernelKind::Scalar => crate::negacyclic::forward_in_place(a, &self.psi_rev, self.q),
+            KernelKind::Lazy => crate::kernel::forward_lazy(a, &self.psi_rev, self.q),
+            KernelKind::FusedRadix8 => crate::kernel::forward_fused(a, &self.psi_rev, self.q),
+        }
     }
 
     /// Inverse negacyclic NTT, in place (evaluation → coefficient order).
@@ -157,7 +185,17 @@ impl NttTable {
         let _span = tel::inverse().span(self.n as u64);
         #[cfg(feature = "faults")]
         poseidon_faults::tamper(poseidon_faults::FaultSite::NttTwiddle, a);
-        crate::negacyclic::inverse_in_place(a, &self.inv_psi_rev, &self.n_inv, self.q);
+        match self.kernel {
+            KernelKind::Scalar => {
+                crate::negacyclic::inverse_in_place(a, &self.inv_psi_rev, &self.n_inv, self.q)
+            }
+            KernelKind::Lazy => {
+                crate::kernel::inverse_lazy(a, &self.inv_psi_rev, &self.n_inv, self.q)
+            }
+            KernelKind::FusedRadix8 => {
+                crate::kernel::inverse_fused(a, &self.inv_psi_rev, &self.n_inv, self.q)
+            }
+        }
     }
 
     /// Negacyclic polynomial product `a · b mod (X^N + 1, q)` via three
@@ -176,13 +214,19 @@ impl NttTable {
     /// assert_eq!(p[30], q - 1);
     /// ```
     pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let mut fa = a.to_vec();
-        let mut fb = b.to_vec();
+        // Both temporaries come from the per-thread scratch pool: once a
+        // thread is warm, `multiply` performs no heap allocation beyond the
+        // returned product itself.
+        let mut fa = poseidon_par::scratch::take(a.len());
+        fa.copy_from_slice(a);
+        let mut fb = poseidon_par::scratch::take(b.len());
+        fb.copy_from_slice(b);
         self.forward(&mut fa);
         self.forward(&mut fb);
-        for (x, y) in fa.iter_mut().zip(&fb) {
+        for (x, y) in fa.iter_mut().zip(&*fb) {
             *x = self.reducer.mul(*x, *y);
         }
+        poseidon_par::scratch::recycle(fb);
         self.inverse(&mut fa);
         fa
     }

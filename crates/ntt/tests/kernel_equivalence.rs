@@ -1,0 +1,231 @@
+//! Cross-kernel equivalence for the production NTT kernels.
+//!
+//! Every [`KernelKind`] must be *bit-identical* — not merely congruent —
+//! to the scalar oracle at every transform length: lazy reduction changes
+//! how values are carried between stages, never what leaves the kernel.
+//! The suite sweeps log N ∈ {2..13} over random residue vectors
+//! (round-trips, cross-kernel agreement, pointwise products through the
+//! scratch-pool `multiply`) and writes a deterministic digest to
+//! `$POSEIDON_DIGEST_FILE` so CI can diff builds running under different
+//! `POSEIDON_NTT_KERNEL` settings.
+//!
+//! The debug-build counter tests reconcile the fused kernel with the
+//! analytic [`FusionAnalysis`] model of paper Table II: per 2^k block a
+//! fused stage group performs exactly 2^k modular reductions (not k·2^k),
+//! while the twiddle multiply count stays at the unfused k·2^k tally.
+
+use he_ntt::kernel::op_counters;
+use he_ntt::{FusionAnalysis, KernelKind, NttTable};
+use proptest::prelude::*;
+
+const LOG_N_RANGE: std::ops::RangeInclusive<u32> = 2..=13;
+
+fn prime_for(n: usize, bits: u32) -> u64 {
+    he_math::prime::ntt_prime(bits, 2 * n as u64).unwrap()
+}
+
+fn random_vector(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    // Deterministic splitmix-style fill, independent of the RNG shim.
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s % q
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_kernel_round_trips(log_n in LOG_N_RANGE, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let input = random_vector(n, q, seed);
+        for kind in KernelKind::ALL {
+            let t = NttTable::with_kernel(n, q, kind);
+            prop_assert_eq!(t.kernel(), kind);
+            let mut a = input.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            prop_assert_eq!(&a, &input, "round trip failed for {} at n={}", kind, n);
+        }
+    }
+
+    #[test]
+    fn forward_outputs_are_bit_identical(log_n in LOG_N_RANGE, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let input = random_vector(n, q, seed);
+        let scalar = NttTable::with_kernel(n, q, KernelKind::Scalar);
+        let mut want = input.clone();
+        scalar.forward(&mut want);
+        for kind in [KernelKind::Lazy, KernelKind::FusedRadix8] {
+            let t = NttTable::with_kernel(n, q, kind);
+            let mut got = input.clone();
+            t.forward(&mut got);
+            prop_assert_eq!(&got, &want, "forward diverged for {} at n={}", kind, n);
+        }
+    }
+
+    #[test]
+    fn inverse_outputs_are_bit_identical(log_n in LOG_N_RANGE, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let input = random_vector(n, q, seed);
+        let scalar = NttTable::with_kernel(n, q, KernelKind::Scalar);
+        let mut want = input.clone();
+        scalar.inverse(&mut want);
+        for kind in [KernelKind::Lazy, KernelKind::FusedRadix8] {
+            let t = NttTable::with_kernel(n, q, kind);
+            let mut got = input.clone();
+            t.inverse(&mut got);
+            prop_assert_eq!(&got, &want, "inverse diverged for {} at n={}", kind, n);
+        }
+    }
+
+    #[test]
+    fn multiply_is_kernel_independent(log_n in 2u32..=9, s1 in any::<u64>(), s2 in any::<u64>()) {
+        // `multiply` routes through the scratch pool and three transforms;
+        // the product must not depend on the kernel either.
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let a = random_vector(n, q, s1);
+        let b = random_vector(n, q, s2);
+        let want = NttTable::with_kernel(n, q, KernelKind::Scalar).multiply(&a, &b);
+        for kind in [KernelKind::Lazy, KernelKind::FusedRadix8] {
+            let got = NttTable::with_kernel(n, q, kind).multiply(&a, &b);
+            prop_assert_eq!(&got, &want, "multiply diverged for {} at n={}", kind, n);
+        }
+    }
+
+    #[test]
+    fn large_moduli_do_not_overflow(log_n in 2u32..=10, seed in any::<u64>()) {
+        // 61-bit primes push the [0, 4q) redundant range right up against
+        // u64; the lazy kernels must stay exact there too.
+        let n = 1usize << log_n;
+        let q = prime_for(n, 61);
+        let input = random_vector(n, q, seed);
+        let scalar = NttTable::with_kernel(n, q, KernelKind::Scalar);
+        let mut want = input.clone();
+        scalar.forward(&mut want);
+        for kind in [KernelKind::Lazy, KernelKind::FusedRadix8] {
+            let t = NttTable::with_kernel(n, q, kind);
+            let mut got = input.clone();
+            t.forward(&mut got);
+            prop_assert_eq!(&got, &want, "forward diverged for {} at n={}", kind, n);
+            t.inverse(&mut got);
+            prop_assert_eq!(&got, &input, "round trip failed for {} at n={}", kind, n);
+        }
+    }
+}
+
+/// FNV-1a over a word stream.
+fn fnv1a(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Digests a fixed transform sweep with tables built through
+/// [`NttTable::new`] — i.e. under whatever kernel `POSEIDON_NTT_KERNEL`
+/// (or the process default) selects. Because kernels are bit-identical,
+/// the digest must be the same for every setting; CI runs this test once
+/// per kernel and diffs the files.
+#[test]
+fn kernel_digest_is_kernel_independent() {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for log_n in LOG_N_RANGE {
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let t = NttTable::new(n, q);
+        let mut a = random_vector(n, q, 0x9e3779b97f4a7c15 ^ log_n as u64);
+        t.forward(&mut a);
+        for &v in &a {
+            fnv1a(&mut h, v);
+        }
+        t.inverse(&mut a);
+        for &v in &a {
+            fnv1a(&mut h, v);
+        }
+    }
+    // In-process cross-check: the digest of the default-kernel sweep must
+    // equal the scalar oracle's digest.
+    let mut h_scalar: u64 = 0xcbf2_9ce4_8422_2325;
+    for log_n in LOG_N_RANGE {
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let t = NttTable::with_kernel(n, q, KernelKind::Scalar);
+        let mut a = random_vector(n, q, 0x9e3779b97f4a7c15 ^ log_n as u64);
+        t.forward(&mut a);
+        for &v in &a {
+            fnv1a(&mut h_scalar, v);
+        }
+        t.inverse(&mut a);
+        for &v in &a {
+            fnv1a(&mut h_scalar, v);
+        }
+    }
+    assert_eq!(h, h_scalar, "default kernel digest diverged from scalar");
+    if let Ok(path) = std::env::var("POSEIDON_DIGEST_FILE") {
+        std::fs::write(&path, format!("{h:016x}\n")).expect("write digest file");
+    }
+}
+
+/// The instrumented fused kernel must land exactly on the analytic Table II
+/// model: a full length-n transform at fusion degree k=3 performs
+/// `FusionAnalysis::reductions_full_transform(n)` modular reductions —
+/// 2^k per block per phase, *not* k·2^k.
+///
+/// Counters only exist in debug builds; the release hot path is untouched.
+#[cfg(debug_assertions)]
+#[test]
+fn fused_reduction_count_matches_table2_model() {
+    let a3 = FusionAnalysis::for_radix(3);
+    for log_n in [3u32, 5, 6, 9, 12] {
+        let n = 1usize << log_n;
+        let q = prime_for(n, 30);
+        let t = NttTable::with_kernel(n, q, KernelKind::FusedRadix8);
+        let mut a = random_vector(n, q, 7 + log_n as u64);
+        op_counters::reset();
+        t.forward(&mut a);
+        assert_eq!(
+            op_counters::reductions(),
+            a3.reductions_full_transform(n),
+            "reductions at n={n}"
+        );
+        // The butterfly-fused kernel keeps the unfused multiply tally:
+        // k·2^k per block per phase (each Shoup product = 2 hardware
+        // multiplies, as Table II counts them) — i.e. n·log2(n) total.
+        assert_eq!(
+            op_counters::multiplies(),
+            n as u64 * log_n as u64,
+            "multiplies at n={n}"
+        );
+    }
+}
+
+/// Sanity for the per-block ratio itself: one radix-8 phase of a length-8
+/// transform is one fused block — 8 reductions (2^k), 24 multiplies (k·2^k).
+#[cfg(debug_assertions)]
+#[test]
+fn single_block_counts_match_table2_row() {
+    let a3 = FusionAnalysis::for_radix(3);
+    let n = 8usize;
+    let q = prime_for(n, 30);
+    let t = NttTable::with_kernel(n, q, KernelKind::FusedRadix8);
+    let mut a = random_vector(n, q, 42);
+    op_counters::reset();
+    t.forward(&mut a);
+    assert_eq!(op_counters::reductions(), a3.reductions_fused);
+    assert_eq!(op_counters::multiplies(), a3.mult_unfused);
+    assert_ne!(
+        op_counters::reductions(),
+        a3.reductions_unfused,
+        "fusion must beat the k·2^k unfused reduction count"
+    );
+}

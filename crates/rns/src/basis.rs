@@ -104,6 +104,25 @@ impl RnsBasis {
         &self.tables
     }
 
+    /// The butterfly kernel the per-prime tables dispatch to.
+    #[inline]
+    pub fn kernel(&self) -> he_ntt::KernelKind {
+        self.tables[0].kernel()
+    }
+
+    /// Switches the butterfly kernel on every table of this basis. All
+    /// kernels are bit-identical, so transform outputs never change — used
+    /// by equivalence tests and per-kernel bench sweeps.
+    ///
+    /// Tables shared with other bases (via `clone`/[`prefix`](Self::prefix)/
+    /// [`concat`](Self::concat)) are copied on write, so only this basis is
+    /// affected.
+    pub fn set_kernel(&mut self, kernel: he_ntt::KernelKind) {
+        for t in &mut self.tables {
+            Arc::make_mut(t).set_kernel(kernel);
+        }
+    }
+
     /// Per-prime Barrett reducers (the software SBT).
     #[inline]
     pub fn reducers(&self) -> &[BarrettReducer] {

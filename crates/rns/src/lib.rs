@@ -66,4 +66,4 @@ pub(crate) mod tel {
 
 pub use basis::RnsBasis;
 pub use integrity::{GuardedPoly, IntegrityError};
-pub use poly::{Form, RnsPoly};
+pub use poly::{Form, RnsPoly, ShoupOperand};

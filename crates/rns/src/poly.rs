@@ -1,7 +1,8 @@
 //! RNS polynomials: ring elements stored residue-wise per prime.
 
 use he_math::modops::{add_mod, neg_mod, reduce_i64, sub_mod};
-use he_math::BigUint;
+use he_math::shoup::{mul_shoup_lane, shoup_quotient};
+use he_math::{BigUint, ShoupMul};
 
 use crate::basis::RnsBasis;
 
@@ -314,6 +315,30 @@ impl RnsPoly {
         });
     }
 
+    /// In-place multiplication by a precomputed fixed operand:
+    /// `self *= op`, with every reduction on the Shoup fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is in evaluation form and shares the operand's
+    /// basis.
+    pub fn mul_assign_shoup(&mut self, op: &ShoupOperand) {
+        assert_eq!(self.basis, op.basis, "operands must share a basis");
+        assert_eq!(self.form, Form::Eval, "ring product requires eval form");
+        let n = self.basis.n();
+        #[cfg(feature = "telemetry")]
+        let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
+        let primes = self.basis.primes();
+        poseidon_par::par_for_each_mut(&mut self.residues, n, |j, r| {
+            let q = primes[j];
+            let ws = &op.residues[j];
+            let wqs = &op.quotients[j];
+            for ((x, &w), &wq) in r.iter_mut().zip(ws).zip(wqs) {
+                *x = mul_shoup_lane(*x, w, wq, q);
+            }
+        });
+    }
+
     /// Multiplies every residue of prime `j` by the per-prime scalar
     /// `scalars[j]`.
     ///
@@ -325,11 +350,14 @@ impl RnsPoly {
         let n = self.basis.n();
         #[cfg(feature = "telemetry")]
         let _span = crate::tel::pointwise().span((self.residues.len() * n) as u64);
-        let reducers = self.basis.reducers();
+        // One Shoup precompute per limb amortised over N residues: the
+        // fixed-operand path (two multiplies + csub per element) replaces
+        // the per-element Barrett reduction.
+        let primes = self.basis.primes();
         let residues = poseidon_par::par_map(self.residues.len(), n, |j| {
-            let red = &reducers[j];
-            let s = scalars[j] % red.modulus();
-            self.residues[j].iter().map(|&x| red.mul(x, s)).collect()
+            let q = primes[j];
+            let m = ShoupMul::new(scalars[j] % q, q);
+            self.residues[j].iter().map(|&x| m.mul(x)).collect()
         });
         Self {
             basis: self.basis.clone(),
@@ -526,12 +554,96 @@ impl RnsPoly {
     }
 }
 
+/// An evaluation-form polynomial prepared as a *fixed* multiplicand: every
+/// residue carries its precomputed Shoup quotient `floor(w·2^64/q_j)`.
+///
+/// This is the RNS-vector analogue of [`ShoupMul`] — the software
+/// counterpart of the paper's observation that one factor of `CMult` (the
+/// encoded plaintext) is known ahead of the ciphertext. Building the
+/// operand costs one `u128` division per residue; each subsequent
+/// [`RnsPoly::mul_assign_shoup`] then replaces the per-element Barrett
+/// reduction with two multiplies and a conditional subtraction. It pays for
+/// itself whenever the operand multiplies more than one residue vector
+/// (e.g. both ciphertext components in plaintext multiplication).
+///
+/// # Examples
+///
+/// ```
+/// use he_rns::{RnsBasis, RnsPoly, ShoupOperand};
+/// let b = RnsBasis::generate(16, 28, 2);
+/// let x = RnsPoly::from_i64_coeffs(&b, &[3i64; 16]).into_eval();
+/// let m_poly = RnsPoly::from_i64_coeffs(&b, &[2i64; 16]).into_eval();
+/// let mut y = x.clone();
+/// y.mul_assign_shoup(&ShoupOperand::new(&m_poly));
+/// assert_eq!(y, x.mul(&m_poly)); // bit-identical to the Barrett path
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShoupOperand {
+    basis: RnsBasis,
+    /// The operand residues `w` (reduced), one vector per prime.
+    residues: Vec<Vec<u64>>,
+    /// Per-residue Shoup quotients, same shape as `residues`.
+    quotients: Vec<Vec<u64>>,
+}
+
+impl ShoupOperand {
+    /// Precomputes Shoup lanes for an evaluation-form polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in evaluation form.
+    pub fn new(p: &RnsPoly) -> Self {
+        assert_eq!(p.form, Form::Eval, "fixed multiplicands live in eval form");
+        let primes = p.basis.primes();
+        let quotients = p
+            .residues
+            .iter()
+            .zip(primes)
+            .map(|(r, &q)| r.iter().map(|&w| shoup_quotient(w, q)).collect())
+            .collect();
+        Self {
+            basis: p.basis.clone(),
+            residues: p.residues.clone(),
+            quotients,
+        }
+    }
+
+    /// The basis the operand lives in.
+    #[inline]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn basis() -> RnsBasis {
         RnsBasis::generate(16, 28, 3)
+    }
+
+    #[test]
+    fn shoup_operand_matches_barrett_mul() {
+        let b = basis();
+        let coeffs: Vec<i64> = (0..16).map(|i| 7 * i - 50).collect();
+        let other: Vec<i64> = (0..16).map(|i| 3 - 2 * i).collect();
+        let x = RnsPoly::from_i64_coeffs(&b, &coeffs).into_eval();
+        let m_poly = RnsPoly::from_i64_coeffs(&b, &other).into_eval();
+        let want = x.mul(&m_poly);
+        let mut got = x.clone();
+        got.mul_assign_shoup(&ShoupOperand::new(&m_poly));
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn scalar_per_prime_matches_reference() {
+        let b = basis();
+        let x = RnsPoly::from_i64_coeffs(&b, &[5i64; 16]);
+        // Scalars above q exercise the internal reduction.
+        let scalars: Vec<u64> = b.primes().iter().map(|&q| q + 3).collect();
+        let got = x.mul_scalar_per_prime(&scalars);
+        assert_eq!(got.to_centered_coeffs(), vec![15i64; 16]);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! `with_threads` is thread-local, so pinning counts here cannot race the
 //! parallel test harness.
 
+use he_ntt::KernelKind;
 use he_rns::conv::{moddown, modup, rescale, rns_convert};
-use he_rns::{RnsBasis, RnsPoly};
+use he_rns::{RnsBasis, RnsPoly, ShoupOperand};
 use poseidon_par::with_threads;
 use proptest::prelude::*;
 
@@ -100,6 +101,50 @@ proptest! {
         let r_s = with_threads(1, || rescale(&a));
         let r_p = with_threads(8, || rescale(&a));
         prop_assert_eq!(r_s, r_p);
+    }
+
+    #[test]
+    fn ntt_kernels_are_thread_count_invariant(coeffs in arb_coeffs()) {
+        // The full (kernel × thread count) matrix on the limb-parallel
+        // transform path: every combination must produce the bit-exact
+        // residues of the serial scalar oracle.
+        let (q, _) = bases();
+        let mut oracle_basis = q.clone();
+        oracle_basis.set_kernel(KernelKind::Scalar);
+        let oracle = RnsPoly::from_i64_coeffs(&oracle_basis, &coeffs);
+        let want = with_threads(1, || oracle.clone().into_eval());
+        for kind in KernelKind::ALL {
+            let mut b = q.clone();
+            b.set_kernel(kind);
+            prop_assert_eq!(b.kernel(), kind);
+            let p = RnsPoly::from_i64_coeffs(&b, &coeffs);
+            for threads in [1usize, 8] {
+                let got = with_threads(threads, || p.clone().into_eval());
+                prop_assert_eq!(
+                    got.all_residues(), want.all_residues(),
+                    "kernel {} at {} threads diverged", kind.name(), threads
+                );
+                let back = with_threads(threads, || got.into_coeff());
+                prop_assert_eq!(
+                    back.all_residues(), p.all_residues(),
+                    "kernel {} at {} threads failed round trip", kind.name(), threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_operand_is_thread_count_invariant(a in arb_coeffs(), b in arb_coeffs()) {
+        let (q, _) = bases();
+        let pa = RnsPoly::from_i64_coeffs(&q, &a).into_eval();
+        let pb = RnsPoly::from_i64_coeffs(&q, &b).into_eval();
+        let op = ShoupOperand::new(&pb);
+        let want = with_threads(1, || pa.mul(&pb));
+        for threads in [1usize, 8] {
+            let mut acc = pa.clone();
+            with_threads(threads, || acc.mul_assign_shoup(&op));
+            prop_assert_eq!(&acc, &want, "Shoup lanes diverged at {} threads", threads);
+        }
     }
 
     #[test]
