@@ -1,0 +1,80 @@
+//! Serving-scale export: requests/sec and p99 latency versus shard
+//! count and tenant count for the mixed add/mul/rotation workload,
+//! blocking baseline versus the pipelined multiplexing client.
+//! Results land in `BENCH_serve_scale.json` at the repository root.
+
+use poseidon_bench::serve_scale::{requests_per_tenant, run_cell, Cell, Harness};
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "{{ \"mode\": \"{}\", \"shards\": {}, \"tenants\": {}, \"requests\": {}, \
+         \"elapsed_s\": {:.6}, \"requests_per_sec\": {:.2}, \"p99_ms\": {:.3}, \
+         \"digest\": \"{:016x}\" }}",
+        c.mode, c.shards, c.tenants, c.requests, c.elapsed_s, c.rps, c.p99_ms, c.digest
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let h = Harness::new();
+
+    // Baseline: the pre-mux serving stack's shape — one dispatcher,
+    // blocking request-per-roundtrip clients (queues never deeper than
+    // the tenant count, so rotation coalescing cannot fire).
+    let baseline = run_cell(&h, 1, 4, false);
+    // Shard sweep at fixed tenants, then tenant sweep at fixed shards.
+    let cells = [
+        run_cell(&h, 1, 4, true),
+        run_cell(&h, 2, 4, true),
+        run_cell(&h, 4, 4, true),
+        run_cell(&h, 4, 1, true),
+        run_cell(&h, 4, 2, true),
+    ];
+
+    // Scheduling must never change bits: every 4-tenant schedule agrees.
+    for c in cells.iter().filter(|c| c.tenants == baseline.tenants) {
+        assert_eq!(
+            c.digest, baseline.digest,
+            "{} x{} shards diverged from baseline",
+            c.mode, c.shards
+        );
+    }
+    let tentpole = &cells[2];
+    let speedup = tentpole.rps / baseline.rps;
+
+    let mut json = String::from("{\n  \"serve_scale\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": {{ \"requests_per_tenant\": {}, \"rotations_per_round\": {}, \
+         \"adds_per_round\": {}, \"muls_per_round\": {}, \"rounds\": {} }},\n",
+        requests_per_tenant(),
+        poseidon_bench::serve_scale::ROT_STEPS.len(),
+        poseidon_bench::serve_scale::ADDS_PER_ROUND,
+        poseidon_bench::serve_scale::MULS_PER_ROUND,
+        poseidon_bench::serve_scale::ROUNDS,
+    ));
+    json.push_str(&format!(
+        "    \"ciphertext_frame_bytes\": {},\n    \"keyset_frame_bytes\": {},\n    \"host_cores\": {cores},\n",
+        h.frame_a.len(),
+        h.keyset_frame.len(),
+    ));
+    json.push_str(&format!("    \"baseline\": {},\n", cell_json(&baseline)));
+    json.push_str("    \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "      {}{}\n",
+            cell_json(c),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"speedup_4shards_vs_baseline\": {speedup:.3},\n    \"bit_identical\": true\n  }}\n}}\n"
+    ));
+
+    let path = poseidon_bench::export_path("BENCH_serve_scale.json");
+    std::fs::write(&path, &json).expect("write BENCH_serve_scale.json");
+    println!("serving-scale snapshot written to {}", path.display());
+    println!(
+        "4 shards pipelined vs blocking single-dispatcher baseline: {speedup:.2}x requests/sec ({cores} cores)"
+    );
+}

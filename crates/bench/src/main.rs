@@ -1,7 +1,11 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|serve]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|serve|serve_scale]`
+//!
+//! `tables serve_scale` sweeps the sharded serving stack (blocking
+//! baseline vs the pipelined mux client at 1/2/4 shards and 1/4
+//! tenants) and digest-checks that every schedule is bit-identical.
 //!
 //! `tables ntt` times every butterfly kernel (`scalar`, `lazy`,
 //! `fused_radix8`) across ring degrees and reports the end-to-end delta
@@ -64,6 +68,7 @@ fn main() {
     run("hoisting", tables::hoisting);
     run("faults", tables::faults);
     run("serve", tables::serve);
+    run("serve_scale", tables::serve_scale);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

@@ -1,0 +1,243 @@
+//! Shared harness for the serving-scale benchmark: a mixed
+//! add/mul/rotation workload driven over the TCP loopback against a
+//! sharded [`EvalService`], either as a blocking request-per-roundtrip
+//! baseline (the pre-mux serving stack's only client mode: one in-flight
+//! request per tenant, so dispatcher queues never fill and rotation
+//! coalescing never fires) or through the pipelined multiplexing client
+//! (every request in flight at once; shard queues stay full; rotation
+//! bursts coalesce into hoisted groups).
+//!
+//! Outputs are digest-checked across every configuration: sharding,
+//! stealing, and pipelining are scheduling-only and must not change a
+//! single bit of any response frame.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use poseidon_serve::tcp::{self, Op};
+use poseidon_serve::{EvalService, ServiceConfig};
+use rand::SeedableRng;
+
+/// Rotation steps issued per round (each has a key in the harness set).
+pub const ROT_STEPS: [i64; 6] = [1, 2, 3, 4, 5, 6];
+/// Ciphertext additions per round.
+pub const ADDS_PER_ROUND: usize = 2;
+/// Relinearised multiplications per round.
+pub const MULS_PER_ROUND: usize = 1;
+/// Rounds each tenant drives per cell.
+pub const ROUNDS: usize = 4;
+
+/// Requests one tenant issues in one cell.
+pub fn requests_per_tenant() -> usize {
+    ROUNDS * (ROT_STEPS.len() + ADDS_PER_ROUND + MULS_PER_ROUND)
+}
+
+/// Fixed client-side state: operand frames and the tenant key set,
+/// encoded once and shared by every cell so all configurations serve
+/// byte-identical inputs.
+pub struct Harness {
+    /// The paper-scale context (N=2^12, 4 chain primes + special).
+    pub ctx: CkksContext,
+    /// First operand, encoded.
+    pub frame_a: Vec<u8>,
+    /// Second operand, encoded.
+    pub frame_b: Vec<u8>,
+    /// Public key-set frame (rotation keys for [`ROT_STEPS`]) — streamed
+    /// to each cell's service in chunks.
+    pub keyset_frame: Vec<u8>,
+}
+
+impl Harness {
+    /// Builds the deterministic workload operands (fixed seed).
+    pub fn new() -> Self {
+        let ctx = CkksContext::new(CkksParams::paper_32bit(1 << 12, 4));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5CA1E);
+        let mut keys = KeySet::generate(&ctx, &mut rng);
+        for &s in &ROT_STEPS {
+            keys.add_rotation_key(s, &mut rng);
+        }
+        let z: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(0.1 * i as f64, -0.05))
+            .collect();
+        let pt = Plaintext::new(
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        let a = keys.public().encrypt(&pt, &mut rng);
+        let b = keys.public().encrypt(&pt, &mut rng);
+        let frame_a = poseidon_wire::encode_ciphertext(&ctx, &a);
+        let frame_b = poseidon_wire::encode_ciphertext(&ctx, &b);
+        let keyset_frame = poseidon_wire::encode_keyset_public(&ctx, &keys);
+        Self {
+            ctx,
+            frame_a,
+            frame_b,
+            keyset_frame,
+        }
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One measured configuration.
+pub struct Cell {
+    /// `"blocking"` or `"pipelined"`.
+    pub mode: &'static str,
+    /// Dispatcher shard count.
+    pub shards: usize,
+    /// Concurrent tenants driving the workload.
+    pub tenants: usize,
+    /// Total requests served.
+    pub requests: usize,
+    /// Wall time for the request phase (registration excluded).
+    pub elapsed_s: f64,
+    /// Sustained requests per second.
+    pub rps: f64,
+    /// 99th-percentile request latency (submit → reply observed).
+    pub p99_ms: f64,
+    /// Order-independent FNV digest over every response frame; equal
+    /// digests across cells prove bit-identical outputs.
+    pub digest: u64,
+}
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn response_digest(tenant: usize, index: usize, frame: &[u8]) -> u64 {
+    let h = fnv(0xcbf2_9ce4_8422_2325, &(tenant as u64).to_le_bytes());
+    let h = fnv(h, &(index as u64).to_le_bytes());
+    fnv(h, frame)
+}
+
+/// The per-round request mix, in issue order.
+fn round_ops<'a>(h: &'a Harness) -> Vec<Op<'a>> {
+    let mut ops = Vec::new();
+    for &steps in &ROT_STEPS {
+        ops.push(Op::Rotate {
+            a: &h.frame_a,
+            steps,
+        });
+    }
+    for _ in 0..ADDS_PER_ROUND {
+        ops.push(Op::Add {
+            a: &h.frame_a,
+            b: &h.frame_b,
+        });
+    }
+    for _ in 0..MULS_PER_ROUND {
+        ops.push(Op::Mul {
+            a: &h.frame_a,
+            b: &h.frame_b,
+        });
+    }
+    ops
+}
+
+fn drive_tenant(
+    client: &tcp::Client,
+    h: &Harness,
+    tenant_idx: usize,
+    id: &str,
+    pipelined: bool,
+) -> (Vec<f64>, u64) {
+    let ops: Vec<Op<'_>> = (0..ROUNDS).flat_map(|_| round_ops(h)).collect();
+    let mut latencies = Vec::with_capacity(ops.len());
+    let mut digest = 0u64;
+    if pipelined {
+        // Bounded pipelining: one round in flight per tenant. Keeps the
+        // shard queue deep enough to coalesce a full rotation burst
+        // while bounding in-flight memory and tail latency.
+        let window = round_ops(h).len();
+        let mut i = 0;
+        for chunk in ops.chunks(window) {
+            let pending: Vec<(Instant, tcp::PendingReply)> = chunk
+                .iter()
+                .map(|op| (Instant::now(), client.submit(id, *op).expect("submit")))
+                .collect();
+            for (t0, reply) in pending {
+                let frame = reply.wait().expect("reply").expect("ciphertext");
+                latencies.push(t0.elapsed().as_secs_f64());
+                digest ^= response_digest(tenant_idx, i, &frame);
+                i += 1;
+            }
+        }
+    } else {
+        for (i, op) in ops.iter().enumerate() {
+            let t0 = Instant::now();
+            let frame = client.request(id, *op).expect("reply").expect("ciphertext");
+            latencies.push(t0.elapsed().as_secs_f64());
+            digest ^= response_digest(tenant_idx, i, &frame);
+        }
+    }
+    (latencies, digest)
+}
+
+/// Runs one configuration end to end: fresh service, chunk-streamed
+/// tenant registration, then `tenants` concurrent drivers issuing the
+/// mixed workload.
+pub fn run_cell(h: &Harness, shards: usize, tenants: usize, pipelined: bool) -> Cell {
+    let service = EvalService::start(ServiceConfig {
+        shards,
+        queue_capacity: 4096,
+        max_batch: 64,
+        key_cache_capacity: 8,
+    });
+    let (addr, _accept) = tcp::listen(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let client = tcp::Client::connect(addr).expect("connect");
+    let ids: Vec<String> = (0..tenants).map(|t| format!("tenant{t}")).collect();
+    for id in &ids {
+        client
+            .register_tenant_chunked(id, &h.keyset_frame)
+            .expect("chunked registration");
+    }
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut digest = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(ti, id)| {
+                let client = &client;
+                s.spawn(move || drive_tenant(client, h, ti, id, pipelined))
+            })
+            .collect();
+        for handle in handles {
+            let (lats, d) = handle.join().expect("tenant driver panicked");
+            latencies.extend(lats);
+            digest ^= d;
+        }
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    service.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99_idx = (latencies.len() * 99).div_ceil(100).saturating_sub(1);
+    let requests = latencies.len();
+    Cell {
+        mode: if pipelined { "pipelined" } else { "blocking" },
+        shards,
+        tenants,
+        requests,
+        elapsed_s,
+        rps: requests as f64 / elapsed_s,
+        p99_ms: latencies[p99_idx] * 1e3,
+        digest,
+    }
+}

@@ -116,6 +116,14 @@ impl Ciphertext {
     pub fn n(&self) -> usize {
         self.c0.n()
     }
+
+    /// Decomposes into `(c0, c1, scale)`, surrendering ownership of both
+    /// component polynomials — the hook a serving layer uses to recycle
+    /// residue buffers of consumed operands back into a decode pool.
+    #[inline]
+    pub fn into_parts(self) -> (RnsPoly, RnsPoly, f64) {
+        (self.c0, self.c1, self.scale)
+    }
 }
 
 #[cfg(test)]

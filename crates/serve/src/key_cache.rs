@@ -1,0 +1,180 @@
+//! Bounded LRU cache of resident tenant evaluation state.
+//!
+//! A tenant's decoded key material is large (~12 MB of key-switch keys
+//! at paper-scale parameters, plus the eval-form caches built at
+//! registration), so keeping every registered tenant resident makes
+//! server memory O(tenants). This cache keeps the *frames* for all
+//! tenants (compact, checksummed bytes) but bounds how many decoded
+//! [`Tenant`]s are alive at once: on a miss the frame is re-decoded —
+//! deterministically, so the rebuilt evaluation state is bit-identical —
+//! and the least-recently-used unpinned resident is dropped.
+//!
+//! Tenants registered from in-process key material have no frame to
+//! reload from; they are *pinned* and never evicted.
+//!
+//! Decode-on-miss runs **outside** the cache lock (it is milliseconds of
+//! NTT work); a double-check on re-acquire keeps concurrent misses from
+//! installing twice.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::service::Tenant;
+use crate::ServeError;
+
+struct Slot {
+    resident: Option<Arc<Tenant>>,
+    /// The registered keyset frame — retained for reload after eviction.
+    frame: Option<Arc<[u8]>>,
+    /// Pinned slots (in-process registrations) are never evicted.
+    pinned: bool,
+    last_use: u64,
+}
+
+struct Inner {
+    slots: HashMap<Arc<str>, Slot>,
+    clock: u64,
+}
+
+/// The tenant registry: every registered tenant has a slot; at most
+/// `capacity` unpinned slots hold decoded state at once.
+pub(crate) struct KeyCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl KeyCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Registers (or replaces) a tenant that cannot be reloaded from a
+    /// frame — always resident.
+    pub(crate) fn insert_pinned(&self, id: Arc<str>, tenant: Arc<Tenant>) {
+        let mut inner = self.inner.lock().expect("key cache poisoned");
+        inner.clock += 1;
+        let last_use = inner.clock;
+        inner.slots.insert(
+            id,
+            Slot {
+                resident: Some(tenant),
+                frame: None,
+                pinned: true,
+                last_use,
+            },
+        );
+    }
+
+    /// Registers (or replaces) a tenant backed by its keyset frame; the
+    /// decoded state is installed resident and is evictable.
+    pub(crate) fn insert_frame(&self, id: Arc<str>, frame: Arc<[u8]>, tenant: Arc<Tenant>) {
+        let mut inner = self.inner.lock().expect("key cache poisoned");
+        inner.clock += 1;
+        let last_use = inner.clock;
+        inner.slots.insert(
+            id,
+            Slot {
+                resident: Some(tenant),
+                frame: Some(frame),
+                pinned: false,
+                last_use,
+            },
+        );
+        self.evict_excess(&mut inner);
+    }
+
+    /// Looks up a tenant, re-decoding its frame if it was evicted.
+    /// `Ok(None)` means the id was never registered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Wire`] if a reload decode fails (only possible if
+    /// key derivation stopped being deterministic — effectively never,
+    /// but typed rather than panicking).
+    pub(crate) fn get(&self, id: &str) -> Result<Option<Arc<Tenant>>, ServeError> {
+        let frame = {
+            let mut inner = self.inner.lock().expect("key cache poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            let Some(slot) = inner.slots.get_mut(id) else {
+                return Ok(None);
+            };
+            slot.last_use = clock;
+            if let Some(tenant) = &slot.resident {
+                #[cfg(feature = "telemetry")]
+                crate::tel::keycache_hit().add(1);
+                return Ok(Some(Arc::clone(tenant)));
+            }
+            Arc::clone(
+                slot.frame
+                    .as_ref()
+                    .expect("non-resident slot must hold a frame"),
+            )
+        };
+        // Miss: decode outside the lock.
+        #[cfg(feature = "telemetry")]
+        crate::tel::keycache_miss().add(1);
+        let (ctx, keys) = poseidon_wire::decode_keyset(&frame)?;
+        let rebuilt = Arc::new(Tenant::build(ctx, keys));
+        let mut inner = self.inner.lock().expect("key cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let Some(slot) = inner.slots.get_mut(id) else {
+            // Deregistered while decoding — hand the caller the state
+            // it asked for; it simply will not be cached.
+            return Ok(Some(rebuilt));
+        };
+        slot.last_use = clock;
+        if let Some(tenant) = &slot.resident {
+            // A concurrent miss beat us to the install; use theirs.
+            return Ok(Some(Arc::clone(tenant)));
+        }
+        slot.resident = Some(Arc::clone(&rebuilt));
+        self.evict_excess(&mut inner);
+        Ok(Some(rebuilt))
+    }
+
+    /// Decoded tenants currently resident (pinned included) — test and
+    /// telemetry visibility.
+    pub(crate) fn resident(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("key cache poisoned")
+            .slots
+            .values()
+            .filter(|s| s.resident.is_some())
+            .count()
+    }
+
+    /// Evicts least-recently-used unpinned residents down to capacity.
+    fn evict_excess(&self, inner: &mut Inner) {
+        loop {
+            let over = inner
+                .slots
+                .values()
+                .filter(|s| s.resident.is_some() && !s.pinned)
+                .count();
+            if over <= self.capacity {
+                return;
+            }
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(_, s)| s.resident.is_some() && !s.pinned)
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(id, _)| Arc::clone(id))
+                .expect("over > capacity implies a victim exists");
+            if let Some(slot) = inner.slots.get_mut(&*victim) {
+                slot.resident = None;
+            }
+            #[cfg(feature = "telemetry")]
+            crate::tel::keycache_evict().add(1);
+        }
+    }
+}

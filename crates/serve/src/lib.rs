@@ -1,34 +1,55 @@
-//! Multi-tenant batch evaluation service over the Poseidon wire format.
+//! Multi-tenant sharded evaluation service over the Poseidon wire
+//! format.
 //!
 //! The paper's deployment model (§VII) is an accelerator shared by many
 //! client keys: requests arrive as serialized ciphertexts, are queued,
 //! batched, and executed against per-tenant key material resident on the
 //! device. This crate is the software model of that serving layer, built
-//! on std-only threads:
+//! on std-only threads and scaled the way the paper scales its memory
+//! system — many independent channels, placement by affinity, stealing
+//! for skew:
 //!
-//! - **Tenant registry** — each tenant registers a [`CkksContext`] +
-//!   `KeySet` (in-process, or as a [`poseidon_wire::decode_keyset`]
-//!   frame over TCP). Evaluation state ([`Evaluator`],
-//!   [`CheckedEvaluator`]) is built once per tenant.
-//! - **Bounded queue with admission control** — [`EvalService::submit`]
-//!   rejects with [`ServeError::QueueFull`] instead of buffering without
-//!   bound; rejects are counted (`serve.reject`) so operators see
-//!   backpressure.
-//! - **Batching scheduler** — the dispatcher drains up to
+//! - **Sharded dispatch with tenant affinity** —
+//!   [`ServiceConfig::shards`] dispatcher workers drain per-shard
+//!   queues; a job's shard is the FNV-1a hash of its tenant id, so one
+//!   tenant's requests stay on one worker and rotation coalescing (see
+//!   below) keeps firing. An idle worker steals from the *back* of a
+//!   loaded victim's queue — only when the victim is busy or its
+//!   backlog exceeds `max_batch`, so stealing never splits a batch a
+//!   resident worker was about to coalesce. Outputs are bit-identical
+//!   at every shard count.
+//! - **Global admission control** — [`EvalService::submit`] rejects
+//!   with [`ServeError::QueueFull`] at one capacity bound shared by all
+//!   shards instead of buffering without bound; rejects are counted
+//!   (`serve.reject`, plus per-shard `serve.shard.N` and `serve.steal`)
+//!   so operators see backpressure and skew.
+//! - **Batching scheduler** — each dispatcher drains up to
 //!   `max_batch` jobs at once and coalesces rotation requests on the
 //!   *same ciphertext* into one hoisted
 //!   [`Evaluator::try_rotate_many`] call: the expensive digit
 //!   decomposition (`keyswitch.hoist`) is paid once per batch instead of
 //!   once per request — the software analogue of the paper's reuse of a
 //!   decomposed operand across automorphisms.
+//! - **Bounded key cache** — tenants registered from a wire frame keep
+//!   the encoded keyset as a cheap `Arc<[u8]>`; the decoded key
+//!   material is a bounded LRU resident (`key_cache_capacity`). An
+//!   evicted tenant's next request re-decodes from the retained frame
+//!   (outside the lock, double-checked install) bit-identically;
+//!   in-process registrations are pinned. Counters:
+//!   `serve.keycache.{hit,miss,evict}`.
 //! - **Integrity escalation** — non-rotation ops run under
 //!   [`CheckedEvaluator`] (dual execution + digest compare), so a
 //!   persistent datapath fault surfaces as a per-request
 //!   [`EvalError::IntegrityFault`] response, never a crashed server.
 //!   Worker panics are contained and returned as
 //!   [`ServeError::Internal`].
-//! - **TCP front-end** — [`tcp`] frames wire blobs over a
-//!   length-prefixed loopback protocol with a tiny blocking client.
+//! - **Multiplexed TCP front-end** — every [`tcp`] request carries a
+//!   client-chosen request id echoed in the reply, so one socket holds
+//!   many requests in flight and replies return in completion order.
+//!   The [`tcp::Client`] is `&self`-shareable (submit from any thread,
+//!   a reader demuxes by id), payloads decode through borrowed frame
+//!   views into pooled scratch rows, and multi-megabyte keysets stream
+//!   in chunks ([`tcp::Client::register_tenant_chunked`]).
 //!
 //! [`CkksContext`]: he_ckks::context::CkksContext
 //! [`Evaluator`]: he_ckks::eval::Evaluator
@@ -42,10 +63,12 @@ use he_ckks::cipher::{Ciphertext, Plaintext};
 use he_ckks::error::EvalError;
 use poseidon_wire::WireError;
 
+mod key_cache;
 mod service;
+mod shard;
 pub mod tcp;
 
-pub use service::{EvalService, ServiceConfig, Ticket};
+pub use service::{EvalService, ServiceConfig, TenantContext, Ticket};
 
 /// One evaluation request against a tenant's key material. Ciphertexts
 /// are owned: the service executes asynchronously to the submitter.
@@ -204,4 +227,8 @@ pub(crate) mod tel {
     scope_fn!(dequeue, "serve.dequeue");
     scope_fn!(batch, "serve.batch.size");
     scope_fn!(reject, "serve.reject");
+    scope_fn!(steal, "serve.steal");
+    scope_fn!(keycache_hit, "serve.keycache.hit");
+    scope_fn!(keycache_miss, "serve.keycache.miss");
+    scope_fn!(keycache_evict, "serve.keycache.evict");
 }

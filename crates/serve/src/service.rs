@@ -1,10 +1,10 @@
-//! The in-process service: tenant registry, bounded queue, and the
-//! batching dispatcher thread.
+//! The in-process service: tenant registry (LRU key cache), sharded
+//! bounded queues, and the batching dispatcher workers.
 
-use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use he_ckks::cipher::Ciphertext;
@@ -13,17 +13,29 @@ use he_ckks::eval::Evaluator;
 use he_ckks::integrity::{digest_ciphertext, CheckedEvaluator};
 use he_ckks::keys::KeySet;
 
+use crate::key_cache::KeyCache;
+use crate::shard::{dispatch_loop, Job, Reply, SharedQueues};
 use crate::{Request, ServeError};
 
-/// Sizing knobs for the queue and scheduler.
+/// Sizing knobs for the queues and scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Admission-control bound: submissions beyond this many queued jobs
-    /// are rejected with [`ServeError::QueueFull`].
+    /// (summed across shards) are rejected with
+    /// [`ServeError::QueueFull`].
     pub queue_capacity: usize,
     /// Upper bound on jobs drained into one scheduling batch (the
     /// coalescing window for same-ciphertext rotations).
     pub max_batch: usize,
+    /// Dispatcher worker count. Each tenant hashes to one shard
+    /// (affinity keeps its rotation coalescing intact); idle workers
+    /// steal from the back of loaded shards. `0` is treated as `1`.
+    pub shards: usize,
+    /// How many frame-registered tenants may hold decoded key material
+    /// at once; beyond this the least-recently-used tenant's keys are
+    /// dropped and re-decoded from its retained frame on next use.
+    /// In-process registrations are pinned and never counted.
+    pub key_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -31,36 +43,53 @@ impl Default for ServiceConfig {
         Self {
             queue_capacity: 64,
             max_batch: 16,
+            shards: 1,
+            key_cache_capacity: 64,
         }
     }
 }
 
-/// Per-tenant evaluation state, built once at registration.
+/// Per-tenant evaluation state, built once at registration (or rebuilt
+/// deterministically from the retained keyset frame after eviction).
 pub(crate) struct Tenant {
     pub(crate) ctx: CkksContext,
     pub(crate) keys: KeySet,
-    eval: Evaluator,
-    checked: CheckedEvaluator,
+    pub(crate) eval: Evaluator,
+    pub(crate) checked: CheckedEvaluator,
 }
 
-struct Job {
-    tenant_id: String,
+impl Tenant {
+    pub(crate) fn build(ctx: CkksContext, keys: KeySet) -> Self {
+        let eval = Evaluator::new(&ctx);
+        let checked = CheckedEvaluator::new(&ctx);
+        Self {
+            ctx,
+            keys,
+            eval,
+            checked,
+        }
+    }
+}
+
+/// A cheap handle on a tenant's [`CkksContext`] — an `Arc` clone, not a
+/// context copy. Dereferences to the context for decoding wire frames.
+#[derive(Clone)]
+pub struct TenantContext {
     tenant: Arc<Tenant>,
-    request: Request,
-    reply: mpsc::Sender<Result<Ciphertext, ServeError>>,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    suspended: bool,
-    shutdown: bool,
+impl Deref for TenantContext {
+    type Target = CkksContext;
+
+    fn deref(&self) -> &CkksContext {
+        &self.tenant.ctx
+    }
 }
 
-struct Shared {
-    config: ServiceConfig,
-    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
-    queue: Mutex<QueueState>,
-    cv: Condvar,
+impl AsRef<CkksContext> for TenantContext {
+    fn as_ref(&self) -> &CkksContext {
+        &self.tenant.ctx
+    }
 }
 
 /// Handle to one submitted job; [`wait`](Ticket::wait) blocks for its
@@ -71,7 +100,7 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the dispatcher answers this job.
+    /// Blocks until a dispatcher answers this job.
     ///
     /// # Errors
     ///
@@ -84,58 +113,54 @@ impl Ticket {
     }
 }
 
-/// The batch evaluation service. One dispatcher thread drains the
-/// bounded queue in batches; see the crate docs for the scheduling
-/// policy.
+/// The batch evaluation service. `shards` dispatcher workers drain
+/// per-tenant-affine bounded queues in batches; see the crate docs for
+/// the scheduling policy.
 pub struct EvalService {
-    shared: Arc<Shared>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    queues: Arc<SharedQueues>,
+    tenants: KeyCache,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl EvalService {
-    /// Starts the service and its dispatcher thread.
+    /// Starts the service and its dispatcher workers.
     pub fn start(config: ServiceConfig) -> Arc<Self> {
-        let shared = Arc::new(Shared {
-            config,
-            tenants: RwLock::new(HashMap::new()),
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                suspended: false,
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-        });
-        let worker_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("poseidon-serve-dispatch".into())
-            .spawn(move || dispatch_loop(worker_shared))
-            .expect("spawn dispatcher");
+        let shards = config.shards.max(1);
+        let queues = Arc::new(SharedQueues::new(
+            shards,
+            config.queue_capacity,
+            config.max_batch,
+        ));
+        let workers = (0..shards)
+            .map(|i| {
+                let q = Arc::clone(&queues);
+                std::thread::Builder::new()
+                    .name(format!("poseidon-serve-dispatch-{i}"))
+                    .spawn(move || dispatch_loop(q, i))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
         Arc::new(Self {
-            shared,
-            worker: Mutex::new(Some(handle)),
+            queues,
+            tenants: KeyCache::new(config.key_cache_capacity),
+            workers: Mutex::new(workers),
         })
     }
 
     /// Registers (or replaces) a tenant from in-process key material.
+    /// Such tenants have no frame to reload from, so their decoded state
+    /// is pinned resident (never evicted by the key cache).
     pub fn register_tenant(&self, id: impl Into<String>, ctx: CkksContext, keys: KeySet) {
-        let eval = Evaluator::new(&ctx);
-        let checked = CheckedEvaluator::new(&ctx);
-        let tenant = Arc::new(Tenant {
-            ctx,
-            keys,
-            eval,
-            checked,
-        });
-        self.shared
-            .tenants
-            .write()
-            .expect("tenant registry poisoned")
-            .insert(id.into(), tenant);
+        let id: Arc<str> = Arc::from(id.into());
+        self.tenants
+            .insert_pinned(id, Arc::new(Tenant::build(ctx, keys)));
     }
 
     /// Registers a tenant from a serialized key-set frame (the TCP
     /// provisioning path). The frame carries its own parameters; the
-    /// context is derived deterministically from them.
+    /// context is derived deterministically from them. The frame is
+    /// retained so the decoded keys can be evicted under memory pressure
+    /// and rebuilt bit-identically on next use.
     ///
     /// # Errors
     ///
@@ -146,22 +171,46 @@ impl EvalService {
         frame: &[u8],
     ) -> Result<(), ServeError> {
         let (ctx, keys) = poseidon_wire::decode_keyset(frame)?;
-        self.register_tenant(id, ctx, keys);
+        let id: Arc<str> = Arc::from(id.into());
+        self.tenants
+            .insert_frame(id, Arc::from(frame), Arc::new(Tenant::build(ctx, keys)));
         Ok(())
     }
 
-    pub(crate) fn tenant(&self, id: &str) -> Option<Arc<Tenant>> {
-        self.shared
-            .tenants
-            .read()
-            .expect("tenant registry poisoned")
-            .get(id)
-            .cloned()
+    pub(crate) fn tenant(&self, id: &str) -> Result<Option<Arc<Tenant>>, ServeError> {
+        self.tenants.get(id)
     }
 
-    /// The tenant's context, for decoding its wire frames.
-    pub fn tenant_context(&self, id: &str) -> Option<CkksContext> {
-        self.tenant(id).map(|t| t.ctx.clone())
+    /// The tenant's context, for decoding its wire frames — a cheap
+    /// shared handle (no context clone; the historical API copied the
+    /// full prime chain and NTT tables per lookup).
+    pub fn tenant_context(&self, id: &str) -> Option<TenantContext> {
+        self.tenants
+            .get(id)
+            .ok()
+            .flatten()
+            .map(|tenant| TenantContext { tenant })
+    }
+
+    /// Decoded tenants currently resident in the key cache (pinned
+    /// registrations included) — observability for tests and operators.
+    pub fn resident_tenants(&self) -> usize {
+        self.tenants.resident()
+    }
+
+    /// The configured dispatcher shard count.
+    pub fn shards(&self) -> usize {
+        self.queues.shard_count()
+    }
+
+    /// Which shard a tenant's jobs land on (FNV-1a affinity).
+    pub fn shard_of(&self, tenant_id: &str) -> usize {
+        self.queues.shard_for(tenant_id, self.queues.shard_count())
+    }
+
+    fn lookup(&self, tenant_id: &str) -> Result<Arc<Tenant>, ServeError> {
+        self.tenant(tenant_id)?
+            .ok_or_else(|| ServeError::UnknownTenant(tenant_id.into()))
     }
 
     /// Enqueues one request. Admission control is strict: a full queue
@@ -172,36 +221,47 @@ impl EvalService {
     /// [`ServeError::UnknownTenant`], [`ServeError::QueueFull`], or
     /// [`ServeError::ShuttingDown`].
     pub fn submit(&self, tenant_id: &str, request: Request) -> Result<Ticket, ServeError> {
-        let tenant = self
-            .tenant(tenant_id)
-            .ok_or_else(|| ServeError::UnknownTenant(tenant_id.into()))?;
+        let tenant = self.lookup(tenant_id)?;
         let (tx, rx) = mpsc::channel();
-        {
-            let mut q = self.shared.queue.lock().expect("queue poisoned");
-            if q.shutdown {
-                return Err(ServeError::ShuttingDown);
-            }
-            if q.jobs.len() >= self.shared.config.queue_capacity {
-                #[cfg(feature = "telemetry")]
-                crate::tel::reject().add(1);
-                return Err(ServeError::QueueFull {
-                    capacity: self.shared.config.queue_capacity,
-                });
-            }
-            q.jobs.push_back(Job {
-                tenant_id: tenant_id.into(),
-                tenant,
-                request,
-                reply: tx,
-            });
-        }
-        #[cfg(feature = "telemetry")]
-        crate::tel::enqueue().add(1);
-        self.shared.cv.notify_all();
+        self.queues.submit(Job {
+            tenant_id: Arc::from(tenant_id),
+            tenant,
+            request,
+            reply: Reply::Ticket(tx),
+        })?;
         Ok(Ticket { rx })
     }
 
-    /// Submit + wait: the blocking convenience used by the TCP front-end.
+    /// Enqueues one request tagged with a caller-chosen id; the `sink`
+    /// receives `(id, result)` from whichever dispatcher worker finishes
+    /// the job — the multiplexed front-end's out-of-order reply path.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`submit`](Self::submit). On error the sink is
+    /// dropped unused: the caller still owns error reporting for
+    /// requests that never entered the queue.
+    pub fn submit_tagged(
+        &self,
+        tenant_id: &str,
+        request: Request,
+        id: u64,
+        sink: impl FnOnce(u64, Result<Ciphertext, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        let tenant = self.lookup(tenant_id)?;
+        self.queues.submit(Job {
+            tenant_id: Arc::from(tenant_id),
+            tenant,
+            request,
+            reply: Reply::Tagged {
+                id,
+                sink: Box::new(sink),
+            },
+        })
+    }
+
+    /// Submit + wait: the blocking convenience used by tests and simple
+    /// embedders.
     ///
     /// # Errors
     ///
@@ -210,32 +270,34 @@ impl EvalService {
         self.submit(tenant_id, request)?.wait()
     }
 
-    /// Pauses the dispatcher (jobs accumulate). Lets tests and operators
-    /// control batch formation deterministically.
+    /// Pauses all dispatchers (jobs accumulate). Lets tests and
+    /// operators control batch formation deterministically.
     pub fn suspend(&self) {
-        self.shared.queue.lock().expect("queue poisoned").suspended = true;
+        self.queues.suspend();
     }
 
-    /// Resumes the dispatcher.
+    /// Resumes the dispatchers.
     pub fn resume(&self) {
-        self.shared.queue.lock().expect("queue poisoned").suspended = false;
-        self.shared.cv.notify_all();
+        self.queues.resume();
     }
 
-    /// Jobs currently queued (excluding any batch in flight).
+    /// Jobs currently queued across all shards (excluding batches in
+    /// flight).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").jobs.len()
+        self.queues.depth()
     }
 
-    /// Stops the dispatcher; queued jobs are answered with
+    /// Stops the dispatchers; queued jobs are answered with
     /// [`ServeError::ShuttingDown`]. Called automatically on drop.
     pub fn shutdown(&self) {
-        {
-            let mut q = self.shared.queue.lock().expect("queue poisoned");
-            q.shutdown = true;
-        }
-        self.shared.cv.notify_all();
-        if let Some(handle) = self.worker.lock().expect("worker handle poisoned").take() {
+        self.queues.begin_shutdown();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker handles poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -247,49 +309,22 @@ impl Drop for EvalService {
     }
 }
 
-fn dispatch_loop(shared: Arc<Shared>) {
-    loop {
-        let batch: Vec<Job> = {
-            let mut q = shared.queue.lock().expect("queue poisoned");
-            loop {
-                if q.shutdown {
-                    while let Some(job) = q.jobs.pop_front() {
-                        let _ = job.reply.send(Err(ServeError::ShuttingDown));
-                    }
-                    return;
-                }
-                if !q.suspended && !q.jobs.is_empty() {
-                    break;
-                }
-                q = shared.cv.wait(q).expect("queue poisoned");
-            }
-            let n = q.jobs.len().min(shared.config.max_batch);
-            q.jobs.drain(..n).collect()
-        };
-        #[cfg(feature = "telemetry")]
-        {
-            crate::tel::dequeue().add(batch.len() as u64);
-            crate::tel::batch().add(batch.len() as u64);
-        }
-        execute_batch(batch);
-    }
-}
-
 /// Coalescing key for rotation jobs: tenant plus a cheap ciphertext
 /// digest (level/scale folded in). Digest ties are confirmed by exact
-/// residue comparison before jobs share a hoist.
-fn rotation_key(tenant_id: &str, ct: &Ciphertext) -> (String, u64, usize, u64) {
+/// residue comparison before jobs share a hoist. The tenant id is an
+/// `Arc` clone — the historical key allocated a `String` per job.
+fn rotation_key(tenant_id: &Arc<str>, ct: &Ciphertext) -> (Arc<str>, u64, usize, u64) {
     (
-        tenant_id.to_string(),
+        Arc::clone(tenant_id),
         digest_ciphertext(ct),
         ct.level(),
         ct.scale().to_bits(),
     )
 }
 
-fn execute_batch(batch: Vec<Job>) {
+pub(crate) fn execute_batch(batch: Vec<Job>) {
     // Rotation groups: representative ciphertext + member jobs.
-    type Key = (String, u64, usize, u64);
+    type Key = (Arc<str>, u64, usize, u64);
     let mut groups: Vec<(Key, Vec<Job>)> = Vec::new();
     let mut singles: Vec<Job> = Vec::new();
 
@@ -318,7 +353,7 @@ fn execute_batch(batch: Vec<Job>) {
     }
     for job in singles {
         let result = contain(|| run_one(&job.tenant, &job.request).map_err(ServeError::Eval));
-        let _ = job.reply.send(result);
+        job.reply.send(result);
     }
 }
 
@@ -332,25 +367,29 @@ fn run_rotation_group(jobs: Vec<Job>) {
             _ => unreachable!("rotation group holds only Rotate jobs"),
         })
         .collect();
-    let tenant = Arc::clone(&jobs[0].tenant);
-    let Request::Rotate { a, .. } = jobs[0].request.clone() else {
-        unreachable!("rotation group holds only Rotate jobs");
+    // Borrow the representative operand in place — the historical path
+    // cloned the full ciphertext (two RNS polys) per group.
+    let outcome = {
+        let tenant = &jobs[0].tenant;
+        let Request::Rotate { a, .. } = &jobs[0].request else {
+            unreachable!("rotation group holds only Rotate jobs");
+        };
+        contain(|| {
+            tenant
+                .eval
+                .try_rotate_many(a, &steps, &tenant.keys)
+                .map_err(ServeError::Eval)
+        })
     };
-    let outcome = contain(|| {
-        tenant
-            .eval
-            .try_rotate_many(&a, &steps, &tenant.keys)
-            .map_err(ServeError::Eval)
-    });
     match outcome {
         Ok(rotated) => {
             for (job, ct) in jobs.into_iter().zip(rotated) {
-                let _ = job.reply.send(Ok(ct));
+                job.reply.send(Ok(ct));
             }
         }
         Err(e) => {
             for job in jobs {
-                let _ = job.reply.send(Err(e.clone()));
+                job.reply.send(Err(e.clone()));
             }
         }
     }

@@ -1,14 +1,19 @@
-//! Length-prefixed TCP front-end over the wire format, plus a tiny
-//! blocking client.
+//! Multiplexed TCP front-end over the wire format, plus a pipelining
+//! client.
 //!
-//! ## Protocol
+//! ## Protocol (v2)
 //!
 //! Both directions speak `u32` little-endian length-prefixed frames
-//! (length excludes the prefix itself; bounded by [`MAX_FRAME`]).
+//! (length excludes the prefix itself; bounded by [`MAX_FRAME`]). Every
+//! frame body begins with a **request id** chosen by the client; one
+//! connection carries many in-flight requests, and the server answers
+//! in whatever order its dispatcher shards finish — the client matches
+//! replies to requests through a pending map keyed on the id.
 //!
 //! **Request** frame body:
 //!
 //! ```text
+//! request_id: u64 LE
 //! opcode: u8 | tenant_len: u16 LE | tenant: utf-8
 //! [steps: i64 LE]                     -- Rotate only
 //! blobs: (u32 LE length | bytes)*     -- poseidon-wire frames
@@ -17,58 +22,156 @@
 //! Two-blob ops: `Add`/`Sub`/`Mul` (two ciphertexts), `AddPlain`/
 //! `MulPlain` (ciphertext, plaintext). One-blob ops: `Square`,
 //! `Rescale`, `Rotate`, `Conjugate` (ciphertext), `RegisterTenant`
-//! (key-set frame, normally [`poseidon_wire::encode_keyset_public`]).
+//! (key-set frame, normally [`poseidon_wire::encode_keyset_public`]),
+//! and `RegisterTenantChunk` (one [`poseidon_wire::chunk_keyset`] slice;
+//! chunks stream in order on one connection and the final chunk's reply
+//! acknowledges the registration).
 //!
-//! **Response** frame body: status `u8` — `0` = ok followed by one
-//! optional blob (`u32` LE length, possibly zero, then a ciphertext
-//! frame), `1` = error followed by `code: u8 | msg_len: u16 LE | msg`.
+//! **Response** frame body: `request_id: u64 LE` (echoed) followed by
+//! status `u8` — `0` = ok then one optional blob (`u32` LE length,
+//! possibly zero, then a ciphertext frame), `1` = error then
+//! `code: u8 | msg_len: u16 LE | msg`.
+//!
+//! Ciphertext operands are decoded **zero-copy**: the server validates
+//! each frame once through [`poseidon_wire::CiphertextView`] and fills
+//! residue rows from a shared [`poseidon_wire::BufferPool`]; encoded
+//! result ciphertexts recycle their rows back into the pool, so the
+//! steady-state request path allocates nothing for polynomial data.
 //!
 //! A protocol-level parse failure answers with an error frame and drops
 //! the connection; a wire/eval failure answers with an error frame and
 //! keeps serving. Malformed input never panics the server.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use crate::{EvalService, Request, ServeError};
+use he_ckks::cipher::Ciphertext;
+use poseidon_wire::{BufferPool, KeysetAssembler};
+
+use crate::{EvalService, Request, ServeError, TenantContext};
 
 /// Upper bound on one protocol frame (64 MiB — comfortably above any
 /// supported key-set frame).
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Request opcodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u8)]
-enum Op {
-    Add = 1,
-    Sub = 2,
-    Mul = 3,
-    Square = 4,
-    Rescale = 5,
-    Rotate = 6,
-    Conjugate = 7,
-    AddPlain = 8,
-    MulPlain = 9,
-    RegisterTenant = 10,
+/// Residue rows retained by a listener's decode pool. At paper-scale
+/// parameters a row is ~32 KiB, so the cap bounds pool memory at a few
+/// MiB while covering many in-flight requests.
+const POOL_ROWS: usize = 256;
+
+/// One serving operation, borrowing its operand frames. The generic
+/// surface behind [`Client::request`]; the named convenience methods
+/// (`add`, `mul`, …) are thin wrappers over these variants.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum Op<'a> {
+    /// Homomorphic addition of two ciphertext frames.
+    Add {
+        /// Left operand frame.
+        a: &'a [u8],
+        /// Right operand frame.
+        b: &'a [u8],
+    },
+    /// Homomorphic subtraction.
+    Sub {
+        /// Left operand frame.
+        a: &'a [u8],
+        /// Right operand frame.
+        b: &'a [u8],
+    },
+    /// Relinearised multiplication.
+    Mul {
+        /// Left operand frame.
+        a: &'a [u8],
+        /// Right operand frame.
+        b: &'a [u8],
+    },
+    /// Relinearised squaring.
+    Square {
+        /// Operand frame.
+        a: &'a [u8],
+    },
+    /// Rescale by the top chain prime.
+    Rescale {
+        /// Operand frame.
+        a: &'a [u8],
+    },
+    /// Slot rotation — the request kind the scheduler coalesces.
+    Rotate {
+        /// Operand frame.
+        a: &'a [u8],
+        /// Left-rotation step count.
+        steps: i64,
+    },
+    /// Slot-wise complex conjugation.
+    Conjugate {
+        /// Operand frame.
+        a: &'a [u8],
+    },
+    /// Ciphertext + plaintext addition.
+    AddPlain {
+        /// Ciphertext operand frame.
+        a: &'a [u8],
+        /// Plaintext operand frame.
+        pt: &'a [u8],
+    },
+    /// Ciphertext × plaintext multiplication.
+    MulPlain {
+        /// Ciphertext operand frame.
+        a: &'a [u8],
+        /// Plaintext operand frame.
+        pt: &'a [u8],
+    },
+    /// Tenant provisioning from one whole key-set frame.
+    RegisterTenant {
+        /// The key-set frame.
+        keyset: &'a [u8],
+    },
+    /// Tenant provisioning, one chunk of a streamed key-set.
+    RegisterTenantChunk {
+        /// One [`poseidon_wire::chunk_keyset`] chunk frame.
+        chunk: &'a [u8],
+    },
 }
 
-impl Op {
-    fn from_code(code: u8) -> Option<Self> {
-        Some(match code {
-            1 => Op::Add,
-            2 => Op::Sub,
-            3 => Op::Mul,
-            4 => Op::Square,
-            5 => Op::Rescale,
-            6 => Op::Rotate,
-            7 => Op::Conjugate,
-            8 => Op::AddPlain,
-            9 => Op::MulPlain,
-            10 => Op::RegisterTenant,
-            _ => return None,
-        })
+impl Op<'_> {
+    fn code(&self) -> u8 {
+        match self {
+            Op::Add { .. } => 1,
+            Op::Sub { .. } => 2,
+            Op::Mul { .. } => 3,
+            Op::Square { .. } => 4,
+            Op::Rescale { .. } => 5,
+            Op::Rotate { .. } => 6,
+            Op::Conjugate { .. } => 7,
+            Op::AddPlain { .. } => 8,
+            Op::MulPlain { .. } => 9,
+            Op::RegisterTenant { .. } => 10,
+            Op::RegisterTenantChunk { .. } => 11,
+        }
+    }
+
+    fn steps(&self) -> Option<i64> {
+        match self {
+            Op::Rotate { steps, .. } => Some(*steps),
+            _ => None,
+        }
+    }
+
+    fn blobs(&self) -> Vec<&[u8]> {
+        match self {
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => vec![a, b],
+            Op::Square { a } | Op::Rescale { a } | Op::Rotate { a, .. } | Op::Conjugate { a } => {
+                vec![a]
+            }
+            Op::AddPlain { a, pt } | Op::MulPlain { a, pt } => vec![a, pt],
+            Op::RegisterTenant { keyset } => vec![keyset],
+            Op::RegisterTenantChunk { chunk } => vec![chunk],
+        }
     }
 }
 
@@ -111,19 +214,21 @@ fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
-fn ok_response(blob: Option<&[u8]>) -> Vec<u8> {
+fn ok_response(id: u64, blob: Option<&[u8]>) -> Vec<u8> {
     let blob = blob.unwrap_or(&[]);
-    let mut out = Vec::with_capacity(5 + blob.len());
+    let mut out = Vec::with_capacity(13 + blob.len());
+    out.extend_from_slice(&id.to_le_bytes());
     out.push(0);
     out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
     out.extend_from_slice(blob);
     out
 }
 
-fn err_response(e: &ServeError) -> Vec<u8> {
+fn err_response(id: u64, e: &ServeError) -> Vec<u8> {
     let msg = e.to_string();
     let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
-    let mut out = Vec::with_capacity(4 + msg.len());
+    let mut out = Vec::with_capacity(12 + msg.len());
+    out.extend_from_slice(&id.to_le_bytes());
     out.push(1);
     out.push(error_code(e));
     out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
@@ -164,26 +269,142 @@ impl<'a> FrameReader<'a> {
     }
 }
 
-/// Parses and executes one request frame; `Ok(Some(bytes))` is a
-/// ciphertext frame to return, `Ok(None)` an empty success.
-fn process(service: &EvalService, frame: &[u8]) -> Result<Option<Vec<u8>>, ServeError> {
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Traffic from the connection's reader (and the dispatcher sinks) to
+/// its single writer thread.
+enum WriterMsg {
+    /// Announces an in-flight request *before* it is submitted, carrying
+    /// the context its eventual result encodes under. Always enqueued
+    /// ahead of the matching `Done`, so the writer never sees an
+    /// unknown id.
+    Expect { id: u64, ctx: TenantContext },
+    /// A dispatcher shard finished the job — out of order by design.
+    Done {
+        id: u64,
+        result: Box<Result<Ciphertext, ServeError>>,
+    },
+    /// A fully rendered response (registration acks, pre-submit errors).
+    Immediate { body: Vec<u8> },
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriterMsg>, pool: Arc<BufferPool>) {
+    let mut pending: HashMap<u64, TenantContext> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        let body = match msg {
+            WriterMsg::Expect { id, ctx } => {
+                pending.insert(id, ctx);
+                continue;
+            }
+            WriterMsg::Done { id, result } => {
+                let Some(ctx) = pending.remove(&id) else {
+                    // Protocol invariant broken server-side; drop the
+                    // connection rather than answer nonsense.
+                    break;
+                };
+                match *result {
+                    Ok(ct) => {
+                        let frame = poseidon_wire::encode_ciphertext(&ctx, &ct);
+                        // The result's residue rows feed future decodes.
+                        pool.recycle_ciphertext(ct);
+                        ok_response(id, Some(&frame))
+                    }
+                    Err(e) => err_response(id, &e),
+                }
+            }
+            WriterMsg::Immediate { body } => body,
+        };
+        if write_frame(&mut stream, &body).is_err() {
+            break;
+        }
+    }
+}
+
+/// Whether the connection can keep parsing frames after this request.
+enum Flow {
+    Continue,
+    /// Protocol desync — unrecoverable mid-stream; close after reporting.
+    Close,
+}
+
+/// Parses and dispatches one request frame. Eval ops are *submitted*
+/// (the reply flows through the writer when a dispatcher finishes);
+/// registrations are answered immediately.
+fn process(
+    service: &EvalService,
+    pool: &Arc<BufferPool>,
+    assembler: &mut KeysetAssembler,
+    frame: &[u8],
+    tx: &mpsc::Sender<WriterMsg>,
+) -> Flow {
     let mut r = FrameReader { buf: frame, pos: 0 };
+    let id = match r.take(8) {
+        Ok(b) => u64::from_le_bytes(b.try_into().expect("8-byte slice")),
+        Err(e) => {
+            let _ = tx.send(WriterMsg::Immediate {
+                body: err_response(0, &e),
+            });
+            return Flow::Close;
+        }
+    };
+    match process_body(service, pool, assembler, id, &mut r, tx) {
+        Ok(()) => Flow::Continue,
+        Err(e) => {
+            let desync = matches!(e, ServeError::Protocol(_));
+            let _ = tx.send(WriterMsg::Immediate {
+                body: err_response(id, &e),
+            });
+            if desync {
+                Flow::Close
+            } else {
+                Flow::Continue
+            }
+        }
+    }
+}
+
+fn process_body(
+    service: &EvalService,
+    pool: &Arc<BufferPool>,
+    assembler: &mut KeysetAssembler,
+    id: u64,
+    r: &mut FrameReader<'_>,
+    tx: &mpsc::Sender<WriterMsg>,
+) -> Result<(), ServeError> {
     let code = r.take(1)?[0];
-    let op = Op::from_code(code)
-        .ok_or_else(|| ServeError::Protocol(format!("unknown opcode {code}")))?;
     let tenant_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
     let tenant = std::str::from_utf8(r.take(tenant_len)?)
         .map_err(|_| ServeError::Protocol("tenant id is not utf-8".into()))?
         .to_string();
 
-    if op == Op::RegisterTenant {
-        let frame = r.blob()?;
-        r.done()?;
-        service.register_tenant_frame(&tenant, frame)?;
-        return Ok(None);
+    // Provisioning ops are answered inline from the reader thread.
+    match code {
+        10 => {
+            let keyset = r.blob()?;
+            r.done()?;
+            service.register_tenant_frame(&tenant, keyset)?;
+            let _ = tx.send(WriterMsg::Immediate {
+                body: ok_response(id, None),
+            });
+            return Ok(());
+        }
+        11 => {
+            let chunk = r.blob()?;
+            r.done()?;
+            if let Some(keyset) = assembler.accept(chunk)? {
+                service.register_tenant_frame(&tenant, &keyset)?;
+            }
+            let _ = tx.send(WriterMsg::Immediate {
+                body: ok_response(id, None),
+            });
+            return Ok(());
+        }
+        _ => {}
     }
 
-    let steps = if op == Op::Rotate {
+    let steps = if code == 6 {
         Some(i64::from_le_bytes(
             r.take(8)?.try_into().expect("8-byte slice"),
         ))
@@ -194,86 +415,90 @@ fn process(service: &EvalService, frame: &[u8]) -> Result<Option<Vec<u8>>, Serve
     let ctx = service
         .tenant_context(&tenant)
         .ok_or_else(|| ServeError::UnknownTenant(tenant.clone()))?;
-    let a = poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?;
-    let request = match op {
-        Op::Add => Request::Add {
+    let a = poseidon_wire::decode_ciphertext_pooled(&ctx, r.blob()?, pool)?;
+    let request = match code {
+        1 => Request::Add {
             a,
-            b: poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?,
+            b: poseidon_wire::decode_ciphertext_pooled(&ctx, r.blob()?, pool)?,
         },
-        Op::Sub => Request::Sub {
+        2 => Request::Sub {
             a,
-            b: poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?,
+            b: poseidon_wire::decode_ciphertext_pooled(&ctx, r.blob()?, pool)?,
         },
-        Op::Mul => Request::Mul {
+        3 => Request::Mul {
             a,
-            b: poseidon_wire::decode_ciphertext(&ctx, r.blob()?)?,
+            b: poseidon_wire::decode_ciphertext_pooled(&ctx, r.blob()?, pool)?,
         },
-        Op::Square => Request::Square { a },
-        Op::Rescale => Request::Rescale { a },
-        Op::Rotate => Request::Rotate {
+        4 => Request::Square { a },
+        5 => Request::Rescale { a },
+        6 => Request::Rotate {
             a,
             steps: steps.expect("steps parsed for Rotate"),
         },
-        Op::Conjugate => Request::Conjugate { a },
-        Op::AddPlain => Request::AddPlain {
+        7 => Request::Conjugate { a },
+        8 => Request::AddPlain {
             a,
-            pt: poseidon_wire::decode_plaintext(&ctx, r.blob()?)?,
+            pt: poseidon_wire::decode_plaintext_pooled(&ctx, r.blob()?, pool)?,
         },
-        Op::MulPlain => Request::MulPlain {
+        9 => Request::MulPlain {
             a,
-            pt: poseidon_wire::decode_plaintext(&ctx, r.blob()?)?,
+            pt: poseidon_wire::decode_plaintext_pooled(&ctx, r.blob()?, pool)?,
         },
-        Op::RegisterTenant => unreachable!("handled above"),
+        other => return Err(ServeError::Protocol(format!("unknown opcode {other}"))),
     };
     r.done()?;
-    let out = service.call(&tenant, request)?;
-    Ok(Some(poseidon_wire::encode_ciphertext(&ctx, &out)))
+
+    // Expect strictly precedes Done on the writer channel: the sink can
+    // only fire after submit_tagged enqueues the job, which happens
+    // after this send.
+    let _ = tx.send(WriterMsg::Expect { id, ctx });
+    let done_tx = tx.clone();
+    if let Err(e) = service.submit_tagged(&tenant, request, id, move |id, result| {
+        let _ = done_tx.send(WriterMsg::Done {
+            id,
+            result: Box::new(result),
+        });
+    }) {
+        // The job never entered a queue; answer through the same path
+        // so the writer clears its Expect entry.
+        let _ = tx.send(WriterMsg::Done {
+            id,
+            result: Box::new(Err(e)),
+        });
+    }
+    Ok(())
 }
 
-fn handle_connection(service: Arc<EvalService>, mut stream: TcpStream) {
-    while let Ok(Some(frame)) = read_frame(&mut stream) {
-        let response = match process(&service, &frame) {
-            Ok(blob) => ok_response(blob.as_deref()),
-            Err(e) => err_response(&e),
-        };
-        if write_frame(&mut stream, &response).is_err() {
-            break;
-        }
-        // A protocol desync is unrecoverable mid-stream; close after
-        // reporting it. Wire/eval errors keep the connection alive.
-        if let Err(ServeError::Protocol(_)) = process_status(&frame) {
-            break;
-        }
-    }
-}
-
-/// Re-checks only the cheap protocol framing of a request (no decode, no
-/// execution) so the connection loop can decide whether the stream is
-/// still in sync.
-fn process_status(frame: &[u8]) -> Result<(), ServeError> {
-    let mut r = FrameReader { buf: frame, pos: 0 };
-    let code = r.take(1)?[0];
-    let op = Op::from_code(code)
-        .ok_or_else(|| ServeError::Protocol(format!("unknown opcode {code}")))?;
-    let tenant_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
-    r.take(tenant_len)?;
-    if op == Op::Rotate {
-        r.take(8)?;
-    }
-    let blobs = match op {
-        Op::Add | Op::Sub | Op::Mul | Op::AddPlain | Op::MulPlain => 2,
-        _ => 1,
+fn handle_connection(service: Arc<EvalService>, mut stream: TcpStream, pool: Arc<BufferPool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
     };
-    for _ in 0..blobs {
-        r.blob()?;
+    let (tx, rx) = mpsc::channel();
+    let writer_pool = Arc::clone(&pool);
+    let Ok(writer) = std::thread::Builder::new()
+        .name("poseidon-serve-write".into())
+        .spawn(move || writer_loop(write_half, rx, writer_pool))
+    else {
+        return;
+    };
+    let mut assembler = KeysetAssembler::new();
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        match process(&service, &pool, &mut assembler, &frame, &tx) {
+            Flow::Continue => {}
+            Flow::Close => break,
+        }
     }
-    r.done()
+    // Dropping our sender lets the writer drain in-flight replies and
+    // exit once every dispatcher sink has fired.
+    drop(tx);
+    let _ = writer.join();
 }
 
 /// Binds `addr` and serves connections on background threads; returns
 /// the bound address (use port 0 for an ephemeral port) and the acceptor
 /// handle. The acceptor runs until the process exits or the listener
-/// errors; per-connection threads are detached.
+/// errors; per-connection threads are detached. All connections share
+/// one decode [`BufferPool`].
 ///
 /// # Errors
 ///
@@ -284,86 +509,166 @@ pub fn listen(
 ) -> io::Result<(SocketAddr, JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    let pool = Arc::new(BufferPool::new(POOL_ROWS));
     let handle = std::thread::Builder::new()
         .name("poseidon-serve-accept".into())
         .spawn(move || {
             for conn in listener.incoming() {
                 let Ok(stream) = conn else { break };
                 let service = Arc::clone(&service);
+                let pool = Arc::clone(&pool);
                 let _ = std::thread::Builder::new()
                     .name("poseidon-serve-conn".into())
-                    .spawn(move || handle_connection(service, stream));
+                    .spawn(move || handle_connection(service, stream, pool));
             }
         })?;
     Ok((local, handle))
 }
 
-/// Minimal blocking client for the protocol above. All payloads are
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+type ReplyTx = mpsc::Sender<Result<Option<Vec<u8>>, ServeError>>;
+
+struct PendingMap {
+    replies: HashMap<u64, ReplyTx>,
+    /// Set when the reader thread stops; new submissions fail fast.
+    dead: Option<String>,
+}
+
+struct ClientShared {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<PendingMap>,
+    next_id: AtomicU64,
+}
+
+/// One submitted request on a [`Client`]; [`wait`](PendingReply::wait)
+/// blocks for the server's reply. Dropping it abandons the reply.
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: mpsc::Receiver<Result<Option<Vec<u8>>, ServeError>>,
+    id: u64,
+}
+
+impl PendingReply {
+    /// The request id this reply is keyed on.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the server answers this request.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError::Remote`], or [`ServeError::Io`] if the
+    /// connection died first.
+    pub fn wait(self) -> Result<Option<Vec<u8>>, ServeError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Io("connection closed".into())))
+    }
+}
+
+/// Multiplexing client for the protocol above. All payloads are
 /// `poseidon-wire` frames; encoding/decoding stays on the caller's side
-/// (the client never needs key material).
+/// (the client never needs key material). Shareable across threads
+/// (`&self` methods): requests interleave on one connection and replies
+/// are matched by id, so many calls can be in flight at once — that
+/// pipelining is what keeps the server's shard queues full enough to
+/// coalesce.
 pub struct Client {
-    stream: TcpStream,
+    shared: Arc<ClientShared>,
+    read_half: TcpStream,
+    reader: Option<JoinHandle<()>>,
 }
 
 impl Client {
-    /// Connects to a serving endpoint.
+    /// Connects to a serving endpoint and starts the reply-demux reader.
     ///
     /// # Errors
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(PendingMap {
+                replies: HashMap::new(),
+                dead: None,
+            }),
+            next_id: AtomicU64::new(1),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let mut reader_stream = read_half.try_clone()?;
+        let reader = std::thread::Builder::new()
+            .name("poseidon-client-read".into())
+            .spawn(move || reader_loop(&mut reader_stream, &reader_shared))?;
         Ok(Self {
-            stream: TcpStream::connect(addr)?,
+            shared,
+            read_half,
+            reader: Some(reader),
         })
     }
 
-    fn roundtrip(
-        &mut self,
-        op: Op,
-        tenant: &str,
-        steps: Option<i64>,
-        blobs: &[&[u8]],
-    ) -> Result<Option<Vec<u8>>, ServeError> {
+    /// Sends one request without waiting — the pipelining primitive.
+    /// Replies arrive whenever the server finishes; collect them through
+    /// the returned [`PendingReply`] in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection is closed or the send fails.
+    pub fn submit(&self, tenant: &str, op: Op<'_>) -> Result<PendingReply, ServeError> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut pending = self.shared.pending.lock().expect("pending map poisoned");
+            if let Some(reason) = &pending.dead {
+                return Err(ServeError::Io(reason.clone()));
+            }
+            pending.replies.insert(id, tx);
+        }
+
         let mut body = Vec::new();
-        body.push(op as u8);
-        let id = tenant.as_bytes();
-        body.extend_from_slice(&(id.len().min(u16::MAX as usize) as u16).to_le_bytes());
-        body.extend_from_slice(&id[..id.len().min(u16::MAX as usize)]);
-        if let Some(s) = steps {
+        body.extend_from_slice(&id.to_le_bytes());
+        body.push(op.code());
+        let tenant_bytes = tenant.as_bytes();
+        let tenant_bytes = &tenant_bytes[..tenant_bytes.len().min(u16::MAX as usize)];
+        body.extend_from_slice(&(tenant_bytes.len() as u16).to_le_bytes());
+        body.extend_from_slice(tenant_bytes);
+        if let Some(s) = op.steps() {
             body.extend_from_slice(&s.to_le_bytes());
         }
-        for blob in blobs {
+        for blob in op.blobs() {
             body.extend_from_slice(&(blob.len() as u32).to_le_bytes());
             body.extend_from_slice(blob);
         }
-        write_frame(&mut self.stream, &body).map_err(|e| ServeError::Io(e.to_string()))?;
-        let response = read_frame(&mut self.stream)
-            .map_err(|e| ServeError::Io(e.to_string()))?
-            .ok_or_else(|| ServeError::Io("server closed the connection".into()))?;
 
-        let mut r = FrameReader {
-            buf: &response,
-            pos: 0,
+        let write_result = {
+            let mut stream = self.shared.writer.lock().expect("writer poisoned");
+            write_frame(&mut stream, &body)
         };
-        match r.take(1)?[0] {
-            0 => {
-                let blob = r.blob()?;
-                r.done()?;
-                Ok(if blob.is_empty() {
-                    None
-                } else {
-                    Some(blob.to_vec())
-                })
-            }
-            1 => {
-                let code = r.take(1)?[0];
-                let len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
-                let message = String::from_utf8_lossy(r.take(len)?).into_owned();
-                r.done()?;
-                Err(ServeError::Remote { code, message })
-            }
-            s => Err(ServeError::Protocol(format!("unknown response status {s}"))),
+        if let Err(e) = write_result {
+            self.shared
+                .pending
+                .lock()
+                .expect("pending map poisoned")
+                .replies
+                .remove(&id);
+            return Err(ServeError::Io(e.to_string()));
         }
+        Ok(PendingReply { rx, id })
+    }
+
+    /// Submit + wait: one request, blocking for its reply. The generic
+    /// surface every named convenience method wraps.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], or a local [`ServeError::Io`].
+    pub fn request(&self, tenant: &str, op: Op<'_>) -> Result<Option<Vec<u8>>, ServeError> {
+        self.submit(tenant, op)?.wait()
     }
 
     fn expect_blob(result: Result<Option<Vec<u8>>, ServeError>) -> Result<Vec<u8>, ServeError> {
@@ -375,9 +680,38 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn register_tenant(&mut self, tenant: &str, keyset_frame: &[u8]) -> Result<(), ServeError> {
-        self.roundtrip(Op::RegisterTenant, tenant, None, &[keyset_frame])
-            .map(|_| ())
+    pub fn register_tenant(&self, tenant: &str, keyset_frame: &[u8]) -> Result<(), ServeError> {
+        self.request(
+            tenant,
+            Op::RegisterTenant {
+                keyset: keyset_frame,
+            },
+        )
+        .map(|_| ())
+    }
+
+    /// Registers a tenant by streaming its key-set frame in
+    /// [`poseidon_wire::KEYSET_CHUNK_BYTES`] chunks — all chunks are
+    /// pipelined before the acks are collected, so provisioning takes
+    /// one round trip regardless of key-set size.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`] for whichever chunk failed.
+    pub fn register_tenant_chunked(
+        &self,
+        tenant: &str,
+        keyset_frame: &[u8],
+    ) -> Result<(), ServeError> {
+        let chunks = poseidon_wire::chunk_keyset(keyset_frame, poseidon_wire::KEYSET_CHUNK_BYTES);
+        let mut acks = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            acks.push(self.submit(tenant, Op::RegisterTenantChunk { chunk })?);
+        }
+        for ack in acks {
+            ack.wait()?;
+        }
+        Ok(())
     }
 
     /// Homomorphic addition of two ciphertext frames.
@@ -385,8 +719,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn add(&mut self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Add, tenant, None, &[a, b]))
+    pub fn add(&self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Add { a, b }))
     }
 
     /// Homomorphic subtraction.
@@ -394,8 +728,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn sub(&mut self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Sub, tenant, None, &[a, b]))
+    pub fn sub(&self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Sub { a, b }))
     }
 
     /// Relinearised multiplication.
@@ -403,8 +737,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn mul(&mut self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Mul, tenant, None, &[a, b]))
+    pub fn mul(&self, tenant: &str, a: &[u8], b: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Mul { a, b }))
     }
 
     /// Relinearised squaring.
@@ -412,8 +746,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn square(&mut self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Square, tenant, None, &[a]))
+    pub fn square(&self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Square { a }))
     }
 
     /// Rescale by the top chain prime.
@@ -421,8 +755,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn rescale(&mut self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Rescale, tenant, None, &[a]))
+    pub fn rescale(&self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Rescale { a }))
     }
 
     /// Slot rotation by `steps`.
@@ -430,8 +764,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn rotate(&mut self, tenant: &str, a: &[u8], steps: i64) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Rotate, tenant, Some(steps), &[a]))
+    pub fn rotate(&self, tenant: &str, a: &[u8], steps: i64) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Rotate { a, steps }))
     }
 
     /// Slot-wise conjugation.
@@ -439,8 +773,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn conjugate(&mut self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::Conjugate, tenant, None, &[a]))
+    pub fn conjugate(&self, tenant: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::Conjugate { a }))
     }
 
     /// Ciphertext + plaintext addition.
@@ -448,8 +782,8 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn add_plain(&mut self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::AddPlain, tenant, None, &[a, pt]))
+    pub fn add_plain(&self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::AddPlain { a, pt }))
     }
 
     /// Ciphertext × plaintext multiplication.
@@ -457,7 +791,71 @@ impl Client {
     /// # Errors
     ///
     /// The server's [`ServeError`], flattened to its message.
-    pub fn mul_plain(&mut self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
-        Self::expect_blob(self.roundtrip(Op::MulPlain, tenant, None, &[a, pt]))
+    pub fn mul_plain(&self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(tenant, Op::MulPlain { a, pt }))
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.read_half.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Demultiplexes server replies into the pending map until the
+/// connection closes, then fails every outstanding request.
+fn reader_loop(stream: &mut TcpStream, shared: &ClientShared) {
+    let reason = loop {
+        let frame = match read_frame(stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break "server closed the connection".to_string(),
+            Err(e) => break e.to_string(),
+        };
+        if frame.len() < 9 {
+            break format!("short response frame of {} bytes", frame.len());
+        }
+        let id = u64::from_le_bytes(frame[..8].try_into().expect("8-byte slice"));
+        let result = parse_reply(&frame[8..]);
+        let tx = shared
+            .pending
+            .lock()
+            .expect("pending map poisoned")
+            .replies
+            .remove(&id);
+        // An unknown id (abandoned PendingReply) is dropped silently.
+        if let Some(tx) = tx {
+            let _ = tx.send(result);
+        }
+    };
+    let mut pending = shared.pending.lock().expect("pending map poisoned");
+    pending.dead = Some(reason.clone());
+    for (_, tx) in pending.replies.drain() {
+        let _ = tx.send(Err(ServeError::Io(reason.clone())));
+    }
+}
+
+fn parse_reply(body: &[u8]) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut r = FrameReader { buf: body, pos: 0 };
+    match r.take(1)?[0] {
+        0 => {
+            let blob = r.blob()?;
+            r.done()?;
+            Ok(if blob.is_empty() {
+                None
+            } else {
+                Some(blob.to_vec())
+            })
+        }
+        1 => {
+            let code = r.take(1)?[0];
+            let len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
+            let message = String::from_utf8_lossy(r.take(len)?).into_owned();
+            r.done()?;
+            Err(ServeError::Remote { code, message })
+        }
+        s => Err(ServeError::Protocol(format!("unknown response status {s}"))),
     }
 }

@@ -143,6 +143,7 @@ fn queue_full_rejects_with_capacity() {
     let service = EvalService::start(ServiceConfig {
         queue_capacity: 2,
         max_batch: 16,
+        ..ServiceConfig::default()
     });
     service.register_tenant("acme", ctx, keys);
 

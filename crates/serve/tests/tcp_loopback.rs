@@ -37,7 +37,7 @@ fn loopback_round_trip_decrypts_to_the_reference() {
 
     let service = EvalService::start(ServiceConfig::default());
     let (addr, _accept) = tcp::listen(service, "127.0.0.1:0").expect("bind loopback");
-    let mut client = tcp::Client::connect(addr).expect("connect");
+    let client = tcp::Client::connect(addr).expect("connect");
 
     // Provision the tenant over the wire — eval keys only, no secret.
     let keyset_frame = poseidon_wire::encode_keyset_public(&ctx, &keys);
@@ -95,7 +95,7 @@ fn server_reports_typed_errors_over_the_wire() {
 
     let service = EvalService::start(ServiceConfig::default());
     let (addr, _accept) = tcp::listen(service, "127.0.0.1:0").expect("bind loopback");
-    let mut client = tcp::Client::connect(addr).expect("connect");
+    let client = tcp::Client::connect(addr).expect("connect");
 
     let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
     let frame = poseidon_wire::encode_ciphertext(&ctx, &ct);
@@ -144,8 +144,9 @@ fn protocol_garbage_gets_an_error_frame_not_a_dead_server() {
     let service = EvalService::start(ServiceConfig::default());
     let (addr, _accept) = tcp::listen(service, "127.0.0.1:0").expect("bind loopback");
 
-    // Raw garbage on one connection: a framed body that is not a valid
-    // request. The server must answer with an error frame (status 1,
+    // Raw garbage on one connection: a framed body whose first 8 bytes
+    // parse as a request id but whose remainder is not a valid request.
+    // The server must answer with an error frame (echoed id, status 1,
     // code 7) rather than dropping silently or crashing.
     let mut raw = std::net::TcpStream::connect(addr).expect("connect");
     let junk = b"\xEEgarbage";
@@ -158,14 +159,15 @@ fn protocol_garbage_gets_an_error_frame_not_a_dead_server() {
     raw.read_exact(&mut prefix).expect("response prefix");
     response.resize(u32::from_le_bytes(prefix) as usize, 0);
     raw.read_exact(&mut response).expect("response body");
-    assert_eq!(response[0], 1, "expected an error status");
-    assert_eq!(response[1], 7, "expected a protocol error code");
+    assert_eq!(&response[..8], junk, "expected the request id echoed");
+    assert_eq!(response[8], 1, "expected an error status");
+    assert_eq!(response[9], 7, "expected a protocol error code");
 
     // The listener survived: a fresh, well-behaved connection works.
     let ctx = CkksContext::new(CkksParams::toy());
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let keys = KeySet::generate(&ctx, &mut rng);
-    let mut client = tcp::Client::connect(addr).expect("reconnect");
+    let client = tcp::Client::connect(addr).expect("reconnect");
     client
         .register_tenant("acme", &poseidon_wire::encode_keyset_public(&ctx, &keys))
         .expect("register after garbage");

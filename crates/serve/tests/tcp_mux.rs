@@ -1,0 +1,221 @@
+//! Multiplexed-protocol edges: out-of-order reply reassembly, pipelined
+//! submission against a real service, chunked key-set streaming, and
+//! dead-connection failure propagation.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use poseidon_serve::tcp::{self, Op};
+use poseidon_serve::{EvalService, ServeError, ServiceConfig};
+use rand::SeedableRng;
+
+fn encrypt(
+    ctx: &CkksContext,
+    keys: &KeySet,
+    rng: &mut rand::rngs::StdRng,
+    values: &[Complex],
+) -> he_ckks::cipher::Ciphertext {
+    let pt = Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), values, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    keys.public().encrypt(&pt, rng)
+}
+
+fn read_raw_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).expect("frame prefix");
+    let mut body = vec![0u8; u32::from_le_bytes(prefix) as usize];
+    stream.read_exact(&mut body).expect("frame body");
+    body
+}
+
+fn write_raw_frame(stream: &mut TcpStream, body: &[u8]) {
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .expect("prefix");
+    stream.write_all(body).expect("body");
+}
+
+/// A scripted server that answers three requests in *reverse* arrival
+/// order; the client must still hand each reply to the right waiter.
+#[test]
+fn out_of_order_replies_are_matched_by_request_id() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let frames: Vec<Vec<u8>> = (0..3).map(|_| read_raw_frame(&mut conn)).collect();
+        for frame in frames.iter().rev() {
+            let id = &frame[..8];
+            // ok response whose blob is the echoed id — lets the client
+            // side verify which request this reply claimed to answer.
+            let mut body = Vec::new();
+            body.extend_from_slice(id);
+            body.push(0);
+            body.extend_from_slice(&8u32.to_le_bytes());
+            body.extend_from_slice(id);
+            write_raw_frame(&mut conn, &body);
+        }
+        // Hold the socket until the client has drained the replies.
+        let _ = conn.read(&mut [0u8; 1]);
+    });
+
+    let client = tcp::Client::connect(addr).expect("connect");
+    let pending: Vec<_> = (0..3)
+        .map(|_| {
+            client
+                .submit("acme", Op::Square { a: b"opaque" })
+                .expect("submit")
+        })
+        .collect();
+    for reply in pending {
+        let id = reply.id();
+        let blob = reply.wait().expect("reply").expect("blob");
+        assert_eq!(
+            blob,
+            id.to_le_bytes().to_vec(),
+            "reply delivered to the wrong waiter"
+        );
+    }
+    drop(client);
+    server.join().expect("server thread");
+}
+
+/// Pipelined rotations through a real loopback server: all submitted
+/// before any reply is read, coalesced into one batch by the suspended
+/// dispatcher, and bit-identical to the local hoisted path.
+#[test]
+fn pipelined_rotations_coalesce_and_match_local_eval() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x417);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    keys.add_rotation_keys([1, 2, 3], &mut rng);
+
+    let service = EvalService::start(ServiceConfig::default());
+    let handle = Arc::clone(&service);
+    let (addr, _accept) = tcp::listen(service, "127.0.0.1:0").expect("bind loopback");
+    let client = tcp::Client::connect(addr).expect("connect");
+    client
+        .register_tenant("acme", &poseidon_wire::encode_keyset_public(&ctx, &keys))
+        .expect("register");
+
+    let ct = encrypt(
+        &ctx,
+        &keys,
+        &mut rng,
+        &[Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)],
+    );
+    let frame = poseidon_wire::encode_ciphertext(&ctx, &ct);
+    let expected = he_ckks::eval::Evaluator::new(&ctx)
+        .try_rotate_many(&ct, &[1, 2, 3], &keys)
+        .expect("local rotations");
+
+    // Freeze the dispatcher so the three pipelined requests form one
+    // batch — the coalescing path exercised through the full TCP stack.
+    handle.suspend();
+    let pending: Vec<_> = [1i64, 2, 3]
+        .into_iter()
+        .map(|steps| {
+            client
+                .submit("acme", Op::Rotate { a: &frame, steps })
+                .expect("submit")
+        })
+        .collect();
+    // All three must be queued before any reply exists.
+    while handle.queue_depth() < 3 {
+        std::thread::yield_now();
+    }
+    handle.resume();
+
+    for (reply, want) in pending.into_iter().zip(&expected) {
+        let blob = reply.wait().expect("rotation reply").expect("ciphertext");
+        let got = poseidon_wire::decode_ciphertext(&ctx, &blob).expect("decode");
+        assert_eq!(got.c0(), want.c0());
+        assert_eq!(got.c1(), want.c1());
+    }
+}
+
+/// A key set streamed in chunks provisions a tenant that serves
+/// byte-identically to one registered from the whole frame — including
+/// with adversarially tiny chunk sizes driven through the raw Op.
+#[test]
+fn chunked_registration_serves_identically_to_whole_frame() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC4A);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    keys.add_rotation_key(1, &mut rng);
+    let keyset = poseidon_wire::encode_keyset_public(&ctx, &keys);
+
+    let service = EvalService::start(ServiceConfig::default());
+    let (addr, _accept) = tcp::listen(service, "127.0.0.1:0").expect("bind loopback");
+    let client = tcp::Client::connect(addr).expect("connect");
+
+    client.register_tenant("whole", &keyset).expect("whole");
+    client
+        .register_tenant_chunked("chunked", &keyset)
+        .expect("chunked");
+    // Tiny chunks (many frames) via the raw op, pipelined then awaited.
+    let chunks = poseidon_wire::chunk_keyset(&keyset, 257);
+    assert!(
+        chunks.len() > 2,
+        "chunk size too large to exercise streaming"
+    );
+    let acks: Vec<_> = chunks
+        .iter()
+        .map(|chunk| {
+            client
+                .submit("streamed", Op::RegisterTenantChunk { chunk })
+                .expect("submit chunk")
+        })
+        .collect();
+    for ack in acks {
+        ack.wait().expect("chunk ack");
+    }
+
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, -0.5)]);
+    let frame = poseidon_wire::encode_ciphertext(&ctx, &ct);
+    let whole = client.rotate("whole", &frame, 1).expect("whole rotate");
+    let chunked = client.rotate("chunked", &frame, 1).expect("chunked rotate");
+    let streamed = client
+        .rotate("streamed", &frame, 1)
+        .expect("streamed rotate");
+    assert_eq!(whole, chunked, "chunked registration diverged");
+    assert_eq!(whole, streamed, "streamed registration diverged");
+}
+
+/// When the server vanishes, every in-flight request fails with a typed
+/// I/O error and later submissions fail fast instead of hanging.
+#[test]
+fn dead_connection_fails_pending_and_future_requests() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        // Read one request, then hang up without answering.
+        let _ = read_raw_frame(&mut conn);
+    });
+
+    let client = tcp::Client::connect(addr).expect("connect");
+    let reply = client
+        .submit("acme", Op::Square { a: b"opaque" })
+        .expect("submit");
+    match reply.wait() {
+        Err(ServeError::Io(_)) => {}
+        other => panic!("expected an I/O failure, got {other:?}"),
+    }
+    server.join().expect("server thread");
+
+    // The client knows the connection is dead; no new request hangs.
+    match client.submit("acme", Op::Square { a: b"opaque" }) {
+        Err(ServeError::Io(_)) => {}
+        other => panic!("expected fail-fast on a dead connection, got {other:?}"),
+    }
+}

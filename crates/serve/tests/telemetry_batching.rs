@@ -39,6 +39,8 @@ fn batched_rotations_hoist_once() {
         ctx.default_scale(),
     );
     let ct = keys.public().encrypt(&pt, &mut rng);
+    // Retained for the sharded sections below.
+    let (ct_ctx, ct_keys) = (ctx.clone(), keys.clone());
 
     let service = EvalService::start(ServiceConfig::default());
     service.register_tenant("acme", ctx, keys);
@@ -101,4 +103,90 @@ fn batched_rotations_hoist_once() {
     assert_eq!(count(&batched, "serve.batch.size"), 1);
     assert_eq!(items(&batched, "serve.batch.size"), steps.len() as u64);
     assert_eq!(items(&batched, "serve.dequeue"), steps.len() as u64);
+    service.shutdown();
+
+    // Sharded affinity: with four dispatcher shards, one tenant's
+    // rotations still land on a single shard and still coalesce into one
+    // hoist — sharding must not break the coalescing window.
+    let (ctx, keys) = (ct_ctx.clone(), ct_keys.clone());
+    let sharded = EvalService::start(ServiceConfig {
+        shards: 4,
+        ..ServiceConfig::default()
+    });
+    sharded.register_tenant("acme", ctx, keys);
+    let home = sharded.shard_of("acme");
+    let before = Registry::global().snapshot();
+    sharded.suspend();
+    let tickets: Vec<_> = steps
+        .iter()
+        .map(|&s| {
+            sharded
+                .submit(
+                    "acme",
+                    Request::Rotate {
+                        a: ct.clone(),
+                        steps: s,
+                    },
+                )
+                .expect("submit")
+        })
+        .collect();
+    sharded.resume();
+    for t in tickets {
+        t.wait().expect("rotation");
+    }
+    let diff = Registry::global().snapshot().since(&before);
+    assert_eq!(
+        count(&diff, "keyswitch.hoist"),
+        1,
+        "affinity must keep the coalesced batch on one shard"
+    );
+    assert_eq!(
+        items(&diff, &format!("serve.shard.{home}")),
+        steps.len() as u64,
+        "all jobs must land on the tenant's affine shard"
+    );
+    let (_, all_shard_items) = diff.sum_prefix("serve.shard.");
+    assert_eq!(
+        all_shard_items,
+        steps.len() as u64,
+        "no other shard may have run this tenant's jobs"
+    );
+    assert_eq!(items(&diff, "serve.steal"), 0, "nothing to steal here");
+    sharded.shutdown();
+
+    // Work stealing: a deep backlog on one shard with singleton batches
+    // makes the idle sibling steal-eligible (len > max_batch). A couple
+    // of rounds absorb scheduler luck on small hosts.
+    let mut stole = 0;
+    for round in 0..3 {
+        let stealing = EvalService::start(ServiceConfig {
+            shards: 2,
+            max_batch: 1,
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        });
+        stealing.register_tenant("acme", ct_ctx.clone(), ct_keys.clone());
+        let before = Registry::global().snapshot();
+        stealing.suspend();
+        let tickets: Vec<_> = (0..32)
+            .map(|_| {
+                stealing
+                    .submit("acme", Request::Square { a: ct.clone() })
+                    .expect("submit")
+            })
+            .collect();
+        stealing.resume();
+        for t in tickets {
+            t.wait().expect("square");
+        }
+        let diff = Registry::global().snapshot().since(&before);
+        stole = items(&diff, "serve.steal");
+        stealing.shutdown();
+        if stole > 0 {
+            break;
+        }
+        eprintln!("round {round}: no steal observed, retrying");
+    }
+    assert!(stole > 0, "sibling worker never stole from the hot shard");
 }

@@ -233,6 +233,14 @@ impl Registry {
         map.entry(name.to_string()).or_default().clone()
     }
 
+    /// Resolves the metric for an indexed scope family, `"{base}{index}"`
+    /// — e.g. `scope_indexed("serve.shard", 2)` → `serve.shard2`. Sharded
+    /// subsystems use one scope per lane/worker so imbalance is visible in
+    /// a snapshot, while [`Snapshot::sum_prefix`] recovers the aggregate.
+    pub fn scope_indexed(&self, base: &str, index: usize) -> Arc<Metric> {
+        self.scope(&format!("{base}{index}"))
+    }
+
     /// Registers an externally created metric under `name` (used to expose
     /// instance-local counters, e.g. one operator pool's, in a snapshot
     /// namespace). Replaces any previous metric of that name.
@@ -331,6 +339,15 @@ impl Snapshot {
             .iter()
             .filter(|s| s.name.starts_with(prefix))
             .collect()
+    }
+
+    /// Aggregate `(count, items)` over every scope whose name starts with
+    /// `prefix` — the rollup view of an indexed scope family such as the
+    /// per-shard `serve.shard{N}.*` counters.
+    pub fn sum_prefix(&self, prefix: &str) -> (u64, u64) {
+        self.with_prefix(prefix)
+            .iter()
+            .fold((0, 0), |(c, i), s| (c + s.count, i + s.items))
     }
 
     /// The scope-by-scope difference `self − earlier` (counters only;

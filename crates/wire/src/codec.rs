@@ -1,0 +1,177 @@
+//! The [`WireCodec`] trait: one encode/decode surface for every framed
+//! CKKS object.
+//!
+//! The crate grew up as free `encode_*`/`decode_*` function pairs; this
+//! module unifies them behind a single trait so generic serving and
+//! storage layers can marshal any object the same way:
+//!
+//! ```
+//! use he_ckks::prelude::*;
+//! use poseidon_wire::WireCodec;
+//!
+//! let ctx = CkksContext::new(CkksParams::toy());
+//! let mut rng = rand::thread_rng();
+//! let keys = KeySet::generate(&ctx, &mut rng);
+//! let pt = Plaintext::new(
+//!     he_rns::RnsPoly::from_i64_coeffs(ctx.chain_basis(), &vec![0i64; ctx.n()]),
+//!     ctx.default_scale(),
+//! );
+//! let ct = keys.public().encrypt(&pt, &mut rng);
+//! let bytes = ct.encode_frame(&ctx);
+//! let back = Ciphertext::decode_frame(&ctx, &bytes).unwrap();
+//! assert_eq!(back.c0(), ct.c0());
+//! ```
+//!
+//! The historical free functions ([`crate::encode_ciphertext`] and
+//! friends) are kept as thin delegates, so nothing downstream had to
+//! move.
+
+use he_ckks::cipher::{Ciphertext, Plaintext};
+use he_ckks::context::CkksContext;
+use he_ckks::keys::KeySwitchKey;
+use he_ckks::params::CkksParams;
+
+use crate::{
+    check_params, decode_with, frame, put_f64, put_ksk, put_params, put_poly, put_u64, take_ksk,
+    take_level, take_params, take_poly, take_scale, Kind, Reader, WireError,
+};
+
+/// A CKKS object that travels as one Poseidon wire frame.
+///
+/// `ctx` supplies the parameter block every payload embeds and the bases
+/// residues are validated against; [`CkksParams`] itself ignores it (a
+/// parameter block is self-describing).
+pub trait WireCodec: Sized {
+    /// The frame kind this object encodes as.
+    const KIND: Kind;
+
+    /// Encodes `self` into a versioned, checksummed frame.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `self` does not belong to `ctx`
+    /// (encoding operates on trusted, locally produced objects).
+    fn encode_frame(&self, ctx: &CkksContext) -> Vec<u8>;
+
+    /// Decodes one frame against `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::ContextMismatch`] if the frame was encoded for
+    /// different parameters; any other [`WireError`] on malformed,
+    /// truncated, or corrupt input.
+    fn decode_frame(ctx: &CkksContext, bytes: &[u8]) -> Result<Self, WireError>;
+}
+
+impl WireCodec for CkksParams {
+    const KIND: Kind = Kind::Params;
+
+    fn encode_frame(&self, _ctx: &CkksContext) -> Vec<u8> {
+        encode_params_frame(self)
+    }
+
+    fn decode_frame(_ctx: &CkksContext, bytes: &[u8]) -> Result<Self, WireError> {
+        decode_params_frame(bytes)
+    }
+}
+
+/// Context-free body of [`CkksParams::encode_frame`] (also backs the free
+/// [`crate::encode_params`], which has no context to hand).
+pub(crate) fn encode_params_frame(params: &CkksParams) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    put_params(&mut payload, params);
+    frame(Kind::Params, 0, payload)
+}
+
+/// Context-free body of [`CkksParams::decode_frame`].
+pub(crate) fn decode_params_frame(bytes: &[u8]) -> Result<CkksParams, WireError> {
+    decode_with(bytes, Kind::Params, |_flags, payload| {
+        let mut r = Reader::new(payload);
+        let params = take_params(&mut r)?;
+        r.finish()?;
+        Ok(params)
+    })
+}
+
+impl WireCodec for Plaintext {
+    const KIND: Kind = Kind::Plaintext;
+
+    fn encode_frame(&self, ctx: &CkksContext) -> Vec<u8> {
+        let level = self.poly().level_count() - 1;
+        assert!(level < ctx.chain_basis().len(), "plaintext outside context");
+        let mut payload = Vec::with_capacity(64 + 16 + self.poly().level_count() * ctx.n() * 8);
+        put_params(&mut payload, ctx.params());
+        put_u64(&mut payload, level as u64);
+        put_f64(&mut payload, self.scale());
+        put_poly(&mut payload, self.poly());
+        frame(Kind::Plaintext, 0, payload)
+    }
+
+    fn decode_frame(ctx: &CkksContext, bytes: &[u8]) -> Result<Self, WireError> {
+        decode_with(bytes, Kind::Plaintext, |_flags, payload| {
+            let mut r = Reader::new(payload);
+            check_params(ctx, &mut r)?;
+            let level = take_level(ctx, &mut r)?;
+            let scale = take_scale(&mut r)?;
+            let basis = ctx.level_basis(level);
+            let poly = take_poly(&mut r, &basis)?;
+            r.finish()?;
+            Ok(Plaintext::new(poly, scale))
+        })
+    }
+}
+
+impl WireCodec for Ciphertext {
+    const KIND: Kind = Kind::Ciphertext;
+
+    fn encode_frame(&self, ctx: &CkksContext) -> Vec<u8> {
+        assert!(
+            self.level() < ctx.chain_basis().len(),
+            "ciphertext outside context"
+        );
+        let mut payload = Vec::with_capacity(64 + 16 + 2 * (self.level() + 1) * ctx.n() * 8);
+        put_params(&mut payload, ctx.params());
+        put_u64(&mut payload, self.level() as u64);
+        put_f64(&mut payload, self.scale());
+        put_poly(&mut payload, self.c0());
+        put_poly(&mut payload, self.c1());
+        frame(Kind::Ciphertext, 0, payload)
+    }
+
+    fn decode_frame(ctx: &CkksContext, bytes: &[u8]) -> Result<Self, WireError> {
+        decode_with(bytes, Kind::Ciphertext, |_flags, payload| {
+            let mut r = Reader::new(payload);
+            check_params(ctx, &mut r)?;
+            let level = take_level(ctx, &mut r)?;
+            let scale = take_scale(&mut r)?;
+            let basis = ctx.level_basis(level);
+            let c0 = take_poly(&mut r, &basis)?;
+            let c1 = take_poly(&mut r, &basis)?;
+            r.finish()?;
+            Ok(Ciphertext::new(c0, c1, scale))
+        })
+    }
+}
+
+impl WireCodec for KeySwitchKey {
+    const KIND: Kind = Kind::KeySwitchKey;
+
+    fn encode_frame(&self, ctx: &CkksContext) -> Vec<u8> {
+        let full_rows = ctx.full_basis().len();
+        let mut payload =
+            Vec::with_capacity(64 + 8 + self.pairs().len() * 2 * full_rows * ctx.n() * 8);
+        put_params(&mut payload, ctx.params());
+        put_ksk(&mut payload, self);
+        frame(Kind::KeySwitchKey, 0, payload)
+    }
+
+    fn decode_frame(ctx: &CkksContext, bytes: &[u8]) -> Result<Self, WireError> {
+        decode_with(bytes, Kind::KeySwitchKey, |_flags, payload| {
+            let mut r = Reader::new(payload);
+            check_params(ctx, &mut r)?;
+            let key = take_ksk(ctx, &mut r)?;
+            r.finish()?;
+            Ok(key)
+        })
+    }
+}

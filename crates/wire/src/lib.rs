@@ -64,7 +64,7 @@ use he_rns::{Form, RnsBasis, RnsPoly};
 
 /// Telemetry scopes for frame marshalling (items = frame bytes).
 #[cfg(feature = "telemetry")]
-mod tel {
+pub(crate) mod tel {
     use poseidon_telemetry::{Metric, Registry};
     use std::sync::{Arc, OnceLock};
 
@@ -80,6 +80,18 @@ mod tel {
     scope_fn!(encode, "wire.encode");
     scope_fn!(decode, "wire.decode");
 }
+
+mod chunk;
+mod codec;
+mod pool;
+mod view;
+
+pub use chunk::{chunk_keyset, KeysetAssembler, KEYSET_CHUNK_BYTES, MAX_KEYSET_BYTES};
+pub use codec::WireCodec;
+pub use pool::BufferPool;
+pub use view::{
+    decode_ciphertext_pooled, decode_plaintext_pooled, CiphertextView, FrameView, PlaintextView,
+};
 
 /// Frame magic: the first eight bytes of every Poseidon wire frame.
 pub const MAGIC: [u8; 8] = *b"PSDNWIRE";
@@ -109,6 +121,9 @@ pub enum Kind {
     KeySwitchKey,
     /// A full key set (public + relin + Galois keys, secret optional).
     KeySet,
+    /// One slice of a chunked [`Kind::KeySet`] frame (streamed
+    /// provisioning; see [`chunk_keyset`] / [`KeysetAssembler`]).
+    KeySetChunk,
 }
 
 impl Kind {
@@ -119,6 +134,7 @@ impl Kind {
             Kind::Ciphertext => 3,
             Kind::KeySwitchKey => 4,
             Kind::KeySet => 5,
+            Kind::KeySetChunk => 6,
         }
     }
 
@@ -129,6 +145,7 @@ impl Kind {
             3 => Some(Kind::Ciphertext),
             4 => Some(Kind::KeySwitchKey),
             5 => Some(Kind::KeySet),
+            6 => Some(Kind::KeySetChunk),
             _ => None,
         }
     }
@@ -142,6 +159,7 @@ impl fmt::Display for Kind {
             Kind::Ciphertext => "ciphertext",
             Kind::KeySwitchKey => "keyswitch-key",
             Kind::KeySet => "keyset",
+            Kind::KeySetChunk => "keyset-chunk",
         };
         f.write_str(s)
     }
@@ -259,21 +277,21 @@ pub fn checksum(region: &[u8]) -> u64 {
 // Fallible reader / writer primitives
 // ---------------------------------------------------------------------------
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated {
                 needed: n,
@@ -285,17 +303,17 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn f64(&mut self) -> Result<f64, WireError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
     /// Rejects trailing bytes after the last expected field.
-    fn finish(&self) -> Result<(), WireError> {
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
         if self.remaining() != 0 {
             return Err(WireError::Malformed(format!(
                 "{} trailing payload bytes",
@@ -306,15 +324,15 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-fn put_poly(out: &mut Vec<u8>, p: &RnsPoly) {
+pub(crate) fn put_poly(out: &mut Vec<u8>, p: &RnsPoly) {
     assert_eq!(p.form(), Form::Coeff, "wire polys travel in coeff form");
     for row in p.all_residues() {
         for &w in row {
@@ -326,7 +344,7 @@ fn put_poly(out: &mut Vec<u8>, p: &RnsPoly) {
 /// Reads one residue matrix over `basis`, validating every word against
 /// its prime before any `RnsPoly` is constructed (the constructor would
 /// only debug-assert).
-fn take_poly(r: &mut Reader<'_>, basis: &RnsBasis) -> Result<RnsPoly, WireError> {
+pub(crate) fn take_poly(r: &mut Reader<'_>, basis: &RnsBasis) -> Result<RnsPoly, WireError> {
     let n = basis.n();
     let mut rows = Vec::with_capacity(basis.len());
     for &q in basis.primes() {
@@ -345,7 +363,7 @@ fn take_poly(r: &mut Reader<'_>, basis: &RnsBasis) -> Result<RnsPoly, WireError>
     Ok(RnsPoly::from_residues(basis, rows, Form::Coeff))
 }
 
-fn put_params(out: &mut Vec<u8>, p: &CkksParams) {
+pub(crate) fn put_params(out: &mut Vec<u8>, p: &CkksParams) {
     put_u64(out, p.n as u64);
     put_u64(out, u64::from(p.first_prime_bits));
     put_u64(out, u64::from(p.scale_prime_bits));
@@ -356,7 +374,7 @@ fn put_params(out: &mut Vec<u8>, p: &CkksParams) {
     put_f64(out, p.error_std);
 }
 
-fn to_usize(v: u64, what: &str) -> Result<usize, WireError> {
+pub(crate) fn to_usize(v: u64, what: &str) -> Result<usize, WireError> {
     usize::try_from(v).map_err(|_| WireError::Malformed(format!("{what} exceeds address width")))
 }
 
@@ -364,7 +382,7 @@ fn to_u32(v: u64, what: &str) -> Result<u32, WireError> {
     u32::try_from(v).map_err(|_| WireError::Malformed(format!("{what} out of range")))
 }
 
-fn take_params(r: &mut Reader<'_>) -> Result<CkksParams, WireError> {
+pub(crate) fn take_params(r: &mut Reader<'_>) -> Result<CkksParams, WireError> {
     let params = CkksParams {
         n: to_usize(r.u64()?, "ring degree")?,
         first_prime_bits: to_u32(r.u64()?, "first prime bits")?,
@@ -381,7 +399,7 @@ fn take_params(r: &mut Reader<'_>) -> Result<CkksParams, WireError> {
     Ok(params)
 }
 
-fn check_params(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<(), WireError> {
+pub(crate) fn check_params(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<(), WireError> {
     let params = take_params(r)?;
     if &params != ctx.params() {
         return Err(WireError::ContextMismatch(format!(
@@ -398,7 +416,7 @@ fn check_params(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<(), WireError> 
     Ok(())
 }
 
-fn take_level(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<usize, WireError> {
+pub(crate) fn take_level(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<usize, WireError> {
     let level = to_usize(r.u64()?, "level")?;
     if level >= ctx.chain_basis().len() {
         return Err(WireError::Malformed(format!(
@@ -409,7 +427,7 @@ fn take_level(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<usize, WireError>
     Ok(level)
 }
 
-fn take_scale(r: &mut Reader<'_>) -> Result<f64, WireError> {
+pub(crate) fn take_scale(r: &mut Reader<'_>) -> Result<f64, WireError> {
     let scale = r.f64()?;
     if !scale.is_finite() || scale <= 0.0 {
         return Err(WireError::Malformed(format!("invalid scale {scale}")));
@@ -421,7 +439,7 @@ fn take_scale(r: &mut Reader<'_>) -> Result<f64, WireError> {
 // Frame assembly / parsing
 // ---------------------------------------------------------------------------
 
-fn frame(kind: Kind, flags: u8, payload: Vec<u8>) -> Vec<u8> {
+pub(crate) fn frame(kind: Kind, flags: u8, payload: Vec<u8>) -> Vec<u8> {
     #[cfg(feature = "telemetry")]
     let _span = tel::encode().span((HEADER_LEN + payload.len() + TRAILER_LEN) as u64);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
@@ -494,7 +512,7 @@ pub fn peek_kind(bytes: &[u8]) -> Result<Kind, WireError> {
 /// Runs a decoder body against the frame, with the corrupt-on-decode fault
 /// hook applied first (a copy of the bytes is tampered, modelling link
 /// corruption — the original buffer is never touched).
-fn decode_with<T>(
+pub(crate) fn decode_with<T>(
     bytes: &[u8],
     want: Kind,
     f: impl FnOnce(u8, &[u8]) -> Result<T, WireError>,
@@ -528,11 +546,10 @@ fn decode_with<T>(
 // Params
 // ---------------------------------------------------------------------------
 
-/// Encodes a bare parameter block.
+/// Encodes a bare parameter block. Delegates to [`WireCodec`] (the
+/// context argument is not needed for parameters).
 pub fn encode_params(params: &CkksParams) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(64);
-    put_params(&mut payload, params);
-    frame(Kind::Params, 0, payload)
+    codec::encode_params_frame(params)
 }
 
 /// Decodes a bare parameter block (validated, but no context is built).
@@ -541,12 +558,7 @@ pub fn encode_params(params: &CkksParams) -> Vec<u8> {
 ///
 /// Any [`WireError`] on malformed/truncated/corrupt input.
 pub fn decode_params(bytes: &[u8]) -> Result<CkksParams, WireError> {
-    decode_with(bytes, Kind::Params, |_flags, payload| {
-        let mut r = Reader::new(payload);
-        let params = take_params(&mut r)?;
-        r.finish()?;
-        Ok(params)
-    })
+    codec::decode_params_frame(bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -560,14 +572,7 @@ pub fn decode_params(bytes: &[u8]) -> Result<CkksParams, WireError> {
 /// Panics if the plaintext does not belong to `ctx` (level wider than the
 /// chain) — encoding operates on trusted, locally-produced objects.
 pub fn encode_plaintext(ctx: &CkksContext, pt: &Plaintext) -> Vec<u8> {
-    let level = pt.poly().level_count() - 1;
-    assert!(level < ctx.chain_basis().len(), "plaintext outside context");
-    let mut payload = Vec::with_capacity(64 + 16 + pt.poly().level_count() * ctx.n() * 8);
-    put_params(&mut payload, ctx.params());
-    put_u64(&mut payload, level as u64);
-    put_f64(&mut payload, pt.scale());
-    put_poly(&mut payload, pt.poly());
-    frame(Kind::Plaintext, 0, payload)
+    pt.encode_frame(ctx)
 }
 
 /// Decodes a plaintext against `ctx`.
@@ -577,16 +582,7 @@ pub fn encode_plaintext(ctx: &CkksContext, pt: &Plaintext) -> Vec<u8> {
 /// [`WireError::ContextMismatch`] if the frame was encoded for different
 /// parameters; any other [`WireError`] on malformed input.
 pub fn decode_plaintext(ctx: &CkksContext, bytes: &[u8]) -> Result<Plaintext, WireError> {
-    decode_with(bytes, Kind::Plaintext, |_flags, payload| {
-        let mut r = Reader::new(payload);
-        check_params(ctx, &mut r)?;
-        let level = take_level(ctx, &mut r)?;
-        let scale = take_scale(&mut r)?;
-        let basis = ctx.level_basis(level);
-        let poly = take_poly(&mut r, &basis)?;
-        r.finish()?;
-        Ok(Plaintext::new(poly, scale))
-    })
+    Plaintext::decode_frame(ctx, bytes)
 }
 
 /// Encodes a ciphertext at its level.
@@ -595,17 +591,7 @@ pub fn decode_plaintext(ctx: &CkksContext, bytes: &[u8]) -> Result<Plaintext, Wi
 ///
 /// Panics if the ciphertext does not belong to `ctx`.
 pub fn encode_ciphertext(ctx: &CkksContext, ct: &Ciphertext) -> Vec<u8> {
-    assert!(
-        ct.level() < ctx.chain_basis().len(),
-        "ciphertext outside context"
-    );
-    let mut payload = Vec::with_capacity(64 + 16 + 2 * (ct.level() + 1) * ctx.n() * 8);
-    put_params(&mut payload, ctx.params());
-    put_u64(&mut payload, ct.level() as u64);
-    put_f64(&mut payload, ct.scale());
-    put_poly(&mut payload, ct.c0());
-    put_poly(&mut payload, ct.c1());
-    frame(Kind::Ciphertext, 0, payload)
+    ct.encode_frame(ctx)
 }
 
 /// Decodes a ciphertext against `ctx`.
@@ -615,24 +601,14 @@ pub fn encode_ciphertext(ctx: &CkksContext, ct: &Ciphertext) -> Vec<u8> {
 /// [`WireError::ContextMismatch`] if the frame was encoded for different
 /// parameters; any other [`WireError`] on malformed input.
 pub fn decode_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, WireError> {
-    decode_with(bytes, Kind::Ciphertext, |_flags, payload| {
-        let mut r = Reader::new(payload);
-        check_params(ctx, &mut r)?;
-        let level = take_level(ctx, &mut r)?;
-        let scale = take_scale(&mut r)?;
-        let basis = ctx.level_basis(level);
-        let c0 = take_poly(&mut r, &basis)?;
-        let c1 = take_poly(&mut r, &basis)?;
-        r.finish()?;
-        Ok(Ciphertext::new(c0, c1, scale))
-    })
+    Ciphertext::decode_frame(ctx, bytes)
 }
 
 // ---------------------------------------------------------------------------
 // Keys
 // ---------------------------------------------------------------------------
 
-fn put_ksk(out: &mut Vec<u8>, key: &KeySwitchKey) {
+pub(crate) fn put_ksk(out: &mut Vec<u8>, key: &KeySwitchKey) {
     put_u64(out, key.pairs().len() as u64);
     for (b, a) in key.pairs() {
         put_poly(out, b);
@@ -640,7 +616,7 @@ fn put_ksk(out: &mut Vec<u8>, key: &KeySwitchKey) {
     }
 }
 
-fn take_ksk(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<KeySwitchKey, WireError> {
+pub(crate) fn take_ksk(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<KeySwitchKey, WireError> {
     let count = to_usize(r.u64()?, "key pair count")?;
     let chain_len = ctx.chain_basis().len();
     if count != chain_len {
@@ -661,11 +637,7 @@ fn take_ksk(ctx: &CkksContext, r: &mut Reader<'_>) -> Result<KeySwitchKey, WireE
 /// Encodes one keyswitching key (digit pairs over `Q ∪ P`, coeff form;
 /// the eval-form cache is rebuilt on decode, bit-identically).
 pub fn encode_keyswitch_key(ctx: &CkksContext, key: &KeySwitchKey) -> Vec<u8> {
-    let full_rows = ctx.full_basis().len();
-    let mut payload = Vec::with_capacity(64 + 8 + key.pairs().len() * 2 * full_rows * ctx.n() * 8);
-    put_params(&mut payload, ctx.params());
-    put_ksk(&mut payload, key);
-    frame(Kind::KeySwitchKey, 0, payload)
+    key.encode_frame(ctx)
 }
 
 /// Decodes one keyswitching key against `ctx`.
@@ -675,13 +647,7 @@ pub fn encode_keyswitch_key(ctx: &CkksContext, key: &KeySwitchKey) -> Vec<u8> {
 /// [`WireError::ContextMismatch`] for foreign parameters; any other
 /// [`WireError`] on malformed input.
 pub fn decode_keyswitch_key(ctx: &CkksContext, bytes: &[u8]) -> Result<KeySwitchKey, WireError> {
-    decode_with(bytes, Kind::KeySwitchKey, |_flags, payload| {
-        let mut r = Reader::new(payload);
-        check_params(ctx, &mut r)?;
-        let key = take_ksk(ctx, &mut r)?;
-        r.finish()?;
-        Ok(key)
-    })
+    KeySwitchKey::decode_frame(ctx, bytes)
 }
 
 fn zigzag(v: i64) -> u64 {

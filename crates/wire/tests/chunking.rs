@@ -1,0 +1,138 @@
+//! Chunked keyset streaming: slicing + reassembly must reproduce the
+//! original frame bit-for-bit, and every stream violation is a typed
+//! error that resets the assembler.
+
+use he_ckks::context::CkksContext;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use poseidon_wire::{chunk_keyset, KeysetAssembler, WireError, KEYSET_CHUNK_BYTES};
+use rand::SeedableRng;
+
+fn tiny_params() -> CkksParams {
+    CkksParams {
+        n: 16,
+        first_prime_bits: 30,
+        scale_prime_bits: 25,
+        chain_len: 3,
+        special_len: 1,
+        special_prime_bits: 31,
+        scale: (1u64 << 25) as f64,
+        error_std: 3.2,
+    }
+}
+
+fn keyset_frame() -> Vec<u8> {
+    let ctx = CkksContext::new(tiny_params());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    keys.add_rotation_key(1, &mut rng);
+    poseidon_wire::encode_keyset_public(&ctx, &keys)
+}
+
+#[test]
+fn chunk_and_reassemble_is_bit_identical() {
+    let frame = keyset_frame();
+    for chunk_bytes in [64usize, 1000, 4096, KEYSET_CHUNK_BYTES] {
+        let chunks = chunk_keyset(&frame, chunk_bytes);
+        assert_eq!(chunks.len(), frame.len().div_ceil(chunk_bytes));
+        let mut asm = KeysetAssembler::new();
+        let mut done = None;
+        for (i, c) in chunks.iter().enumerate() {
+            let got = asm.accept(c).unwrap();
+            if i + 1 < chunks.len() {
+                assert!(got.is_none(), "stream completed early at chunk {i}");
+            } else {
+                done = got;
+            }
+        }
+        let rebuilt = done.expect("final chunk completes the stream");
+        assert_eq!(rebuilt, frame);
+        // The reassembled frame is a real keyset frame.
+        let (ctx, keys) = poseidon_wire::decode_keyset(&rebuilt).unwrap();
+        assert_eq!(ctx.params(), &tiny_params());
+        assert!(keys.galois_entries().iter().any(|(g, _)| *g > 0));
+    }
+}
+
+#[test]
+fn single_chunk_stream_completes_immediately() {
+    let frame = keyset_frame();
+    let chunks = chunk_keyset(&frame, frame.len());
+    assert_eq!(chunks.len(), 1);
+    let mut asm = KeysetAssembler::new();
+    assert_eq!(asm.accept(&chunks[0]).unwrap().unwrap(), frame);
+    // The assembler is reusable for a second stream.
+    assert_eq!(asm.accept(&chunks[0]).unwrap().unwrap(), frame);
+}
+
+#[test]
+fn out_of_order_and_duplicate_chunks_are_rejected() {
+    let frame = keyset_frame();
+    let chunks = chunk_keyset(&frame, 1000);
+    assert!(chunks.len() >= 3);
+
+    let mut asm = KeysetAssembler::new();
+    // Starting mid-stream.
+    assert!(matches!(
+        asm.accept(&chunks[1]),
+        Err(WireError::Malformed(_))
+    ));
+    // A duplicate of the chunk just accepted.
+    asm.accept(&chunks[0]).unwrap();
+    assert!(matches!(
+        asm.accept(&chunks[0]),
+        Err(WireError::Malformed(_))
+    ));
+    // The error reset the stream: a clean retry from zero succeeds.
+    assert_eq!(asm.received(), 0);
+    for (i, c) in chunks.iter().enumerate() {
+        let got = asm.accept(c).unwrap();
+        assert_eq!(got.is_some(), i + 1 == chunks.len());
+    }
+}
+
+#[test]
+fn inconsistent_totals_are_rejected() {
+    let frame = keyset_frame();
+    let chunks_a = chunk_keyset(&frame, 1000);
+    let chunks_b = chunk_keyset(&frame, 2000);
+    let mut asm = KeysetAssembler::new();
+    asm.accept(&chunks_a[0]).unwrap();
+    // chunk 1 of a stream sliced differently declares other totals.
+    assert!(matches!(
+        asm.accept(&chunks_b[1]),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+#[test]
+fn hostile_declared_size_is_rejected_before_allocation() {
+    // Hand-build a chunk claiming a multi-GB keyset.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes()); // index
+    payload.extend_from_slice(&2u64.to_le_bytes()); // total_chunks
+    payload.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // total_len
+    payload.extend_from_slice(&[0u8; 32]);
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&poseidon_wire::MAGIC);
+    evil.extend_from_slice(&poseidon_wire::VERSION.to_le_bytes());
+    evil.push(6); // Kind::KeySetChunk
+    evil.push(0);
+    evil.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    evil.extend_from_slice(&payload);
+    let sum = poseidon_wire::checksum(&evil[8..]);
+    evil.extend_from_slice(&sum.to_le_bytes());
+
+    let mut asm = KeysetAssembler::new();
+    assert!(matches!(asm.accept(&evil), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn non_chunk_frames_are_kind_mismatches() {
+    let frame = keyset_frame();
+    let mut asm = KeysetAssembler::new();
+    assert!(matches!(
+        asm.accept(&frame),
+        Err(WireError::KindMismatch { .. })
+    ));
+}

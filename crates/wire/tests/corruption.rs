@@ -55,6 +55,9 @@ fn decode_any(ctx: &CkksContext, bytes: &[u8]) -> Result<(), WireError> {
         Ok(Kind::Ciphertext) => poseidon_wire::decode_ciphertext(ctx, bytes).map(|_| ()),
         Ok(Kind::KeySwitchKey) => poseidon_wire::decode_keyswitch_key(ctx, bytes).map(|_| ()),
         Ok(Kind::KeySet) => poseidon_wire::decode_keyset(bytes).map(|_| ()),
+        Ok(Kind::KeySetChunk) => poseidon_wire::KeysetAssembler::new()
+            .accept(bytes)
+            .map(|_| ()),
         Err(e) => Err(e),
     }
 }
@@ -179,6 +182,7 @@ fn reframe(original: &[u8], mangle: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
         Kind::Ciphertext => 3,
         Kind::KeySwitchKey => 4,
         Kind::KeySet => 5,
+        Kind::KeySetChunk => 6,
     });
     out.push(if kind == Kind::KeySet { 1 } else { 0 });
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
