@@ -2,6 +2,7 @@
 //! shared by the `tables` binary and the Criterion benches.
 
 pub mod cpu_baseline;
+pub mod planner;
 pub mod serve_scale;
 pub mod tables;
 

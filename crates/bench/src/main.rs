@@ -1,7 +1,12 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|serve|serve_scale]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|serve|serve_scale|plan]`
+//!
+//! `tables plan` (build with `--features telemetry`) compiles every
+//! shipped `.pos` program through the graph-level evaluation planner and
+//! prints unplanned-vs-planned forward-NTT counts, hoist batch sizes,
+//! rescale placement and wall time, exporting `BENCH_planner.json`.
 //!
 //! `tables serve_scale` sweeps the sharded serving stack (blocking
 //! baseline vs the pipelined mux client at 1/2/4 shards and 1/4
@@ -22,7 +27,7 @@
 //! columns come from this reproduction. EXPERIMENTS.md records the
 //! comparison.
 
-use poseidon_bench::tables;
+use poseidon_bench::{planner, tables};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -69,6 +74,7 @@ fn main() {
     run("faults", tables::faults);
     run("serve", tables::serve);
     run("serve_scale", tables::serve_scale);
+    run("plan", planner::plan);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

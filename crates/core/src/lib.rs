@@ -23,12 +23,17 @@
 //! * [`ops`] — [`HomomorphicOps`], the basic-operation surface shared by
 //!   the evaluator, the trace recorder, and the machine, so one workload
 //!   definition drives any backend.
+//! * [`plan`] — the evaluation planner (software HFAuto): SSA dataflow
+//!   capture, cross-graph rotation hoisting, noise-aware rescale
+//!   placement, dead-value elimination, live-range scheduling, and a
+//!   backend-generic plan executor, plus the `.pos` compile pipeline.
 
 pub mod auto;
 pub mod decompose;
 pub mod machine;
 pub mod operator;
 pub mod ops;
+pub mod plan;
 pub mod pool;
 pub mod recorder;
 
@@ -37,4 +42,5 @@ pub use decompose::{BasicOp, OpParams};
 pub use machine::PoseidonMachine;
 pub use operator::{Operator, OperatorCounts};
 pub use ops::HomomorphicOps;
+pub use plan::{EvalGraph, Plan, PlanOptions};
 pub use pool::OperatorPool;

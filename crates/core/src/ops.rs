@@ -328,7 +328,7 @@ impl HomomorphicOps for RecordingEvaluator {
     }
 
     fn try_mul_plain(&mut self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
-        Ok(RecordingEvaluator::mul_plain(self, a, pt))
+        RecordingEvaluator::try_mul_plain(self, a, pt)
     }
 
     fn try_mul(
@@ -349,8 +349,9 @@ impl HomomorphicOps for RecordingEvaluator {
     }
 
     fn try_drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Result<Ciphertext, EvalError> {
-        // Free data movement — nothing to record.
-        self.inner().try_drop_to_level(a, level)
+        // Free data movement — no hardware-trace entry, but the dataflow
+        // graph records the descent.
+        RecordingEvaluator::try_drop_to_level(self, a, level)
     }
 
     fn try_rotate(

@@ -1,0 +1,442 @@
+//! `.pos` front end: lowers a flat [`OpTrace`] (the format
+//! `sim::program::parse` produces) into an executable [`EvalGraph`].
+//!
+//! A `.pos` file is an op-count stream at *hardware* scale (ring degree
+//! 2^16, virtual levels up to 57, repetition counts in the hundreds) —
+//! there is no dataflow in the file. The lowering synthesises a
+//! deterministic dataflow with the same operational shape, sized for the
+//! executing context:
+//!
+//! * A **current value** `cur` accumulates the computation; rotation and
+//!   keyswitch entries spread it into a **fan** of parallel terms
+//!   (rotations by cycling step counts), `pmult` masks each term,
+//!   `rescale` rescales each term, `hadd` reduces the fan back into
+//!   `cur` — the BSGS diagonal-matvec shape.
+//! * Repetition counts are capped at [`CompileOptions::count_cap`]
+//!   (dropped work is reported in [`CompiledProgram::truncated`], never
+//!   silently).
+//! * Virtual levels are mapped onto the context's chain by ratio; level
+//!   descents become `drop_to_level` nodes.
+//! * A **pressure rule** keeps the tracked scale decryptable at every
+//!   step: an operation that would push `log2(scale)` within
+//!   [`SCALE_MARGIN_BITS`] of the live modulus bits forces an eager
+//!   rescale, or — when no level is left — a **segment reset**: the
+//!   current value is marked as a graph output and lowering restarts
+//!   from a fresh top-level input ([`CompiledProgram::segments`] counts
+//!   these).
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+
+use crate::decompose::{BasicOp, OpTrace};
+use crate::plan::graph::{EvalGraph, ValueId};
+
+/// Decryption headroom: the tracked scale must stay this many bits below
+/// the live modulus product.
+pub const SCALE_MARGIN_BITS: f64 = 10.0;
+
+/// Lowering knobs.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Per-entry repetition cap (`.pos` counts above this are truncated
+    /// and reported).
+    pub count_cap: u64,
+    /// Rotation steps cycle through `1..=max_rotation_step`.
+    pub max_rotation_step: i64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            count_cap: 8,
+            max_rotation_step: 8,
+        }
+    }
+}
+
+/// A lowered `.pos` program.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// The executable dataflow graph.
+    pub graph: EvalGraph,
+    /// Operations the cap dropped (sum over entries of `count - emitted`).
+    pub truncated: u64,
+    /// Number of lowering segments (1 + resets forced by exhausted
+    /// level/scale budget).
+    pub segments: usize,
+    /// Rotation steps the graph uses (generate these keys before
+    /// executing).
+    pub rotation_steps: Vec<i64>,
+}
+
+struct Lowering<'a> {
+    g: EvalGraph,
+    ctx: &'a CkksContext,
+    opts: &'a CompileOptions,
+    cur: ValueId,
+    fan: Vec<ValueId>,
+    pt_counter: usize,
+    truncated: u64,
+    segments: usize,
+    rot_cursor: i64,
+    default_bits: f64,
+}
+
+impl<'a> Lowering<'a> {
+    fn new(ctx: &'a CkksContext, opts: &'a CompileOptions) -> Self {
+        let default_bits = ctx.default_scale().log2();
+        let mut g = EvalGraph::new(f64::from(ctx.params().scale_prime_bits));
+        let cur = g.input(ctx.max_level(), default_bits);
+        Self {
+            g,
+            ctx,
+            opts,
+            cur,
+            fan: Vec::new(),
+            pt_counter: 0,
+            truncated: 0,
+            segments: 1,
+            rot_cursor: 0,
+            default_bits,
+        }
+    }
+
+    fn level(&self, v: ValueId) -> usize {
+        self.g.value(v).level
+    }
+
+    fn sb(&self, v: ValueId) -> f64 {
+        self.g.value(v).scale_bits
+    }
+
+    /// Would a value at `level` with `scale_bits` still decrypt?
+    fn fits(&self, level: usize, scale_bits: f64) -> bool {
+        let p = self.ctx.params();
+        let total = f64::from(p.first_prime_bits) + level as f64 * f64::from(p.scale_prime_bits);
+        scale_bits + SCALE_MARGIN_BITS < total
+    }
+
+    fn cap(&mut self, count: u64) -> u64 {
+        let k = count.min(self.opts.count_cap);
+        self.truncated += count - k;
+        k
+    }
+
+    fn next_step(&mut self) -> i64 {
+        self.rot_cursor = self.rot_cursor % self.opts.max_rotation_step + 1;
+        self.rot_cursor
+    }
+
+    /// Encodes a fresh deterministic mask plaintext at `level`. Mask
+    /// magnitudes sit near 0.1 so value growth (8-term reductions,
+    /// squarings) never races the modulus even in deep programs — the
+    /// pressure rule tracks scale bits, not message magnitude.
+    fn plaintext_at(&mut self, level: usize) -> usize {
+        let slots = 8.min(self.ctx.params().n / 2);
+        let z: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new(0.09 + 0.005 * ((self.pt_counter + i) % 8) as f64, 0.0))
+            .collect();
+        self.pt_counter += 1;
+        let basis = self.ctx.level_basis(level);
+        let pt = Plaintext::new(
+            self.ctx
+                .encoder()
+                .encode_rns(&basis, &z, self.ctx.default_scale()),
+            self.ctx.default_scale(),
+        );
+        self.g.intern_plaintext(pt)
+    }
+
+    /// Chain-reduces the fan into `cur` (no-op when the fan is empty).
+    fn reduce(&mut self) {
+        if self.fan.is_empty() {
+            return;
+        }
+        let mut acc = self.fan[0];
+        for i in 1..self.fan.len() {
+            let t = self.fan[i];
+            acc = self.g.add(acc, t);
+        }
+        self.fan.clear();
+        self.cur = acc;
+    }
+
+    /// Exhausted level/scale budget: close the segment (mark `cur` as an
+    /// output) and restart from a fresh top-level input.
+    fn reset(&mut self) {
+        debug_assert!(self.fan.is_empty(), "reset with a pending fan");
+        self.g.mark_output(self.cur);
+        self.cur = self.g.input(self.ctx.max_level(), self.default_bits);
+        self.segments += 1;
+    }
+
+    /// Rescales every fan term once (uniform level/scale by
+    /// construction).
+    fn rescale_fan(&mut self) {
+        let fan = std::mem::take(&mut self.fan);
+        self.fan = fan.into_iter().map(|t| self.g.rescale(t)).collect();
+    }
+
+    /// Level descent requested by the virtual-level mapping.
+    fn maybe_drop(&mut self, target: usize) {
+        if self.fan.is_empty() && target < self.level(self.cur) {
+            self.cur = self.g.drop_to_level(self.cur, target);
+        }
+    }
+
+    /// Makes room on `cur` for an operation that adds `extra_bits` of
+    /// scale. At most one segment reset; if the budget still doesn't fit
+    /// afterwards the operation proceeds anyway (tiny parameter sets).
+    fn make_room(&mut self, extra_bits: f64) {
+        let mut reset_done = false;
+        loop {
+            let (lv, s) = (self.level(self.cur), self.sb(self.cur));
+            if self.fits(lv, s + extra_bits) {
+                return;
+            }
+            if lv > 0 && s > self.default_bits + 0.5 {
+                self.cur = self.g.rescale(self.cur);
+            } else if !reset_done {
+                self.reset();
+                reset_done = true;
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn lower_entry(&mut self, op: BasicOp, target: usize, count: u64) {
+        match op {
+            BasicOp::Rotation | BasicOp::Keyswitch => {
+                self.reduce();
+                self.maybe_drop(target);
+                let k = self.cap(count);
+                self.fan = (0..k)
+                    .map(|_| {
+                        let s = self.next_step();
+                        self.g.rotate(self.cur, s)
+                    })
+                    .collect();
+            }
+            BasicOp::PMult => {
+                if self.fan.is_empty() {
+                    self.maybe_drop(target);
+                    let k = self.cap(count);
+                    self.make_room(self.default_bits);
+                    let lv = self.level(self.cur);
+                    self.fan = (0..k)
+                        .map(|_| {
+                            let pt = self.plaintext_at(lv);
+                            self.g.mul_plain(self.cur, pt)
+                        })
+                        .collect();
+                } else {
+                    // One mask per fan term keeps the fan uniform; excess
+                    // repetitions are truncated.
+                    let n = self.fan.len() as u64;
+                    self.truncated += count.saturating_sub(n);
+                    let (lv, s) = (self.level(self.fan[0]), self.sb(self.fan[0]));
+                    if !self.fits(lv, s + self.default_bits) {
+                        if lv > 0 && s > self.default_bits + 0.5 {
+                            self.rescale_fan();
+                        } else if lv == 0 {
+                            // No scale room at the chain floor — close the
+                            // segment rather than exceed the modulus.
+                            self.reduce();
+                            self.reset();
+                        }
+                    }
+                    if self.fan.is_empty() {
+                        // Segment reset: rebuild the fan from the fresh input.
+                        let k = n.clamp(1, self.opts.count_cap);
+                        let lvc = self.level(self.cur);
+                        self.fan = (0..k)
+                            .map(|_| {
+                                let pt = self.plaintext_at(lvc);
+                                self.g.mul_plain(self.cur, pt)
+                            })
+                            .collect();
+                    } else {
+                        let lv = self.level(self.fan[0]);
+                        let fan = std::mem::take(&mut self.fan);
+                        self.fan = fan
+                            .into_iter()
+                            .map(|t| {
+                                let pt = self.plaintext_at(lv);
+                                self.g.mul_plain(t, pt)
+                            })
+                            .collect();
+                    }
+                }
+            }
+            BasicOp::Rescale => {
+                if !self.fan.is_empty() {
+                    let (lv, s) = (self.level(self.fan[0]), self.sb(self.fan[0]));
+                    if lv > 0 && s > self.default_bits + 0.5 {
+                        self.rescale_fan();
+                    }
+                } else if self.level(self.cur) > 0 && self.sb(self.cur) > self.default_bits + 0.5 {
+                    self.cur = self.g.rescale(self.cur);
+                }
+                // Already at default scale (or level 0): the request is
+                // satisfied vacuously.
+            }
+            BasicOp::HAdd => {
+                let k = self.cap(count);
+                if self.fan.len() >= 2 {
+                    self.reduce();
+                } else {
+                    self.reduce(); // fan of one → cur
+                    for _ in 0..k.min(2) {
+                        self.cur = self.g.add(self.cur, self.cur);
+                    }
+                }
+            }
+            BasicOp::CMult => {
+                self.reduce();
+                self.maybe_drop(target);
+                let k = self.cap(count);
+                for _ in 0..k {
+                    let s = self.sb(self.cur);
+                    self.make_room(s);
+                    self.cur = self.g.square(self.cur);
+                }
+            }
+            BasicOp::Moddown => {
+                self.reduce();
+                let k = self.cap(count) as usize;
+                let lv = self.level(self.cur);
+                let dropped = k.min(lv);
+                if dropped > 0 {
+                    self.cur = self.g.drop_to_level(self.cur, lv - dropped);
+                }
+            }
+            BasicOp::Modup => {
+                // Basis extension has no dataflow effect at this level.
+            }
+        }
+    }
+
+    fn finish(mut self) -> CompiledProgram {
+        self.reduce();
+        self.g.mark_output(self.cur);
+        let rotation_steps = self.g.required_rotation_steps();
+        CompiledProgram {
+            graph: self.g,
+            truncated: self.truncated,
+            segments: self.segments,
+            rotation_steps,
+        }
+    }
+}
+
+/// Lowers a parsed `.pos` trace into an executable graph for `ctx`.
+pub fn compile_trace(trace: &OpTrace, ctx: &CkksContext, opts: &CompileOptions) -> CompiledProgram {
+    let virt_max = trace
+        .entries()
+        .iter()
+        .map(|(_, p, _)| p.components)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let max_level = ctx.max_level();
+    let mut lowering = Lowering::new(ctx, opts);
+    for &(op, params, count) in trace.entries() {
+        let target = ((params.components as f64 / virt_max) * max_level as f64).ceil() as usize;
+        let target = target.min(max_level);
+        lowering.lower_entry(op, target, count);
+    }
+    lowering.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::OpParams;
+    use he_ckks::params::CkksParams;
+
+    fn trace_of(entries: &[(BasicOp, usize, u64)]) -> OpTrace {
+        let mut t = OpTrace::new();
+        for &(op, components, count) in entries {
+            t.push(op, OpParams::new(1 << 16, components, 2), count);
+        }
+        t
+    }
+
+    #[test]
+    fn bsgs_shape_produces_a_rotation_fan() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let trace = trace_of(&[
+            (BasicOp::Rotation, 20, 8),
+            (BasicOp::PMult, 20, 8),
+            (BasicOp::Rescale, 20, 8),
+            (BasicOp::HAdd, 20, 8),
+        ]);
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        assert!(prog.graph.validate().is_ok());
+        assert_eq!(prog.rotation_steps, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(prog.segments, 1);
+        assert_eq!(prog.graph.outputs().len(), 1);
+        // 8 rotations of one source — prime hoisting material.
+        assert_eq!(
+            prog.graph
+                .count_ops(|op| matches!(op, crate::plan::graph::GraphOp::Rotate { .. })),
+            8
+        );
+    }
+
+    #[test]
+    fn counts_are_capped_and_reported() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let trace = trace_of(&[(BasicOp::Rotation, 14, 46), (BasicOp::HAdd, 14, 46)]);
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        assert!(prog.truncated >= 38);
+        assert!(prog.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn deep_mul_chain_respects_scale_budget() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let trace = trace_of(&[
+            (BasicOp::CMult, 30, 4),
+            (BasicOp::Rescale, 29, 4),
+            (BasicOp::CMult, 28, 4),
+        ]);
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        assert!(prog.graph.validate().is_ok());
+        // Every live value stays within the decryption margin.
+        for v in prog.graph.values().iter().filter(|v| !v.is_dead()) {
+            let p = ctx.params();
+            let total =
+                f64::from(p.first_prime_bits) + v.level as f64 * f64::from(p.scale_prime_bits);
+            assert!(
+                v.scale_bits < total,
+                "scale {} exceeds modulus {} at level {}",
+                v.scale_bits,
+                total,
+                v.level
+            );
+        }
+    }
+
+    #[test]
+    fn level_descents_follow_the_virtual_chain() {
+        let ctx = CkksContext::new(CkksParams::small());
+        let trace = trace_of(&[
+            (BasicOp::Keyswitch, 44, 4),
+            (BasicOp::HAdd, 44, 4),
+            (BasicOp::Keyswitch, 32, 4),
+            (BasicOp::HAdd, 32, 4),
+            (BasicOp::Keyswitch, 8, 4),
+            (BasicOp::HAdd, 8, 4),
+        ]);
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        assert!(prog.graph.validate().is_ok());
+        assert!(prog
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, crate::plan::graph::GraphOp::DropToLevel { .. })));
+    }
+}

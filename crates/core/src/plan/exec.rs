@@ -1,0 +1,124 @@
+//! Plan executor: replays an optimized schedule on any
+//! [`HomomorphicOps`] backend.
+//!
+//! The executor owns a slot table (one `Option<Ciphertext>` per SSA
+//! value), binds the caller's input ciphertexts to the graph's `Input`
+//! nodes positionally, walks the schedule, and frees each value's slot
+//! at its last use (the plan's `release` sets) — so peak ciphertext
+//! residency matches the scheduler's `max_live` accounting.
+
+use he_ckks::cipher::Ciphertext;
+use he_ckks::error::EvalError;
+use he_ckks::keys::KeySet;
+
+use crate::ops::HomomorphicOps;
+use crate::plan::graph::{GraphOp, ValueId};
+use crate::plan::passes::Plan;
+
+/// Result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// One ciphertext per graph output, in output-marking order.
+    pub outputs: Vec<Ciphertext>,
+    /// Schedule steps replayed.
+    pub steps: usize,
+    /// Peak number of simultaneously live ciphertext slots.
+    pub max_live: usize,
+}
+
+fn slot(slots: &[Option<Ciphertext>], v: ValueId) -> Result<&Ciphertext, EvalError> {
+    slots[v.index()].as_ref().ok_or_else(|| {
+        EvalError::InvalidParams(format!("value {} used before production", v.index()))
+    })
+}
+
+/// Replays `plan` on `backend` with the given graph inputs.
+///
+/// # Errors
+///
+/// `EvalError::InvalidParams` when the input count doesn't match the
+/// graph, otherwise whatever the backend operation returns (missing
+/// rotation keys, rescale at level 0, …).
+pub fn execute<B: HomomorphicOps>(
+    plan: &Plan,
+    backend: &mut B,
+    inputs: &[Ciphertext],
+    keys: &KeySet,
+) -> Result<ExecOutcome, EvalError> {
+    let g = &plan.graph;
+    if inputs.len() != g.inputs().len() {
+        return Err(EvalError::InvalidParams(format!(
+            "plan expects {} input ciphertexts, got {}",
+            g.inputs().len(),
+            inputs.len()
+        )));
+    }
+    let mut slots: Vec<Option<Ciphertext>> = vec![None; g.values().len()];
+    let mut live = 0usize;
+    let mut max_live = 0usize;
+
+    for (step, &nid) in plan.schedule.iter().enumerate() {
+        let node = g.node(nid);
+        match &node.op {
+            GraphOp::RotateMany { steps } => {
+                let outs = backend.try_rotate_many(slot(&slots, node.inputs[0])?, steps, keys)?;
+                debug_assert_eq!(outs.len(), node.outputs.len());
+                for (o, ct) in node.outputs.iter().zip(outs) {
+                    slots[o.index()] = Some(ct);
+                    live += 1;
+                }
+            }
+            op => {
+                let out = match op {
+                    GraphOp::Input { slot } => inputs[*slot].clone(),
+                    GraphOp::Add => backend
+                        .try_add(slot(&slots, node.inputs[0])?, slot(&slots, node.inputs[1])?)?,
+                    GraphOp::Sub => backend
+                        .try_sub(slot(&slots, node.inputs[0])?, slot(&slots, node.inputs[1])?)?,
+                    GraphOp::AddPlain { pt } => backend
+                        .try_add_plain(slot(&slots, node.inputs[0])?, &g.plaintexts()[*pt])?,
+                    GraphOp::MulPlain { pt } => backend
+                        .try_mul_plain(slot(&slots, node.inputs[0])?, &g.plaintexts()[*pt])?,
+                    GraphOp::Mul => backend.try_mul(
+                        slot(&slots, node.inputs[0])?,
+                        slot(&slots, node.inputs[1])?,
+                        keys,
+                    )?,
+                    GraphOp::Square => backend.try_square(slot(&slots, node.inputs[0])?, keys)?,
+                    GraphOp::Rescale => backend.try_rescale(slot(&slots, node.inputs[0])?)?,
+                    GraphOp::DropToLevel { level } => {
+                        backend.try_drop_to_level(slot(&slots, node.inputs[0])?, *level)?
+                    }
+                    GraphOp::Rotate { steps } => {
+                        backend.try_rotate(slot(&slots, node.inputs[0])?, *steps, keys)?
+                    }
+                    GraphOp::Conjugate => {
+                        backend.try_conjugate(slot(&slots, node.inputs[0])?, keys)?
+                    }
+                    GraphOp::RotateMany { .. } => unreachable!(),
+                };
+                slots[node.outputs[0].index()] = Some(out);
+                live += 1;
+            }
+        }
+        max_live = max_live.max(live);
+        for v in &plan.release[step] {
+            if slots[v.index()].take().is_some() {
+                live -= 1;
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(g.outputs().len());
+    for &o in g.outputs() {
+        let ct = slots[o.index()].clone().ok_or_else(|| {
+            EvalError::InvalidParams(format!("graph output {} never produced", o.index()))
+        })?;
+        outputs.push(ct);
+    }
+    Ok(ExecOutcome {
+        outputs,
+        steps: plan.schedule.len(),
+        max_live,
+    })
+}

@@ -1,0 +1,35 @@
+//! The evaluation planner — the software analogue of Poseidon's HFAuto
+//! operator decomposer.
+//!
+//! HFAuto turns high-level HE operators into basic-op schedules that
+//! maximise keyswitch-digit reuse and on-chip residency. This module does
+//! the same over recorded (or compiled) evaluation graphs:
+//!
+//! 1. **Capture** — [`RecordingEvaluator`] records the SSA dataflow of a
+//!    real run ([`graph::EvalGraph`]), or [`compile_trace`] lowers a
+//!    `.pos` op trace into one.
+//! 2. **Optimize** — [`plan`] runs rescale sinking/fusion, cross-graph
+//!    rotation hoisting into `rotate_many`, dead-value elimination, and
+//!    live-range-aware scheduling ([`passes`]).
+//! 3. **Execute** — [`execute`] replays the optimized schedule on any
+//!    [`HomomorphicOps`] backend: the software evaluator, the
+//!    accelerator-shaped [`PoseidonMachine`], or the recorder itself.
+//!
+//! Bit-preserving schedules (hoist + DVE + reorder only) reproduce the
+//! unplanned outputs digest-identically on the evaluator; rescale
+//! placement preserves decrypted values and is flagged via
+//! [`Plan::value_preserving`].
+//!
+//! [`RecordingEvaluator`]: crate::recorder::RecordingEvaluator
+//! [`HomomorphicOps`]: crate::ops::HomomorphicOps
+//! [`PoseidonMachine`]: crate::machine::PoseidonMachine
+
+pub mod compile;
+pub mod exec;
+pub mod graph;
+pub mod passes;
+
+pub use compile::{compile_trace, CompileOptions, CompiledProgram};
+pub use exec::{execute, ExecOutcome};
+pub use graph::{EvalGraph, GraphOp, GraphRecorder, Node, NodeId, ValueId, ValueInfo};
+pub use passes::{plan, Plan, PlanOptions, PlanStats};

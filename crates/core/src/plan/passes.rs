@@ -1,0 +1,702 @@
+//! Optimizer passes over [`EvalGraph`] and the live-range-aware
+//! scheduler that turns an optimized graph into a [`Plan`].
+//!
+//! Pass pipeline (in application order):
+//!
+//! 1. **Rescale sinking** — `rescale(rotate(x))` → `rotate(rescale(x))`,
+//!    CSE-ing the shared rescale across all rotations of `x`. Keyswitching
+//!    then runs at the lower level (fewer limbs per digit lift) and
+//!    exposes sibling rotations of one value to the hoisting pass.
+//! 2. **Rescale fusion** — `add(rescale(x), rescale(y))` →
+//!    `rescale(add(x, y))`, applied to fixpoint so sequential
+//!    accumulation chains collapse K rescales into one.
+//! 3. **Rotation hoisting** — all rotations of the same source value
+//!    anywhere in the graph become one `RotateMany` node, paying the
+//!    keyswitch digit lift + forward NTTs once (Halevi-Shoup).
+//! 4. **Dead-value elimination** — reverse reachability from the graph
+//!    outputs; unreached compute nodes are tombstoned.
+//! 5. **Scheduling** — Kahn's algorithm with a deterministic score that
+//!    prefers (a) nodes that release their operands (shrinking the live
+//!    set → scratch-pool reuse) and (b) nodes sharing an operand with the
+//!    previously scheduled node (keyswitch-key/digit cache affinity).
+//!
+//! Passes 3–5 are bit-preserving; passes 1–2 change where rescales land,
+//! which changes ciphertext bits but preserves decrypted values (same
+//! primes dropped, same final level/scale) — the plan records this in
+//! [`Plan::value_preserving`] so callers know whether digest pinning
+//! applies.
+
+use std::collections::HashMap;
+
+use crate::plan::graph::{EvalGraph, GraphOp, NodeId, ValueId};
+
+/// Which passes run. Default: everything on, hoist batches of ≥ 2.
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Cross-graph rotation hoisting into `RotateMany` (bit-preserving on
+    /// backends whose `rotate_many` is hoist-equivalent, e.g. `Evaluator`).
+    pub hoist_rotations: bool,
+    /// Rescale sinking + fusion (value-preserving, not bit-preserving).
+    pub place_rescales: bool,
+    /// Dead-value elimination (bit-preserving).
+    pub eliminate_dead: bool,
+    /// Live-range-aware reordering (bit-preserving). When off, the
+    /// schedule keeps graph creation order.
+    pub reorder: bool,
+    /// Minimum sibling rotations of one source before hoisting pays.
+    pub min_hoist: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            hoist_rotations: true,
+            place_rescales: true,
+            eliminate_dead: true,
+            reorder: true,
+            min_hoist: 2,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// All passes disabled — [`plan`] with these options is the unplanned
+    /// baseline (identical to [`Plan::passthrough`]).
+    pub fn none() -> Self {
+        Self {
+            hoist_rotations: false,
+            place_rescales: false,
+            eliminate_dead: false,
+            reorder: false,
+            min_hoist: 2,
+        }
+    }
+}
+
+/// What the passes did, for reporting and assertions.
+#[derive(Debug, Clone, Default)]
+pub struct PlanStats {
+    /// Live nodes before any pass ran.
+    pub nodes_before: usize,
+    /// Live nodes after all passes.
+    pub nodes_after: usize,
+    /// Rescale nodes before / after placement.
+    pub rescales_before: usize,
+    /// Rescale nodes after placement.
+    pub rescales_after: usize,
+    /// Add-of-rescales rewrites applied.
+    pub rescales_fused: usize,
+    /// Rotate-past-rescale sinks applied (rotations retargeted).
+    pub rescales_sunk: usize,
+    /// Sizes of each hoisted rotation batch (≥ min_hoist each).
+    pub hoist_batches: Vec<usize>,
+    /// Nodes removed by dead-value elimination.
+    pub dead_removed: usize,
+    /// Peak live ciphertext count of the creation-order schedule.
+    pub max_live_before: usize,
+    /// Peak live ciphertext count of the emitted schedule.
+    pub max_live_after: usize,
+}
+
+/// An optimized, executable schedule over an [`EvalGraph`].
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The (rewritten) graph.
+    pub graph: EvalGraph,
+    /// Topological node order the executor replays.
+    pub schedule: Vec<NodeId>,
+    /// `release[i]` — values whose last use is step `i` (graph outputs
+    /// excluded); the executor frees their slots after the step.
+    pub release: Vec<Vec<ValueId>>,
+    /// Whether every applied rewrite was bit-preserving. When true, a
+    /// planned replay on `Evaluator` is digest-identical to the unplanned
+    /// one; when false (rescale placement fired) outputs agree only as
+    /// decrypted values.
+    pub value_preserving: bool,
+    /// Pass telemetry.
+    pub stats: PlanStats,
+}
+
+impl Plan {
+    /// The unplanned baseline: creation-order schedule, no rewrites.
+    pub fn passthrough(graph: EvalGraph) -> Self {
+        let schedule: Vec<NodeId> = graph.live_nodes().collect();
+        let (release, max_live) = compute_release(&graph, &schedule);
+        let n = graph.live_node_count();
+        let rescales = graph.count_ops(|op| matches!(op, GraphOp::Rescale));
+        Plan {
+            graph,
+            schedule,
+            release,
+            value_preserving: true,
+            stats: PlanStats {
+                nodes_before: n,
+                nodes_after: n,
+                rescales_before: rescales,
+                rescales_after: rescales,
+                max_live_before: max_live,
+                max_live_after: max_live,
+                ..PlanStats::default()
+            },
+        }
+    }
+}
+
+/// Runs the pass pipeline and schedules the result.
+pub fn plan(mut graph: EvalGraph, opts: &PlanOptions) -> Plan {
+    let mut stats = PlanStats {
+        nodes_before: graph.live_node_count(),
+        rescales_before: graph.count_ops(|op| matches!(op, GraphOp::Rescale)),
+        ..PlanStats::default()
+    };
+    {
+        let creation: Vec<NodeId> = graph.live_nodes().collect();
+        let (_, max_live) = compute_release(&graph, &creation);
+        stats.max_live_before = max_live;
+    }
+
+    let mut value_preserving = true;
+    if opts.place_rescales {
+        stats.rescales_sunk = sink_rescales(&mut graph);
+        loop {
+            let fused = fuse_rescales(&mut graph);
+            if fused == 0 {
+                break;
+            }
+            stats.rescales_fused += fused;
+        }
+        if stats.rescales_sunk > 0 || stats.rescales_fused > 0 {
+            value_preserving = false;
+        }
+    }
+    if opts.hoist_rotations {
+        stats.hoist_batches = hoist_rotations(&mut graph, opts.min_hoist.max(2));
+    }
+    if opts.eliminate_dead {
+        stats.dead_removed = eliminate_dead(&mut graph);
+    }
+    debug_assert_eq!(graph.validate(), Ok(()));
+
+    let schedule = if opts.reorder {
+        schedule_affinity(&graph)
+    } else {
+        graph.live_nodes().collect()
+    };
+    let (release, max_live) = compute_release(&graph, &schedule);
+
+    stats.nodes_after = graph.live_node_count();
+    stats.rescales_after = graph.count_ops(|op| matches!(op, GraphOp::Rescale));
+    stats.max_live_after = max_live;
+
+    Plan {
+        graph,
+        schedule,
+        release,
+        value_preserving,
+        stats,
+    }
+}
+
+/// Is `v` produced by a live `Rescale` node that nothing else consumes?
+/// Returns the rescale node and its input value.
+fn sole_rescale_producer(g: &EvalGraph, v: ValueId) -> Option<(NodeId, ValueId)> {
+    let info = g.value(v);
+    if info.dead || g.is_output(v) {
+        return None;
+    }
+    let p = info.producer;
+    let node = g.node(p);
+    if node.dead || !matches!(node.op, GraphOp::Rescale) {
+        return None;
+    }
+    if info.consumers.len() != 1 {
+        return None;
+    }
+    Some((p, node.inputs[0]))
+}
+
+/// `add(rescale(x), rescale(y))` → `rescale(add(x, y))` — one pass over
+/// the graph; call to fixpoint. The rewrite keeps the *original* output
+/// value id on the new rescale node so downstream consumers are untouched.
+fn fuse_rescales(g: &mut EvalGraph) -> usize {
+    let mut fused = 0;
+    let candidates: Vec<NodeId> = g
+        .live_nodes()
+        .filter(|&n| matches!(g.node(n).op, GraphOp::Add | GraphOp::Sub))
+        .collect();
+    for nid in candidates {
+        let node = g.node(nid);
+        if node.dead || node.inputs.len() != 2 {
+            continue;
+        }
+        let (u, v) = (node.inputs[0], node.inputs[1]);
+        if u == v {
+            continue;
+        }
+        let (Some((ru, x)), Some((rv, y))) =
+            (sole_rescale_producer(g, u), sole_rescale_producer(g, v))
+        else {
+            continue;
+        };
+        // Legal only when both pre-rescale values live at the same level
+        // (> 0 by construction) with matching scales, so the fused add is
+        // well-formed and the single rescale drops the same prime.
+        let (ix, iy) = (g.value(x), g.value(y));
+        if ix.level != iy.level || (ix.scale_bits - iy.scale_bits).abs() > 0.5 {
+            continue;
+        }
+        let op = g.node(nid).op.clone();
+        let w = g.node(nid).outputs[0];
+        let (level, sb) = (ix.level, ix.scale_bits.max(iy.scale_bits));
+
+        // Detach the old structure.
+        g.unsubscribe(u, nid);
+        g.unsubscribe(v, nid);
+        g.unsubscribe(x, ru);
+        g.unsubscribe(y, rv);
+        g.kill_node(ru);
+        g.kill_node(rv);
+        g.kill_node(nid);
+        g.kill_value(u);
+        g.kill_value(v);
+
+        // add/sub at the pre-rescale level, then one rescale producing the
+        // original output value id.
+        let add_nid = g.push_raw_node(op, vec![x, y], Vec::new());
+        let na = g.fresh_value(add_nid, level, sb);
+        {
+            let n = &mut g.node_mut(add_nid).outputs;
+            n.push(na);
+        }
+        g.push_raw_node(GraphOp::Rescale, vec![na], vec![w]);
+        fused += 1;
+    }
+    fused
+}
+
+/// `rescale(rotate(x))` → `rotate(rescale(x))` with the rescale CSE-d
+/// across every rotation of `x` that qualifies. Returns the number of
+/// rotations retargeted.
+fn sink_rescales(g: &mut EvalGraph) -> usize {
+    let mut sunk = 0;
+    let value_count = g.values().len();
+    for raw in 0..value_count {
+        let x = ValueId(raw);
+        if g.value(x).dead || g.value(x).level == 0 {
+            continue;
+        }
+        // Rotations of x whose single output feeds exactly one Rescale and
+        // is not itself a graph output.
+        let mut movable: Vec<(NodeId, ValueId, NodeId, ValueId)> = Vec::new(); // (rot, rot_out, rescale, rescale_out)
+        for &c in &g.value(x).consumers.clone() {
+            let node = g.node(c);
+            if node.dead || !matches!(node.op, GraphOp::Rotate { .. }) {
+                continue;
+            }
+            let out = node.outputs[0];
+            let Some((rs, back)) = sole_rescale_producer_of_consumer(g, out) else {
+                continue;
+            };
+            debug_assert_eq!(back, out);
+            movable.push((c, out, rs, g.node(rs).outputs[0]));
+        }
+        if movable.len() < 2 {
+            // A single rotate+rescale pair gains nothing from sinking on
+            // its own; the win is the shared rescale + hoistable siblings.
+            continue;
+        }
+        // One shared rescale of x.
+        let (level, sb) = {
+            let i = g.value(x);
+            (i.level - 1, i.scale_bits - g.rescale_bits())
+        };
+        let rs_nid = g.push_raw_node(GraphOp::Rescale, vec![x], Vec::new());
+        let rx = g.fresh_value(rs_nid, level, sb);
+        g.node_mut(rs_nid).outputs.push(rx);
+
+        for (rot, rot_out, old_rs, final_out) in movable {
+            // Retarget the rotation to consume rescale(x) and produce the
+            // old post-rescale value directly.
+            g.unsubscribe(x, rot);
+            g.unsubscribe(rot_out, old_rs);
+            g.kill_node(old_rs);
+            g.kill_value(rot_out);
+            let steps = match g.node(rot).op {
+                GraphOp::Rotate { steps } => steps,
+                _ => unreachable!(),
+            };
+            g.kill_node(rot);
+            g.push_raw_node(GraphOp::Rotate { steps }, vec![rx], vec![final_out]);
+            sunk += 1;
+        }
+    }
+    sunk
+}
+
+/// For a value `v`: if its sole consumer is a live `Rescale` and `v` is
+/// not a graph output, return that rescale node (and echo `v`).
+fn sole_rescale_producer_of_consumer(g: &EvalGraph, v: ValueId) -> Option<(NodeId, ValueId)> {
+    let info = g.value(v);
+    if info.dead || g.is_output(v) || info.consumers.len() != 1 {
+        return None;
+    }
+    let c = info.consumers[0];
+    let node = g.node(c);
+    if node.dead || !matches!(node.op, GraphOp::Rescale) {
+        return None;
+    }
+    Some((c, v))
+}
+
+/// Groups all live rotations per source value into `RotateMany` nodes.
+/// Returns the batch sizes.
+fn hoist_rotations(g: &mut EvalGraph, min_hoist: usize) -> Vec<usize> {
+    let mut batches = Vec::new();
+    let value_count = g.values().len();
+    for raw in 0..value_count {
+        let x = ValueId(raw);
+        if g.value(x).dead {
+            continue;
+        }
+        let rotators: Vec<NodeId> = {
+            let mut seen = Vec::new();
+            for &c in &g.value(x).consumers {
+                let node = g.node(c);
+                if !node.dead && matches!(node.op, GraphOp::Rotate { .. }) && !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            seen
+        };
+        if rotators.len() < min_hoist {
+            continue;
+        }
+        let mut steps = Vec::with_capacity(rotators.len());
+        let mut outputs = Vec::with_capacity(rotators.len());
+        for &r in &rotators {
+            let node = g.node(r);
+            let s = match node.op {
+                GraphOp::Rotate { steps } => steps,
+                _ => unreachable!(),
+            };
+            steps.push(s);
+            outputs.push(node.outputs[0]);
+            g.unsubscribe(x, r);
+            g.kill_node(r);
+        }
+        batches.push(steps.len());
+        g.push_raw_node(GraphOp::RotateMany { steps }, vec![x], outputs);
+    }
+    batches
+}
+
+/// Tombstones nodes whose outputs can't reach a graph output. `Input`
+/// nodes are kept (the executor binds them positionally). Returns the
+/// number of compute nodes removed.
+fn eliminate_dead(g: &mut EvalGraph) -> usize {
+    let mut live = vec![false; g.values().len()];
+    let mut stack: Vec<ValueId> = g.outputs().to_vec();
+    while let Some(v) = stack.pop() {
+        if live[v.0] {
+            continue;
+        }
+        live[v.0] = true;
+        let p = g.value(v).producer;
+        for &inp in &g.node(p).inputs {
+            if !live[inp.0] {
+                stack.push(inp);
+            }
+        }
+        // Sibling outputs of a multi-output producer stay alive with it.
+        for &o in &g.node(p).outputs {
+            if !live[o.0] {
+                stack.push(o);
+            }
+        }
+    }
+    let mut removed = 0;
+    let node_count = g.nodes().len();
+    for raw in 0..node_count {
+        let nid = NodeId(raw);
+        let node = g.node(nid);
+        if node.dead || matches!(node.op, GraphOp::Input { .. }) {
+            continue;
+        }
+        if node.outputs.iter().all(|o| !live[o.0]) {
+            let inputs = node.inputs.clone();
+            let outputs = node.outputs.clone();
+            for v in inputs {
+                g.unsubscribe(v, nid);
+            }
+            for o in outputs {
+                g.kill_value(o);
+            }
+            g.kill_node(nid);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Kahn's algorithm with a deterministic affinity score:
+/// `+2` per operand whose last remaining use is this node (freeing its
+/// scratch slot), `+3` when the node shares an operand with the node just
+/// scheduled (keyswitch digit / key-cache affinity), ties broken by the
+/// lowest node index (stable, creation-order-biased).
+fn schedule_affinity(g: &EvalGraph) -> Vec<NodeId> {
+    let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+    for nid in g.live_nodes() {
+        indeg.insert(nid, g.node(nid).inputs.len());
+    }
+    let mut remaining_uses: Vec<usize> = g
+        .values()
+        .iter()
+        .map(|v| v.consumers.iter().filter(|c| !g.node(**c).dead).count())
+        .collect();
+
+    let mut ready: Vec<NodeId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    ready.sort_unstable();
+
+    let mut order = Vec::with_capacity(indeg.len());
+    let mut prev_inputs: Vec<ValueId> = Vec::new();
+    while !ready.is_empty() {
+        let mut best = 0usize;
+        let mut best_score = i64::MIN;
+        for (i, &cand) in ready.iter().enumerate() {
+            let node = g.node(cand);
+            let mut score = 0i64;
+            for &v in &node.inputs {
+                if remaining_uses[v.0] == 1 && !g.is_output(v) {
+                    score += 2;
+                }
+                if prev_inputs.contains(&v) {
+                    score += 3;
+                }
+            }
+            // Deterministic tie-break: strictly better score wins; equal
+            // scores keep the earliest (lowest-index) candidate.
+            if score > best_score || (score == best_score && ready[best] > cand) {
+                best_score = score;
+                best = i;
+            }
+        }
+        let nid = ready.remove(best);
+        let node = g.node(nid);
+        prev_inputs = node.inputs.clone();
+        for &v in &node.inputs {
+            remaining_uses[v.0] = remaining_uses[v.0].saturating_sub(1);
+        }
+        for &o in &node.outputs {
+            for &c in &g.value(o).consumers {
+                if let Some(d) = indeg.get_mut(&c) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(c);
+                    }
+                }
+            }
+        }
+        ready.sort_unstable();
+        ready.dedup();
+        order.push(nid);
+    }
+    debug_assert_eq!(order.len(), g.live_node_count());
+    order
+}
+
+/// Last-use analysis: for each schedule step, which values die there
+/// (graph outputs never die). Also returns the peak live value count.
+fn compute_release(g: &EvalGraph, schedule: &[NodeId]) -> (Vec<Vec<ValueId>>, usize) {
+    let mut last_use: HashMap<ValueId, usize> = HashMap::new();
+    for (i, &nid) in schedule.iter().enumerate() {
+        for &v in &g.node(nid).inputs {
+            last_use.insert(v, i);
+        }
+    }
+    let mut release: Vec<Vec<ValueId>> = vec![Vec::new(); schedule.len()];
+    for (&v, &i) in &last_use {
+        if !g.is_output(v) {
+            release[i].push(v);
+        }
+    }
+    for r in &mut release {
+        r.sort_unstable();
+    }
+    // Peak live count: births at producer step, deaths at last use (or
+    // never for outputs / unused values).
+    let mut live = 0usize;
+    let mut max_live = 0usize;
+    for (i, &nid) in schedule.iter().enumerate() {
+        live += g.node(nid).outputs.len();
+        max_live = max_live.max(live);
+        live -= release[i].len();
+    }
+    (release, max_live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotation_fan() -> EvalGraph {
+        let mut g = EvalGraph::new(40.0);
+        let x = g.input(3, 40.0);
+        let mut outs = Vec::new();
+        for s in 1..=8i64 {
+            outs.push(g.rotate(x, s));
+        }
+        let mut acc = outs[0];
+        for &o in &outs[1..] {
+            acc = g.add(acc, o);
+        }
+        g.mark_output(acc);
+        g
+    }
+
+    #[test]
+    fn hoisting_groups_all_rotations_of_one_source() {
+        let p = plan(rotation_fan(), &PlanOptions::default());
+        assert_eq!(p.stats.hoist_batches, vec![8]);
+        assert_eq!(
+            p.graph.count_ops(|op| matches!(op, GraphOp::Rotate { .. })),
+            0
+        );
+        assert_eq!(
+            p.graph
+                .count_ops(|op| matches!(op, GraphOp::RotateMany { .. })),
+            1
+        );
+        assert!(p.value_preserving);
+        assert!(p.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn hoisting_is_cross_graph_not_adjacent_only() {
+        // Interleave rotations of x with unrelated work so they are never
+        // adjacent in creation order.
+        let mut g = EvalGraph::new(40.0);
+        let x = g.input(3, 40.0);
+        let y = g.input(3, 40.0);
+        let r1 = g.rotate(x, 1);
+        let y2 = g.square(y);
+        let r2 = g.rotate(x, 2);
+        let y3 = g.add(y2, y2);
+        let r3 = g.rotate(x, 3);
+        let s = g.add(r1, r2);
+        let s = g.add(s, r3);
+        let s = g.add(s, y3);
+        g.mark_output(s);
+        let p = plan(g, &PlanOptions::default());
+        assert_eq!(p.stats.hoist_batches, vec![3]);
+    }
+
+    #[test]
+    fn fusion_collapses_add_chain_rescales() {
+        // acc = rescale(t1); for t in t2..t4 { acc = add(acc, rescale(t)) }
+        // Not directly that shape — model the common per-term form:
+        // add(rescale(a), rescale(b)) chains.
+        let mut g = EvalGraph::new(40.0);
+        let terms: Vec<ValueId> = (0..4)
+            .map(|_| {
+                let x = g.input(3, 40.0);
+                g.square(x)
+            })
+            .collect();
+        let rs: Vec<ValueId> = terms.iter().map(|&t| g.rescale(t)).collect();
+        let mut acc = rs[0];
+        for &r in &rs[1..] {
+            acc = g.add(acc, r);
+        }
+        g.mark_output(acc);
+        let before = g.count_ops(|op| matches!(op, GraphOp::Rescale));
+        assert_eq!(before, 4);
+        let p = plan(g, &PlanOptions::default());
+        // The chain collapses to a single rescale at the root.
+        assert_eq!(p.stats.rescales_after, 1);
+        assert!(p.stats.rescales_fused >= 3);
+        assert!(!p.value_preserving);
+        assert!(p.graph.validate().is_ok());
+        // Metadata of the preserved output value is unchanged.
+        let out = p.graph.outputs()[0];
+        assert_eq!(p.graph.value(out).level, 2);
+        assert!((p.graph.value(out).scale_bits - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sinking_shares_one_rescale_across_rotations() {
+        // rescale(rotate(x, s)) for 4 rotations → rotate(rescale(x)) ×4
+        // with ONE rescale.
+        let mut g = EvalGraph::new(40.0);
+        let x0 = g.input(3, 40.0);
+        let x = g.square(x0); // scale 80 → rescale meaningful
+        let mut acc = None;
+        for s in 1..=4i64 {
+            let r = g.rotate(x, s);
+            let rr = g.rescale(r);
+            acc = Some(match acc {
+                None => rr,
+                Some(a) => g.add(a, rr),
+            });
+        }
+        g.mark_output(acc.unwrap());
+        let p = plan(g, &PlanOptions::default());
+        assert_eq!(p.stats.rescales_sunk, 4);
+        assert_eq!(p.stats.rescales_after, 1);
+        // The four rotations now share one source → hoisted as a batch.
+        assert_eq!(p.stats.hoist_batches, vec![4]);
+        assert!(!p.value_preserving);
+        assert!(p.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn dead_value_elimination_removes_unreachable_compute() {
+        let mut g = EvalGraph::new(40.0);
+        let x = g.input(3, 40.0);
+        let used = g.square(x);
+        let dead1 = g.rotate(x, 5);
+        let _dead2 = g.add(dead1, dead1);
+        g.mark_output(used);
+        let p = plan(g, &PlanOptions::default());
+        assert_eq!(p.stats.dead_removed, 2);
+        assert_eq!(p.stats.nodes_after, 2); // input + square
+    }
+
+    #[test]
+    fn passthrough_matches_disabled_passes() {
+        let g = rotation_fan();
+        let p0 = Plan::passthrough(g.clone());
+        let p1 = plan(g, &PlanOptions::none());
+        assert_eq!(p0.schedule, p1.schedule);
+        assert!(p1.value_preserving);
+        assert_eq!(p0.stats.rescales_before, p1.stats.rescales_before);
+    }
+
+    #[test]
+    fn schedule_is_topological_and_complete() {
+        let p = plan(rotation_fan(), &PlanOptions::default());
+        let mut seen = std::collections::HashSet::new();
+        for &nid in &p.schedule {
+            for &v in &p.graph.node(nid).inputs {
+                assert!(seen.contains(&p.graph.value(v).producer));
+            }
+            seen.insert(nid);
+        }
+        assert_eq!(p.schedule.len(), p.graph.live_node_count());
+    }
+
+    #[test]
+    fn release_frees_everything_but_outputs() {
+        let p = plan(rotation_fan(), &PlanOptions::default());
+        let released: usize = p.release.iter().map(|r| r.len()).sum();
+        // Every consumed value except the final output dies somewhere.
+        assert!(released > 0);
+        for r in p.release.iter().flatten() {
+            assert!(!p.graph.is_output(*r));
+        }
+        assert!(p.stats.max_live_after <= p.stats.max_live_before);
+    }
+}

@@ -14,6 +14,7 @@ use he_ckks::eval::Evaluator;
 use he_ckks::keys::KeySet;
 
 use crate::decompose::{BasicOp, OpParams, OpTrace};
+use crate::plan::graph::{EvalGraph, GraphOp, GraphRecorder};
 
 /// An evaluator wrapper that records every basic operation it executes.
 ///
@@ -37,6 +38,7 @@ pub struct RecordingEvaluator {
     special: usize,
     dnum: usize,
     trace: RefCell<OpTrace>,
+    graph: RefCell<GraphRecorder>,
 }
 
 impl RecordingEvaluator {
@@ -45,11 +47,13 @@ impl RecordingEvaluator {
     /// software library itself uses per-prime digits).
     pub fn new(inner: Evaluator, dnum: usize) -> Self {
         let special = inner.context().special_basis().len();
+        let rescale_bits = f64::from(inner.context().params().scale_prime_bits);
         Self {
             inner,
             special,
             dnum,
             trace: RefCell::new(OpTrace::new()),
+            graph: RefCell::new(GraphRecorder::new(rescale_bits)),
         }
     }
 
@@ -68,6 +72,27 @@ impl RecordingEvaluator {
         self.trace.into_inner()
     }
 
+    /// Marks a previously produced ciphertext as a graph output (the
+    /// values a later [`plan`](crate::plan) replay must reproduce).
+    /// Returns `false` for a ciphertext this recorder never saw. Without
+    /// any explicit mark, every leaf value becomes an output.
+    pub fn mark_output(&self, ct: &Ciphertext) -> bool {
+        self.graph.borrow_mut().mark_output(ct)
+    }
+
+    /// A snapshot of the dataflow graph captured so far (see
+    /// [`EvalGraph`]). Unconsumed values become graph outputs unless
+    /// [`mark_output`](Self::mark_output) was used.
+    pub fn eval_graph(&self) -> EvalGraph {
+        self.graph.borrow().snapshot()
+    }
+
+    /// Consumes the recorder, returning both recordings: the flat
+    /// hardware trace and the SSA dataflow graph.
+    pub fn into_recordings(self) -> (OpTrace, EvalGraph) {
+        (self.trace.into_inner(), self.graph.into_inner().finish())
+    }
+
     fn record(&self, op: BasicOp, ct: &Ciphertext) {
         let p = OpParams::with_dnum(
             ct.n(),
@@ -76,6 +101,14 @@ impl RecordingEvaluator {
             self.dnum.min(ct.level() + 1),
         );
         self.trace.borrow_mut().push(op, p, 1);
+    }
+
+    fn record_graph2(&self, op: GraphOp, a: &Ciphertext, b: &Ciphertext, out: &Ciphertext) {
+        self.graph.borrow_mut().record_binary(op, a, b, out);
+    }
+
+    fn record_graph1(&self, op: GraphOp, a: &Ciphertext, out: &Ciphertext) {
+        self.graph.borrow_mut().record_unary(op, a, out);
     }
 
     /// Recorded HAdd.
@@ -92,6 +125,7 @@ impl RecordingEvaluator {
     pub fn try_add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_add(a, b)?;
         self.record(BasicOp::HAdd, a);
+        self.record_graph2(GraphOp::Add, a, b, &out);
         Ok(out)
     }
 
@@ -108,6 +142,7 @@ impl RecordingEvaluator {
     pub fn try_sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_sub(a, b)?;
         self.record(BasicOp::HAdd, a);
+        self.record_graph2(GraphOp::Sub, a, b, &out);
         Ok(out)
     }
 
@@ -124,13 +159,28 @@ impl RecordingEvaluator {
     pub fn try_add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_add_plain(a, pt)?;
         self.record(BasicOp::HAdd, a);
+        let idx = self.graph.borrow_mut().intern_plaintext(pt.clone());
+        self.record_graph1(GraphOp::AddPlain { pt: idx }, a, &out);
         Ok(out)
     }
 
     /// Recorded PMult.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.try_mul_plain(a, pt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recorded fallible PMult (the evaluator's `mul_plain` itself cannot
+    /// fail, so this only exists for surface symmetry and graph capture).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible.
+    pub fn try_mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.mul_plain(a, pt);
         self.record(BasicOp::PMult, a);
-        self.inner.mul_plain(a, pt)
+        let idx = self.graph.borrow_mut().intern_plaintext(pt.clone());
+        self.record_graph1(GraphOp::MulPlain { pt: idx }, a, &out);
+        Ok(out)
     }
 
     /// Recorded CMult (with relinearisation).
@@ -151,6 +201,7 @@ impl RecordingEvaluator {
     ) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_mul(a, b, keys)?;
         self.record(BasicOp::CMult, a);
+        self.record_graph2(GraphOp::Mul, a, b, &out);
         Ok(out)
     }
 
@@ -167,6 +218,7 @@ impl RecordingEvaluator {
     pub fn try_square(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_square(a, keys)?;
         self.record(BasicOp::CMult, a);
+        self.record_graph1(GraphOp::Square, a, &out);
         Ok(out)
     }
 
@@ -183,13 +235,27 @@ impl RecordingEvaluator {
     pub fn try_rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_rescale(a)?;
         self.record(BasicOp::Rescale, a);
+        self.record_graph1(GraphOp::Rescale, a, &out);
+        Ok(out)
+    }
+
+    /// Recorded fallible level drop. The flat trace skips it (free data
+    /// movement, no hardware op), but the dataflow graph needs the node
+    /// so a planned replay reproduces the level descent.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LevelMismatch`] when `level` exceeds the current one.
+    pub fn try_drop_to_level(&self, a: &Ciphertext, level: usize) -> Result<Ciphertext, EvalError> {
+        let out = self.inner.try_drop_to_level(a, level)?;
+        self.record_graph1(GraphOp::DropToLevel { level }, a, &out);
         Ok(out)
     }
 
     /// Recorded Rotation.
     pub fn rotate(&self, a: &Ciphertext, steps: i64, keys: &KeySet) -> Ciphertext {
-        self.record(BasicOp::Rotation, a);
-        self.inner.rotate(a, steps, keys)
+        self.try_rotate(a, steps, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Recorded fallible rotation: nothing is recorded when the key is
@@ -206,13 +272,14 @@ impl RecordingEvaluator {
     ) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_rotate(a, steps, keys)?;
         self.record(BasicOp::Rotation, a);
+        self.record_graph1(GraphOp::Rotate { steps }, a, &out);
         Ok(out)
     }
 
     /// Recorded conjugation (Rotation cost class).
     pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
-        self.record(BasicOp::Rotation, a);
-        self.inner.conjugate(a, keys)
+        self.try_conjugate(a, keys)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Recorded fallible conjugation.
@@ -223,6 +290,7 @@ impl RecordingEvaluator {
     pub fn try_conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
         let out = self.inner.try_conjugate(a, keys)?;
         self.record(BasicOp::Rotation, a);
+        self.record_graph1(GraphOp::Conjugate, a, &out);
         Ok(out)
     }
 }

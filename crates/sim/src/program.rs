@@ -29,11 +29,19 @@ pub struct ParseProgramError {
     pub line: usize,
     /// Description of the problem.
     pub message: String,
+    /// The offending token, when the error can be pinned on one (unknown
+    /// operation names, unparsable numbers, stray tokens). `None` for
+    /// structural errors (missing directives, range violations).
+    pub token: Option<String>,
 }
 
 impl fmt::Display for ParseProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if let Some(t) = &self.token {
+            write!(f, " (offending token `{t}`)")?;
+        }
+        Ok(())
     }
 }
 
@@ -85,6 +93,12 @@ pub fn parse(text: &str) -> Result<OpTrace, ParseProgramError> {
         let err = |m: String| ParseProgramError {
             line: lineno,
             message: m,
+            token: None,
+        };
+        let err_tok = |m: String, t: &str| ParseProgramError {
+            line: lineno,
+            message: m,
+            token: Some(t.to_string()),
         };
         let tokens: Vec<&str> = line.split_whitespace().collect();
         if tokens[0].contains('=') {
@@ -92,22 +106,22 @@ pub fn parse(text: &str) -> Result<OpTrace, ParseProgramError> {
             for t in &tokens {
                 let (k, v) = t
                     .split_once('=')
-                    .ok_or_else(|| err(format!("malformed directive `{t}`")))?;
+                    .ok_or_else(|| err_tok(format!("malformed directive `{t}`"), t))?;
                 let v: usize = v
                     .parse()
-                    .map_err(|_| err(format!("`{v}` is not a number")))?;
+                    .map_err(|_| err_tok(format!("`{v}` is not a number"), t))?;
                 match k {
                     "n" => n = Some(v),
                     "special" => special = v,
                     "dnum" => dnum = v,
-                    other => return Err(err(format!("unknown directive `{other}`"))),
+                    other => return Err(err_tok(format!("unknown directive `{other}`"), t)),
                 }
             }
             continue;
         }
         // Instruction line.
         let op = op_from_name(tokens[0])
-            .ok_or_else(|| err(format!("unknown operation `{}`", tokens[0])))?;
+            .ok_or_else(|| err_tok(format!("unknown operation `{}`", tokens[0]), tokens[0]))?;
         let n = n.ok_or_else(|| err("ring degree not set (need an `n=` directive)".into()))?;
         let mut components: Option<usize> = None;
         let mut count = 1u64;
@@ -115,14 +129,14 @@ pub fn parse(text: &str) -> Result<OpTrace, ParseProgramError> {
             if let Some(v) = t.strip_prefix("L=") {
                 components = Some(
                     v.parse()
-                        .map_err(|_| err(format!("`{v}` is not a component count")))?,
+                        .map_err(|_| err_tok(format!("`{v}` is not a component count"), t))?,
                 );
             } else if let Some(v) = t.strip_prefix('x') {
                 count = v
                     .parse()
-                    .map_err(|_| err(format!("`{v}` is not a repetition count")))?;
+                    .map_err(|_| err_tok(format!("`{v}` is not a repetition count"), t))?;
             } else {
-                return Err(err(format!("unexpected token `{t}`")));
+                return Err(err_tok(format!("unexpected token `{t}`"), t));
             }
         }
         let components = components.ok_or_else(|| err("missing `L=<components>`".into()))?;
@@ -218,6 +232,49 @@ rescale L=3
 
         let e = parse("n=4096 dnum=5\nhadd L=3\n").unwrap_err();
         assert!(e.message.contains("dnum"));
+    }
+
+    #[test]
+    fn errors_carry_the_offending_token() {
+        // Unknown operation: the token is the op name, and Display shows
+        // both the 1-based line and the token.
+        let e = parse("n=4096\nfrobnicate L=3\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("frobnicate"));
+        assert_eq!(
+            e.to_string(),
+            "line 2: unknown operation `frobnicate` (offending token `frobnicate`)"
+        );
+
+        // Unparsable numbers pin the full token they sit in.
+        let e = parse("n=potato\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("n=potato"));
+        assert!(e.to_string().starts_with("line 1:"));
+
+        let e = parse("n=4096\nhadd L=abc\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("L=abc"));
+
+        let e = parse("n=4096\nhadd L=3 xfoo\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("xfoo"));
+
+        let e = parse("n=4096\nhadd L=3 wat\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("wat"));
+        assert_eq!(
+            e.to_string(),
+            "line 2: unexpected token `wat` (offending token `wat`)"
+        );
+
+        let e = parse("n=4096 frob=1\nhadd L=3\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("frob=1"));
+
+        // Structural errors have no single offending token.
+        let e = parse("hadd L=3\n").unwrap_err();
+        assert_eq!(e.token, None);
+        assert_eq!(
+            e.to_string(),
+            "line 1: ring degree not set (need an `n=` directive)"
+        );
+        let e = parse("n=4096 dnum=5\nhadd L=3\n").unwrap_err();
+        assert_eq!(e.token, None);
     }
 
     #[test]
