@@ -1,0 +1,24 @@
+//! Chaos-campaign export bench: runs the seeded site×kind injection
+//! matrix from `poseidon_bench::chaos` through the resilient TCP client
+//! and writes the per-scenario resolution table to `BENCH_chaos.json` —
+//! the machine-readable proof that every injected failure mode ends in
+//! a bit-identical reply or a typed error, never a hang or a wrong
+//! byte. Without `--features faults` the hooks are compiled out; the
+//! export records the unfaulted serve digest only, which CI diffs
+//! against the instrumented build's disarmed digest.
+
+fn main() {
+    let digest = poseidon_bench::chaos::serve_digest();
+    #[cfg(feature = "faults")]
+    let json = {
+        let results = poseidon_bench::chaos::run_campaign();
+        let mismatches: u64 = results.iter().map(|r| r.mismatches).sum();
+        assert_eq!(mismatches, 0, "a chaos run returned wrong bytes");
+        poseidon_bench::chaos::campaign_json(&results, digest)
+    };
+    #[cfg(not(feature = "faults"))]
+    let json = format!("{{\n  \"scenarios\": [],\n  \"serve_digest\": \"{digest:#018x}\"\n}}\n");
+    let path = poseidon_bench::export_path("BENCH_chaos.json");
+    std::fs::write(&path, &json).expect("write BENCH_chaos.json");
+    println!("chaos campaign written to {}", path.display());
+}

@@ -1,0 +1,366 @@
+//! Network/worker chaos campaign over the resilient serving stack.
+//!
+//! The campaign drives a fixed single-request workload through
+//! [`ResilientClient`] against a loopback [`EvalService`] while a seeded
+//! fault plan attacks one site per scenario — socket reads and writes
+//! (corruption, truncation, disconnect, stall), mid-frame stalls (the
+//! slowloris shape), and dispatcher workers (panic, stall). Every run
+//! must land in one of two buckets:
+//!
+//! - **bit-identical success** — the reply, possibly after reconnect,
+//!   retry, replay, or watchdog failover, matches the unfaulted bytes;
+//! - **typed error** — a [`ServeError`] variant, never a hang, never a
+//!   lost reply, never an escaped panic.
+//!
+//! A reply with *different* bytes would be a correctness bug and is
+//! counted separately (`mismatches`, asserted zero in CI).
+//!
+//! `tables chaos` prints the campaign table; `benches/chaos.rs` exports
+//! the same results as `BENCH_chaos.json`. Both builds (with and
+//! without the `faults` feature) also print an order-independent FNV
+//! digest of an unfaulted serving workload — CI diffs the two to prove
+//! the chaos hooks compile out bit-identically.
+//!
+//! [`ResilientClient`]: poseidon_serve::tcp::ResilientClient
+//! [`EvalService`]: poseidon_serve::EvalService
+//! [`ServeError`]: poseidon_serve::ServeError
+
+use std::sync::Arc;
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use poseidon_serve::tcp::{self, Op};
+use poseidon_serve::{EvalService, ServiceConfig};
+use rand::SeedableRng;
+
+/// Deterministic client-side fixture: operand frames and the tenant
+/// key set for the toy-parameter chaos workload.
+pub struct Fixture {
+    /// The toy CKKS context the frames were encoded under.
+    pub ctx: CkksContext,
+    /// Operand ciphertext frame.
+    pub frame: Vec<u8>,
+    /// Second operand (additions).
+    pub frame_b: Vec<u8>,
+    /// Public key-set frame (rotation key for step 1 included).
+    pub keyset_frame: Vec<u8>,
+}
+
+impl Fixture {
+    /// Builds the fixed-seed fixture.
+    pub fn new() -> Self {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC405);
+        let mut keys = KeySet::generate(&ctx, &mut rng);
+        keys.add_rotation_key(1, &mut rng);
+        let z: Vec<Complex> = (0..4).map(|i| Complex::new(0.25 * i as f64, 0.1)).collect();
+        let pt = Plaintext::new(
+            ctx.encoder()
+                .encode_rns(ctx.chain_basis(), &z, ctx.default_scale()),
+            ctx.default_scale(),
+        );
+        let a = keys.public().encrypt(&pt, &mut rng);
+        let b = keys.public().encrypt(&pt, &mut rng);
+        Self {
+            frame: poseidon_wire::encode_ciphertext(&ctx, &a),
+            frame_b: poseidon_wire::encode_ciphertext(&ctx, &b),
+            keyset_frame: poseidon_wire::encode_keyset_public(&ctx, &keys),
+            ctx,
+        }
+    }
+}
+
+impl Default for Fixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Order-independent FNV-1a digest of an unfaulted serving workload
+/// (rotations, adds, muls over the loopback TCP stack). Identical in
+/// `faults` and non-`faults` builds when no plan is armed — the
+/// bit-exactness witness CI diffs across the two builds.
+pub fn serve_digest() -> u64 {
+    let f = Fixture::new();
+    let service = EvalService::start(ServiceConfig::default());
+    let (addr, _accept) = tcp::listen(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let client = tcp::Client::connect(addr).expect("connect");
+    client
+        .register_tenant("acme", &f.keyset_frame)
+        .expect("register");
+    let ops: Vec<Op<'_>> = vec![
+        Op::Rotate {
+            a: &f.frame,
+            steps: 1,
+        },
+        Op::Add {
+            a: &f.frame,
+            b: &f.frame_b,
+        },
+        Op::Mul {
+            a: &f.frame,
+            b: &f.frame_b,
+        },
+        Op::Rescale { a: &f.frame },
+        Op::Square { a: &f.frame },
+    ];
+    let mut digest = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        let reply = client
+            .request("acme", *op)
+            .expect("unfaulted request")
+            .expect("ciphertext reply");
+        digest ^= fnv(
+            fnv(0xcbf2_9ce4_8422_2325, &(i as u64).to_le_bytes()),
+            &reply,
+        );
+    }
+    service.shutdown();
+    digest
+}
+
+/// `tables chaos` without the `faults` feature: hooks are compiled out;
+/// print the digest for the CI bit-exactness diff and point at the
+/// instrumented build.
+#[cfg(not(feature = "faults"))]
+pub fn chaos() {
+    println!(
+        "serve digest (faults compiled out): {:#018x}",
+        serve_digest()
+    );
+    println!("chaos injection is compiled out of this build (all hooks are no-ops).");
+    println!("rebuild with:");
+    println!("  cargo run -p poseidon-bench --features faults --bin tables -- chaos");
+}
+
+/// One scenario's aggregate outcome across its seeds.
+#[cfg(feature = "faults")]
+pub struct ScenarioOutcome {
+    /// Fault site attacked.
+    pub site: &'static str,
+    /// Fault kind injected.
+    pub kind: &'static str,
+    /// Seeded runs performed.
+    pub seeds: u64,
+    /// Runs that ended with the unfaulted bytes (possibly via retry,
+    /// replay, or failover).
+    pub bit_identical: u64,
+    /// Runs that ended with a typed [`poseidon_serve::ServeError`].
+    pub typed_errors: u64,
+    /// Runs that returned *wrong* bytes — a correctness bug; must be 0.
+    pub mismatches: u64,
+    /// Total injector fires across the seeds.
+    pub fired: u64,
+    /// Total client resubmissions across the seeds.
+    pub retries: u64,
+    /// Total reconnections across the seeds (1 per run is the
+    /// fault-free baseline).
+    pub connects: u64,
+    /// Slowest single run, milliseconds — bounded by the retry budget,
+    /// far below it in the common case; a hang would blow through it.
+    pub max_elapsed_ms: f64,
+}
+
+/// Runs the full campaign: every scenario in the site×kind matrix,
+/// [`CAMPAIGN_SEEDS`] seeded transient plans each, a fresh service and
+/// client per run.
+#[cfg(feature = "faults")]
+pub fn run_campaign() -> Vec<ScenarioOutcome> {
+    use poseidon_faults::{FaultKind, FaultPlan, FaultSite};
+    use poseidon_serve::tcp::{ResilientClient, RetryPolicy, SocketConfig};
+    use std::time::Instant;
+
+    let _guard = poseidon_faults::test_lock();
+    poseidon_faults::disarm();
+    let f = Fixture::new();
+
+    let scenarios: &[(FaultSite, FaultKind, &'static str)] = &[
+        (FaultSite::ShardWorker, FaultKind::Panic, "panic"),
+        (FaultSite::ShardWorker, FaultKind::Stall(400), "stall400"),
+        (FaultSite::SocketRead, FaultKind::BitFlip, "bitflip"),
+        (FaultSite::SocketRead, FaultKind::Truncate, "truncate"),
+        (FaultSite::SocketRead, FaultKind::Disconnect, "disconnect"),
+        (FaultSite::SocketRead, FaultKind::Stall(50), "stall50"),
+        (FaultSite::SocketWrite, FaultKind::BitFlip, "bitflip"),
+        (FaultSite::SocketWrite, FaultKind::Truncate, "truncate"),
+        (FaultSite::SocketWrite, FaultKind::Disconnect, "disconnect"),
+        (FaultSite::SocketWrite, FaultKind::Stall(50), "stall50"),
+        (FaultSite::SocketStall, FaultKind::Stall(300), "stall300"),
+    ];
+
+    // The reply bytes are deterministic across services (same frames,
+    // same keys), so one unfaulted baseline covers every run.
+    let expected = {
+        let service = EvalService::start(ServiceConfig::default());
+        let (addr, _accept) =
+            tcp::listen(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+        let client = tcp::Client::connect(addr).expect("connect");
+        client
+            .register_tenant("acme", &f.keyset_frame)
+            .expect("register");
+        let bytes = client
+            .rotate("acme", &f.frame, 1)
+            .expect("unfaulted baseline");
+        service.shutdown();
+        bytes
+    };
+
+    let mut results = Vec::with_capacity(scenarios.len());
+    for &(site, kind, kind_name) in scenarios {
+        let mut out = ScenarioOutcome {
+            site: site.as_str(),
+            kind: kind_name,
+            seeds: CAMPAIGN_SEEDS,
+            bit_identical: 0,
+            typed_errors: 0,
+            mismatches: 0,
+            fired: 0,
+            retries: 0,
+            connects: 0,
+            max_elapsed_ms: 0.0,
+        };
+        for seed in 0..CAMPAIGN_SEEDS {
+            let service = EvalService::start(ServiceConfig::default());
+            let (addr, _accept) =
+                tcp::listen(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+            let bootstrap = tcp::Client::connect(addr).expect("connect");
+            bootstrap
+                .register_tenant("acme", &f.keyset_frame)
+                .expect("register");
+            drop(bootstrap);
+            let client = ResilientClient::connect(
+                addr,
+                SocketConfig::default(),
+                RetryPolicy {
+                    max_attempts: 5,
+                    base_backoff_ms: 5,
+                    max_backoff_ms: 50,
+                    request_timeout_ms: 1_500,
+                    ttl_ms: 0,
+                    jitter_seed: 0xC0FFEE ^ seed,
+                },
+            )
+            .expect("resilient connect");
+
+            poseidon_faults::arm(FaultPlan::transient(site, kind, seed));
+            let t0 = Instant::now();
+            let outcome = client.request(
+                "acme",
+                Op::Rotate {
+                    a: &f.frame,
+                    steps: 1,
+                },
+            );
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            out.fired += poseidon_faults::fired();
+            poseidon_faults::disarm();
+
+            match outcome {
+                Ok(Some(bytes)) if bytes == expected => out.bit_identical += 1,
+                Ok(_) => out.mismatches += 1,
+                Err(_) => out.typed_errors += 1,
+            }
+            out.retries += client.retries();
+            out.connects += client.connects();
+            out.max_elapsed_ms = out.max_elapsed_ms.max(elapsed_ms);
+            service.shutdown();
+        }
+        results.push(out);
+    }
+    results
+}
+
+/// Seeded runs per scenario.
+#[cfg(feature = "faults")]
+pub const CAMPAIGN_SEEDS: u64 = 4;
+
+/// Renders the campaign as the `BENCH_chaos.json` payload.
+#[cfg(feature = "faults")]
+pub fn campaign_json(results: &[ScenarioOutcome], digest: u64) -> String {
+    let mut json = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"site\": \"{}\", \"kind\": \"{}\", \"seeds\": {}, \
+             \"bit_identical\": {}, \"typed_errors\": {}, \"mismatches\": {}, \
+             \"fired\": {}, \"retries\": {}, \"connects\": {}, \
+             \"max_elapsed_ms\": {:.1} }}{}\n",
+            r.site,
+            r.kind,
+            r.seeds,
+            r.bit_identical,
+            r.typed_errors,
+            r.mismatches,
+            r.fired,
+            r.retries,
+            r.connects,
+            r.max_elapsed_ms,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"serve_digest\": \"{digest:#018x}\"\n"));
+    json.push('}');
+    json.push('\n');
+    json
+}
+
+/// `tables chaos`: prints the unfaulted serve digest (for the CI
+/// bit-exactness diff) and the per-scenario campaign table.
+#[cfg(feature = "faults")]
+pub fn chaos() {
+    println!("serve digest (disarmed): {:#018x}", serve_digest());
+    println!(
+        "\nchaos campaign: {CAMPAIGN_SEEDS} seeded transient plans per scenario, \
+         resilient client (5 attempts, replayed ids), toy chain"
+    );
+    println!(
+        "\n{:<13} {:<11} {:>5} {:>9} {:>6} {:>9} {:>6} {:>8} {:>9} {:>11}",
+        "site",
+        "kind",
+        "seeds",
+        "bit-exact",
+        "typed",
+        "mismatch",
+        "fired",
+        "retries",
+        "connects",
+        "max-ms"
+    );
+    let results = run_campaign();
+    for r in &results {
+        println!(
+            "{:<13} {:<11} {:>5} {:>9} {:>6} {:>9} {:>6} {:>8} {:>9} {:>11.1}",
+            r.site,
+            r.kind,
+            r.seeds,
+            r.bit_identical,
+            r.typed_errors,
+            r.mismatches,
+            r.fired,
+            r.retries,
+            r.connects,
+            r.max_elapsed_ms,
+        );
+    }
+    let mismatches: u64 = results.iter().map(|r| r.mismatches).sum();
+    let resolved: u64 = results
+        .iter()
+        .map(|r| r.bit_identical + r.typed_errors)
+        .sum();
+    let total: u64 = results.iter().map(|r| r.seeds).sum();
+    println!(
+        "\n{resolved}/{total} runs resolved (bit-identical or typed), {mismatches} wrong-byte replies"
+    );
+    assert_eq!(mismatches, 0, "a chaos run returned wrong bytes");
+}

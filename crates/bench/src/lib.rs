@@ -1,6 +1,7 @@
 //! Benchmark-harness library: table/figure regenerators and timing helpers
 //! shared by the `tables` binary and the Criterion benches.
 
+pub mod chaos;
 pub mod cpu_baseline;
 pub mod planner;
 pub mod serve_scale;

@@ -1,7 +1,13 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|serve|serve_scale|plan]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|chaos|serve|serve_scale|plan]`
+//!
+//! `tables chaos` (build with `--features faults`) runs the seeded
+//! network/worker chaos campaign through the resilient TCP client and
+//! proves every injected failure resolves bit-identically or as a typed
+//! error; without the feature it prints the unfaulted serve digest CI
+//! diffs against the instrumented build.
 //!
 //! `tables plan` (build with `--features telemetry`) compiles every
 //! shipped `.pos` program through the graph-level evaluation planner and
@@ -27,7 +33,7 @@
 //! columns come from this reproduction. EXPERIMENTS.md records the
 //! comparison.
 
-use poseidon_bench::{planner, tables};
+use poseidon_bench::{chaos, planner, tables};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -72,6 +78,7 @@ fn main() {
     run("ntt", tables::ntt);
     run("hoisting", tables::hoisting);
     run("faults", tables::faults);
+    run("chaos", chaos::chaos);
     run("serve", tables::serve);
     run("serve_scale", tables::serve_scale);
     run("plan", planner::plan);

@@ -196,6 +196,7 @@ pub fn run_cell(h: &Harness, shards: usize, tenants: usize, pipelined: bool) -> 
         queue_capacity: 4096,
         max_batch: 64,
         key_cache_capacity: 8,
+        ..ServiceConfig::default()
     });
     let (addr, _accept) = tcp::listen(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
     let client = tcp::Client::connect(addr).expect("connect");

@@ -68,17 +68,36 @@ pub enum FaultSite {
     /// corruption on the host↔accelerator link or in a network buffer —
     /// the decoder's checksum must catch every flip.
     WireFrame,
+    /// Frame bytes arriving off a serving socket (`poseidon-serve`):
+    /// models receive-path corruption, a peer hanging up mid-frame
+    /// ([`FaultKind::Truncate`]), or the connection dropping outright.
+    SocketRead,
+    /// Frame bytes leaving on a serving socket: models transmit-path
+    /// corruption or a write that fails because the peer vanished.
+    SocketWrite,
+    /// A socket endpoint that stops moving bytes for a while
+    /// ([`FaultKind::Stall`]): the peer's timeout discipline must bound
+    /// the damage.
+    SocketStall,
+    /// A dispatcher shard worker (`poseidon-serve`): the thread panics
+    /// ([`FaultKind::Panic`]) or wedges ([`FaultKind::Stall`]) and the
+    /// watchdog must contain, requeue, and respawn.
+    ShardWorker,
 }
 
 impl FaultSite {
     /// Every site, in hook order.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::RnsResidue,
         FaultSite::NttTwiddle,
         FaultSite::KeyCache,
         FaultSite::ParScratch,
         FaultSite::HbmChannel,
         FaultSite::WireFrame,
+        FaultSite::SocketRead,
+        FaultSite::SocketWrite,
+        FaultSite::SocketStall,
+        FaultSite::ShardWorker,
     ];
 
     /// Stable lower-case name (used by the `tables faults` report).
@@ -90,6 +109,10 @@ impl FaultSite {
             FaultSite::ParScratch => "par_scratch",
             FaultSite::HbmChannel => "hbm_channel",
             FaultSite::WireFrame => "wire_frame",
+            FaultSite::SocketRead => "socket_read",
+            FaultSite::SocketWrite => "socket_write",
+            FaultSite::SocketStall => "socket_stall",
+            FaultSite::ShardWorker => "shard_worker",
         }
     }
 
@@ -101,6 +124,10 @@ impl FaultSite {
             FaultSite::ParScratch => 3,
             FaultSite::HbmChannel => 4,
             FaultSite::WireFrame => 5,
+            FaultSite::SocketRead => 6,
+            FaultSite::SocketWrite => 7,
+            FaultSite::SocketStall => 8,
+            FaultSite::ShardWorker => 9,
         }
     }
 }
@@ -119,6 +146,31 @@ pub enum FaultKind {
     /// Zero a run of `len` words starting at the chosen index (clamped to
     /// the buffer end).
     ZeroRange(usize),
+    /// Deliver only a seeded prefix of the buffer, then behave as a peer
+    /// that vanished mid-frame. Chaos-only: fires through [`disrupt`],
+    /// never through the corruption hooks.
+    Truncate,
+    /// Stop moving for this many milliseconds (a wedged socket or worker).
+    /// Chaos-only: fires through [`disrupt`].
+    Stall(u64),
+    /// Drop the connection outright. Chaos-only: fires through
+    /// [`disrupt`].
+    Disconnect,
+    /// Panic the current thread (a crashed shard worker). Chaos-only:
+    /// fires through [`disrupt`].
+    Panic,
+}
+
+impl FaultKind {
+    /// Control-flow kinds model a disruption (cut, stall, crash) rather
+    /// than data corruption; they fire only through [`disrupt`] and are
+    /// inert in [`tamper`]/[`tamper_bytes`].
+    fn is_control(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Truncate | FaultKind::Stall(_) | FaultKind::Disconnect | FaultKind::Panic
+        )
+    }
 }
 
 /// Whether a plan fires once or on every matching hook hit.
@@ -197,7 +249,11 @@ struct Armed {
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static FIRED: AtomicU64 = AtomicU64::new(0);
-static SITE_HITS: [AtomicU64; 6] = [
+static SITE_HITS: [AtomicU64; 10] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -274,7 +330,7 @@ pub fn tamper(site: FaultSite, buf: &mut [u64]) -> bool {
         return false;
     };
     SITE_HITS[site.index()].fetch_add(1, Ordering::Relaxed);
-    if armed.plan.site != site {
+    if armed.plan.site != site || armed.plan.kind.is_control() {
         return false;
     }
     armed.hits += 1;
@@ -306,6 +362,10 @@ pub fn tamper(site: FaultSite, buf: &mut [u64]) -> bool {
                 *w = 0;
             }
         }
+        // Control kinds were rejected above.
+        FaultKind::Truncate | FaultKind::Stall(_) | FaultKind::Disconnect | FaultKind::Panic => {
+            unreachable!("control kinds fire only through disrupt")
+        }
     }
     armed.fired += 1;
     FIRED.fetch_add(1, Ordering::Relaxed);
@@ -325,7 +385,7 @@ pub fn tamper_bytes(site: FaultSite, buf: &mut [u8]) -> bool {
         return false;
     };
     SITE_HITS[site.index()].fetch_add(1, Ordering::Relaxed);
-    if armed.plan.site != site {
+    if armed.plan.site != site || armed.plan.kind.is_control() {
         return false;
     }
     armed.hits += 1;
@@ -337,7 +397,16 @@ pub fn tamper_bytes(site: FaultSite, buf: &mut [u8]) -> bool {
     }
     let draw = splitmix64(armed.plan.seed ^ armed.hits.wrapping_mul(0xA24B_AED4_963E_E407));
     let idx = (draw % buf.len() as u64) as usize;
-    match armed.plan.kind {
+    corrupt_byte(armed.plan.kind, buf, idx, draw);
+    armed.fired += 1;
+    FIRED.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Applies a corruption kind to `buf[idx]` (shared by [`tamper_bytes`]
+/// and the corrupting arm of [`disrupt`]).
+fn corrupt_byte(kind: FaultKind, buf: &mut [u8], idx: usize, draw: u64) {
+    match kind {
         FaultKind::BitFlip => {
             let bit = (splitmix64(draw) % 8) as u32;
             buf[idx] ^= 1u8 << bit;
@@ -356,10 +425,82 @@ pub fn tamper_bytes(site: FaultSite, buf: &mut [u8]) -> bool {
                 *b = 0;
             }
         }
+        FaultKind::Truncate | FaultKind::Stall(_) | FaultKind::Disconnect | FaultKind::Panic => {
+            unreachable!("control kinds are handled by disrupt before corruption")
+        }
     }
+}
+
+/// What a fired chaos plan asks the call site to model. Corruption is
+/// applied in place; control effects (truncation, stalls, disconnects,
+/// panics) happen outside the buffer, so [`disrupt`] reports them for
+/// the socket/worker code to enact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disruption {
+    /// The buffer was corrupted in place (a data-corruption kind fired).
+    Corrupted,
+    /// Deliver only the first `n` bytes, then behave as a peer that
+    /// vanished mid-frame (`n` is a seeded strict prefix).
+    Truncated(usize),
+    /// Stop moving bytes for this many milliseconds before continuing.
+    Stalled(u64),
+    /// Drop the connection now.
+    Disconnected,
+    /// Panic the current thread.
+    Panicked,
+}
+
+/// The network/worker chaos hook. Same plan machinery as [`tamper`]
+/// (site match, skip, persistence, seeded draws), but the fired effect
+/// may be a control disruption rather than data corruption; the caller
+/// models whatever is returned. Corruption kinds mutate `buf` in place
+/// and report [`Disruption::Corrupted`]; an empty buffer cannot be
+/// corrupted (no fire), while control kinds fire regardless of `buf`.
+///
+/// Disarmed cost is one relaxed atomic load, and consumer crates compile
+/// the call out entirely without their `faults` feature.
+pub fn disrupt(site: FaultSite, buf: &mut [u8]) -> Option<Disruption> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut guard = state().lock().expect("fault injector poisoned");
+    let armed = guard.as_mut()?;
+    SITE_HITS[site.index()].fetch_add(1, Ordering::Relaxed);
+    if armed.plan.site != site {
+        return None;
+    }
+    if !armed.plan.kind.is_control() && buf.is_empty() {
+        return None;
+    }
+    armed.hits += 1;
+    if armed.hits <= armed.plan.skip {
+        return None;
+    }
+    if armed.plan.persistence == Persistence::Transient && armed.fired >= 1 {
+        return None;
+    }
+    let draw = splitmix64(armed.plan.seed ^ armed.hits.wrapping_mul(0xA24B_AED4_963E_E407));
+    let effect = match armed.plan.kind {
+        FaultKind::Truncate => {
+            // A strict prefix: at least one byte is always withheld.
+            Disruption::Truncated(if buf.is_empty() {
+                0
+            } else {
+                (draw % buf.len() as u64) as usize
+            })
+        }
+        FaultKind::Stall(ms) => Disruption::Stalled(ms),
+        FaultKind::Disconnect => Disruption::Disconnected,
+        FaultKind::Panic => Disruption::Panicked,
+        kind => {
+            let idx = (draw % buf.len() as u64) as usize;
+            corrupt_byte(kind, buf, idx, draw);
+            Disruption::Corrupted
+        }
+    };
     armed.fired += 1;
     FIRED.fetch_add(1, Ordering::Relaxed);
-    true
+    Some(effect)
 }
 
 /// Convenience hook for per-limb residue matrices: tampers each row in
@@ -540,6 +681,113 @@ mod tests {
             buf
         };
         assert_eq!(run(), run(), "same seed must corrupt identically");
+    }
+
+    #[test]
+    fn control_kinds_are_inert_in_the_corruption_hooks() {
+        let _l = test_lock();
+        for kind in [
+            FaultKind::Truncate,
+            FaultKind::Stall(50),
+            FaultKind::Disconnect,
+            FaultKind::Panic,
+        ] {
+            arm(FaultPlan::persistent(FaultSite::SocketRead, kind, 9));
+            let mut words = vec![5u64; 8];
+            let mut bytes = vec![5u8; 8];
+            assert!(!tamper(FaultSite::SocketRead, &mut words));
+            assert!(!tamper_bytes(FaultSite::SocketRead, &mut bytes));
+            assert_eq!(words, vec![5u64; 8]);
+            assert_eq!(bytes, vec![5u8; 8]);
+            assert_eq!(fired(), 0, "{kind:?} must not fire through tamper");
+            disarm();
+        }
+    }
+
+    #[test]
+    fn disrupt_reports_control_effects_and_is_reproducible() {
+        let _l = test_lock();
+        let run = || {
+            arm(FaultPlan::transient(
+                FaultSite::SocketRead,
+                FaultKind::Truncate,
+                0x7A0,
+            ));
+            let mut buf = vec![1u8; 100];
+            let effect = disrupt(FaultSite::SocketRead, &mut buf).expect("fires");
+            let Disruption::Truncated(n) = effect else {
+                panic!("expected truncation, got {effect:?}");
+            };
+            assert!(n < buf.len(), "truncation must be a strict prefix");
+            assert_eq!(buf, vec![1u8; 100], "truncation must not corrupt bytes");
+            assert!(disrupt(FaultSite::SocketRead, &mut buf).is_none());
+            disarm();
+            n
+        };
+        assert_eq!(run(), run(), "same seed must truncate identically");
+
+        arm(FaultPlan::transient(
+            FaultSite::ShardWorker,
+            FaultKind::Panic,
+            3,
+        ));
+        assert_eq!(
+            disrupt(FaultSite::ShardWorker, &mut []),
+            Some(Disruption::Panicked),
+            "control kinds fire on an empty buffer"
+        );
+        disarm();
+
+        arm(FaultPlan::transient(
+            FaultSite::SocketStall,
+            FaultKind::Stall(25),
+            4,
+        ));
+        assert_eq!(
+            disrupt(FaultSite::SocketStall, &mut []),
+            Some(Disruption::Stalled(25))
+        );
+        disarm();
+    }
+
+    #[test]
+    fn disrupt_corrupts_in_place_for_data_kinds() {
+        let _l = test_lock();
+        arm(FaultPlan::transient(
+            FaultSite::SocketWrite,
+            FaultKind::BitFlip,
+            0xC0,
+        ));
+        let mut buf = vec![0u8; 32];
+        assert_eq!(
+            disrupt(FaultSite::SocketWrite, &mut buf),
+            Some(Disruption::Corrupted)
+        );
+        assert_eq!(
+            buf.iter().map(|b| b.count_ones()).sum::<u32>(),
+            1,
+            "exactly one bit flipped"
+        );
+        // An empty buffer cannot be corrupted: no fire, still armed.
+        disarm();
+        arm(FaultPlan::transient(
+            FaultSite::SocketWrite,
+            FaultKind::BitFlip,
+            0xC0,
+        ));
+        assert_eq!(disrupt(FaultSite::SocketWrite, &mut []), None);
+        assert_eq!(fired(), 0);
+        disarm();
+    }
+
+    #[test]
+    fn all_sites_are_enumerated_once() {
+        let mut seen = std::collections::HashSet::new();
+        for site in FaultSite::ALL {
+            assert!(seen.insert(site.index()), "duplicate index for {site:?}");
+            assert!(!site.as_str().is_empty());
+        }
+        assert_eq!(seen.len(), FaultSite::ALL.len());
     }
 
     #[test]

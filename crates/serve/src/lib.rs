@@ -68,7 +68,7 @@ mod service;
 mod shard;
 pub mod tcp;
 
-pub use service::{EvalService, ServiceConfig, TenantContext, Ticket};
+pub use service::{EvalService, ServiceConfig, TenantContext, Ticket, DEFAULT_PRIORITY};
 
 /// One evaluation request against a tenant's key material. Ciphertexts
 /// are owned: the service executes asynchronously to the submitter.
@@ -141,11 +141,26 @@ pub enum Request {
 pub enum ServeError {
     /// No tenant registered under this identifier.
     UnknownTenant(String),
-    /// Admission control: the bounded queue is at capacity.
+    /// Admission control: the bounded queue is at capacity. Carries the
+    /// observed depth so client backoff can be informed rather than
+    /// blind.
     QueueFull {
+        /// Jobs queued across all shards at the moment of rejection.
+        depth: usize,
         /// The configured queue bound.
         capacity: usize,
     },
+    /// Graceful degradation: the service is under sustained pressure and
+    /// shed this request because its tenant sits below the current
+    /// priority floor. Higher-priority tenants are still admitted.
+    Overloaded {
+        /// Suggested client backoff before resubmitting, derived from
+        /// the queue depth at shed time.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline elapsed before execution (at admission,
+    /// dequeue, or just before running); no work was performed.
+    DeadlineExceeded,
     /// The evaluation itself failed (missing key, level exhaustion,
     /// integrity escalation, …).
     Eval(EvalError),
@@ -164,7 +179,9 @@ pub enum ServeError {
     Remote {
         /// Server-side error code (1 = unknown tenant, 2 = queue full,
         /// 3 = eval, 4 = wire, 5 = shutting down, 6 = internal,
-        /// 7 = protocol).
+        /// 7 = protocol; codes 8 = overloaded and 9 = deadline exceeded
+        /// are mapped back to their typed variants by the client and
+        /// never surface as `Remote`).
         code: u8,
         /// The server's rendered error message.
         message: String,
@@ -175,11 +192,20 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
-            ServeError::QueueFull { capacity } => {
+            ServeError::QueueFull { depth, capacity } => {
                 write!(
                     f,
-                    "queue full: admission control rejected (capacity {capacity})"
+                    "queue full: admission control rejected (depth {depth} of capacity {capacity})"
                 )
+            }
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded: request shed by priority ladder (retry after {retry_after_ms} ms)"
+                )
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before execution")
             }
             ServeError::Eval(e) => write!(f, "evaluation failed: {e}"),
             ServeError::Wire(e) => write!(f, "wire decode failed: {e}"),
@@ -231,4 +257,9 @@ pub(crate) mod tel {
     scope_fn!(keycache_hit, "serve.keycache.hit");
     scope_fn!(keycache_miss, "serve.keycache.miss");
     scope_fn!(keycache_evict, "serve.keycache.evict");
+    scope_fn!(shed, "serve.shed");
+    scope_fn!(deadline, "serve.deadline");
+    scope_fn!(replay_hit, "serve.replay.hit");
+    scope_fn!(watchdog_restart, "serve.watchdog.restart");
+    scope_fn!(watchdog_requeued, "serve.watchdog.requeued");
 }

@@ -1,11 +1,14 @@
 //! The in-process service: tenant registry (LRU key cache), sharded
-//! bounded queues, and the batching dispatcher workers.
+//! bounded queues, the batching dispatcher workers, and the watchdog
+//! supervisor that restarts them.
 
+use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use he_ckks::cipher::Ciphertext;
 use he_ckks::context::CkksContext;
@@ -16,6 +19,11 @@ use he_ckks::keys::KeySet;
 use crate::key_cache::KeyCache;
 use crate::shard::{dispatch_loop, Job, Reply, SharedQueues};
 use crate::{Request, ServeError};
+
+/// The default tenant priority: tenants never marked otherwise sit here
+/// and are only rejected at the hard [`ServeError::QueueFull`] bound,
+/// never shed by the overload ladder.
+pub const DEFAULT_PRIORITY: u8 = 128;
 
 /// Sizing knobs for the queues and scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +44,20 @@ pub struct ServiceConfig {
     /// dropped and re-decoded from its retained frame on next use.
     /// In-process registrations are pinned and never counted.
     pub key_cache_capacity: usize,
+    /// How often the watchdog scans the dispatcher workers for deaths
+    /// and stalls. `0` disables the watchdog entirely.
+    pub watchdog_interval_ms: u64,
+    /// A worker continuously executing one batch for longer than this is
+    /// declared stalled: its queued jobs fail over to a surviving shard
+    /// and a replacement worker is installed. Generous by default —
+    /// integrity-checked batches are milliseconds, not seconds. `0`
+    /// disables stall detection (deaths are still handled).
+    pub stall_timeout_ms: u64,
+    /// Bound on the idempotent-replay cache: completed `(tenant,
+    /// request id)` results retained so a client retry of an
+    /// already-executed request returns the cached reply instead of
+    /// re-running (exactly-once observable effect). FIFO eviction.
+    pub replay_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +67,9 @@ impl Default for ServiceConfig {
             max_batch: 16,
             shards: 1,
             key_cache_capacity: 64,
+            watchdog_interval_ms: 25,
+            stall_timeout_ms: 10_000,
+            replay_capacity: 256,
         }
     }
 }
@@ -111,19 +136,164 @@ impl Ticket {
             .recv()
             .unwrap_or_else(|_| Err(ServeError::Internal("reply channel dropped".into())))
     }
+
+    /// Blocks for at most `timeout`; `None` means the job is still in
+    /// flight (the ticket stays valid).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Ciphertext, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::Internal("reply channel dropped".into())))
+            }
+        }
+    }
+}
+
+/// Bounded FIFO cache of completed results keyed `(tenant, request
+/// id)`: the server half of safe resubmission. Only *executed* outcomes
+/// are cached (success or a deterministic evaluation error) — admission
+/// rejections never ran, so retrying them must actually run.
+struct ReplayCache {
+    capacity: usize,
+    state: Mutex<ReplayState>,
+}
+
+#[derive(Default)]
+struct ReplayState {
+    map: HashMap<(Arc<str>, u64), Result<Ciphertext, ServeError>>,
+    order: VecDeque<(Arc<str>, u64)>,
+}
+
+impl ReplayCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(ReplayState::default()),
+        }
+    }
+
+    fn get(&self, tenant: &Arc<str>, id: u64) -> Option<Result<Ciphertext, ServeError>> {
+        let state = self.state.lock().expect("replay cache poisoned");
+        state.map.get(&(Arc::clone(tenant), id)).cloned()
+    }
+
+    fn put(&self, tenant: Arc<str>, id: u64, result: Result<Ciphertext, ServeError>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("replay cache poisoned");
+        let key = (tenant, id);
+        if state.map.insert(key.clone(), result).is_none() {
+            state.order.push_back(key);
+            if state.order.len() > self.capacity {
+                if let Some(old) = state.order.pop_front() {
+                    state.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("replay cache poisoned").map.len()
+    }
+}
+
+struct WorkerSlot {
+    handle: JoinHandle<()>,
+}
+
+/// Owns the dispatcher worker handles and performs the watchdog scan:
+/// a finished handle outside shutdown is a death (escaped panic), a
+/// busy-since pulse past the stall bound is a wedge. Either way the
+/// victim shard's queued jobs fail over to a surviving sibling, the
+/// worker's epoch is retired (a recovered zombie exits on observing
+/// it), and a fresh worker is installed.
+struct Supervisor {
+    queues: Arc<SharedQueues>,
+    slots: Mutex<Vec<WorkerSlot>>,
+    stall_timeout_ms: u64,
+}
+
+impl Supervisor {
+    fn spawn_worker(queues: &Arc<SharedQueues>, i: usize, epoch: u64) -> JoinHandle<()> {
+        let q = Arc::clone(queues);
+        std::thread::Builder::new()
+            .name(format!("poseidon-serve-dispatch-{i}"))
+            .spawn(move || dispatch_loop(q, i, epoch))
+            .expect("spawn dispatcher")
+    }
+
+    fn scan(&self) {
+        if self.queues.is_shutdown() {
+            return;
+        }
+        let mut slots = self.slots.lock().expect("worker handles poisoned");
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let dead = slot.handle.is_finished();
+            let stalled = !dead
+                && self.stall_timeout_ms > 0
+                && self.queues.busy_for_ms(i) > self.stall_timeout_ms;
+            if !dead && !stalled {
+                continue;
+            }
+            if self.queues.is_shutdown() {
+                // Workers exit on their own during shutdown; a finished
+                // handle here is drain, not death.
+                return;
+            }
+            let requeued = self.queues.requeue_shard(i);
+            let epoch = self.queues.bump_epoch(i);
+            let fresh = Self::spawn_worker(&self.queues, i, epoch);
+            let old = std::mem::replace(slot, WorkerSlot { handle: fresh });
+            if dead {
+                // Reap the panicked thread. A stalled zombie cannot be
+                // joined (it may be wedged indefinitely); dropping its
+                // handle detaches it, and the retired epoch guarantees
+                // it exits without touching the queues if it recovers.
+                let _ = old.handle.join();
+            }
+            #[cfg(feature = "telemetry")]
+            {
+                crate::tel::watchdog_restart().add(1);
+                if requeued > 0 {
+                    crate::tel::watchdog_requeued().add(requeued as u64);
+                }
+            }
+            #[cfg(not(feature = "telemetry"))]
+            let _ = requeued;
+        }
+    }
+
+    fn shutdown_join(&self) {
+        let handles: Vec<_> = self
+            .slots
+            .lock()
+            .expect("worker handles poisoned")
+            .drain(..)
+            .collect();
+        for slot in handles {
+            let _ = slot.handle.join();
+        }
+    }
 }
 
 /// The batch evaluation service. `shards` dispatcher workers drain
-/// per-tenant-affine bounded queues in batches; see the crate docs for
-/// the scheduling policy.
+/// per-tenant-affine bounded queues in batches under a watchdog
+/// supervisor; see the crate docs for the scheduling and resilience
+/// policies.
 pub struct EvalService {
     queues: Arc<SharedQueues>,
     tenants: KeyCache,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Arc<Supervisor>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+    replay: Arc<ReplayCache>,
+    priorities: Mutex<HashMap<String, u8>>,
 }
 
 impl EvalService {
-    /// Starts the service and its dispatcher workers.
+    /// Starts the service, its dispatcher workers, and (unless
+    /// `watchdog_interval_ms` is 0) the watchdog supervisor thread.
     pub fn start(config: ServiceConfig) -> Arc<Self> {
         let shards = config.shards.max(1);
         let queues = Arc::new(SharedQueues::new(
@@ -131,19 +301,41 @@ impl EvalService {
             config.queue_capacity,
             config.max_batch,
         ));
-        let workers = (0..shards)
-            .map(|i| {
-                let q = Arc::clone(&queues);
-                std::thread::Builder::new()
-                    .name(format!("poseidon-serve-dispatch-{i}"))
-                    .spawn(move || dispatch_loop(q, i))
-                    .expect("spawn dispatcher")
+        let slots = (0..shards)
+            .map(|i| WorkerSlot {
+                handle: Supervisor::spawn_worker(&queues, i, 0),
             })
             .collect();
+        let supervisor = Arc::new(Supervisor {
+            queues: Arc::clone(&queues),
+            slots: Mutex::new(slots),
+            stall_timeout_ms: config.stall_timeout_ms,
+        });
+        let watchdog = if config.watchdog_interval_ms > 0 {
+            let sup = Arc::clone(&supervisor);
+            let interval = Duration::from_millis(config.watchdog_interval_ms);
+            Some(
+                std::thread::Builder::new()
+                    .name("poseidon-serve-watchdog".into())
+                    .spawn(move || loop {
+                        std::thread::sleep(interval);
+                        if sup.queues.is_shutdown() {
+                            return;
+                        }
+                        sup.scan();
+                    })
+                    .expect("spawn watchdog"),
+            )
+        } else {
+            None
+        };
         Arc::new(Self {
             queues,
             tenants: KeyCache::new(config.key_cache_capacity),
-            workers: Mutex::new(workers),
+            supervisor,
+            watchdog: Mutex::new(watchdog),
+            replay: Arc::new(ReplayCache::new(config.replay_capacity)),
+            priorities: Mutex::new(HashMap::new()),
         })
     }
 
@@ -177,6 +369,29 @@ impl EvalService {
         Ok(())
     }
 
+    /// Sets a tenant's priority for the overload ladder. The default is
+    /// [`DEFAULT_PRIORITY`] (128): under sustained pressure, priorities
+    /// below 64 shed at 3/4 queue capacity and priorities below 128 at
+    /// 7/8, both as typed [`ServeError::Overloaded`]; tenants at or
+    /// above the default only ever see the hard
+    /// [`ServeError::QueueFull`] bound.
+    pub fn set_tenant_priority(&self, id: impl Into<String>, priority: u8) {
+        self.priorities
+            .lock()
+            .expect("priorities poisoned")
+            .insert(id.into(), priority);
+    }
+
+    /// The tenant's current overload-ladder priority.
+    pub fn tenant_priority(&self, id: &str) -> u8 {
+        self.priorities
+            .lock()
+            .expect("priorities poisoned")
+            .get(id)
+            .copied()
+            .unwrap_or(DEFAULT_PRIORITY)
+    }
+
     pub(crate) fn tenant(&self, id: &str) -> Result<Option<Arc<Tenant>>, ServeError> {
         self.tenants.get(id)
     }
@@ -208,9 +423,39 @@ impl EvalService {
         self.queues.shard_for(tenant_id, self.queues.shard_count())
     }
 
+    /// Completed results currently retained by the idempotent-replay
+    /// cache (observability for tests and operators).
+    pub fn replay_entries(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Heartbeat count for one dispatcher worker — ticks every time the
+    /// worker returns to the queue, so a flatlined value under load
+    /// means a wedge (the watchdog's view, exposed for observability).
+    pub fn worker_beats(&self, shard: usize) -> u64 {
+        self.queues.beats(shard)
+    }
+
+    /// Current worker generation for one shard: starts at 0, incremented
+    /// each time the watchdog replaces the worker.
+    pub fn worker_epoch(&self, shard: usize) -> u64 {
+        self.queues.epoch(shard)
+    }
+
+    /// Runs one watchdog scan synchronously (deaths and stalls are
+    /// detected exactly as the background thread would) — lets tests
+    /// drive failover deterministically instead of sleeping.
+    pub fn watchdog_scan(&self) {
+        self.supervisor.scan();
+    }
+
     fn lookup(&self, tenant_id: &str) -> Result<Arc<Tenant>, ServeError> {
         self.tenant(tenant_id)?
             .ok_or_else(|| ServeError::UnknownTenant(tenant_id.into()))
+    }
+
+    fn expired(deadline: Option<Instant>) -> bool {
+        deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Enqueues one request. Admission control is strict: a full queue
@@ -218,16 +463,42 @@ impl EvalService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownTenant`], [`ServeError::QueueFull`], or
-    /// [`ServeError::ShuttingDown`].
+    /// [`ServeError::UnknownTenant`], [`ServeError::QueueFull`],
+    /// [`ServeError::Overloaded`], or [`ServeError::ShuttingDown`].
     pub fn submit(&self, tenant_id: &str, request: Request) -> Result<Ticket, ServeError> {
+        self.submit_opts(tenant_id, request, None)
+    }
+
+    /// [`submit`](Self::submit) with an absolute deadline: a request
+    /// whose deadline has already passed is rejected at admission, and
+    /// one that expires while queued is answered with
+    /// [`ServeError::DeadlineExceeded`] at dequeue instead of computing
+    /// dead work.
+    ///
+    /// # Errors
+    ///
+    /// The [`submit`](Self::submit) surface plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn submit_opts(
+        &self,
+        tenant_id: &str,
+        request: Request,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
         let tenant = self.lookup(tenant_id)?;
+        if Self::expired(deadline) {
+            #[cfg(feature = "telemetry")]
+            crate::tel::deadline().add(1);
+            return Err(ServeError::DeadlineExceeded);
+        }
         let (tx, rx) = mpsc::channel();
         self.queues.submit(Job {
             tenant_id: Arc::from(tenant_id),
             tenant,
             request,
-            reply: Reply::Ticket(tx),
+            deadline,
+            priority: self.tenant_priority(tenant_id),
+            reply: Reply::ticket(tx),
         })?;
         Ok(Ticket { rx })
     }
@@ -248,15 +519,69 @@ impl EvalService {
         id: u64,
         sink: impl FnOnce(u64, Result<Ciphertext, ServeError>) + Send + 'static,
     ) -> Result<(), ServeError> {
+        self.submit_tagged_opts(tenant_id, request, id, None, false, sink)
+    }
+
+    /// [`submit_tagged`](Self::submit_tagged) with a deadline and the
+    /// idempotent-replay flag. With `replay` set, an id this tenant
+    /// already executed returns the cached result immediately (the sink
+    /// fires inline; nothing re-runs), and a fresh execution's outcome
+    /// is recorded before the sink sees it — the server half of safe
+    /// client resubmission.
+    ///
+    /// # Errors
+    ///
+    /// The [`submit`](Self::submit) surface plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn submit_tagged_opts(
+        &self,
+        tenant_id: &str,
+        request: Request,
+        id: u64,
+        deadline: Option<Instant>,
+        replay: bool,
+        sink: impl FnOnce(u64, Result<Ciphertext, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
         let tenant = self.lookup(tenant_id)?;
+        let tid: Arc<str> = Arc::from(tenant_id);
+        if replay {
+            if let Some(cached) = self.replay.get(&tid, id) {
+                #[cfg(feature = "telemetry")]
+                crate::tel::replay_hit().add(1);
+                sink(id, cached);
+                return Ok(());
+            }
+        }
+        if Self::expired(deadline) {
+            #[cfg(feature = "telemetry")]
+            crate::tel::deadline().add(1);
+            return Err(ServeError::DeadlineExceeded);
+        }
+        let reply = if replay {
+            let cache = Arc::clone(&self.replay);
+            let key_tenant = Arc::clone(&tid);
+            Reply::tagged(
+                id,
+                Box::new(move |id, result: Result<Ciphertext, ServeError>| {
+                    // Record only executed outcomes: an admission-style
+                    // error (queue full, shutdown, deadline) never ran,
+                    // so a retry must be allowed to actually run.
+                    if matches!(result, Ok(_) | Err(ServeError::Eval(_))) {
+                        cache.put(key_tenant, id, result.clone());
+                    }
+                    sink(id, result);
+                }),
+            )
+        } else {
+            Reply::tagged(id, Box::new(sink))
+        };
         self.queues.submit(Job {
-            tenant_id: Arc::from(tenant_id),
+            tenant_id: tid,
             tenant,
             request,
-            reply: Reply::Tagged {
-                id,
-                sink: Box::new(sink),
-            },
+            deadline,
+            priority: self.tenant_priority(tenant_id),
+            reply,
         })
     }
 
@@ -291,15 +616,15 @@ impl EvalService {
     /// [`ServeError::ShuttingDown`]. Called automatically on drop.
     pub fn shutdown(&self) {
         self.queues.begin_shutdown();
-        let handles: Vec<_> = self
-            .workers
+        if let Some(handle) = self
+            .watchdog
             .lock()
-            .expect("worker handles poisoned")
-            .drain(..)
-            .collect();
-        for handle in handles {
+            .expect("watchdog handle poisoned")
+            .take()
+        {
             let _ = handle.join();
         }
+        self.supervisor.shutdown_join();
     }
 }
 
@@ -322,7 +647,25 @@ fn rotation_key(tenant_id: &Arc<str>, ct: &Ciphertext) -> (Arc<str>, u64, usize,
     )
 }
 
+/// Answers `job` with [`ServeError::DeadlineExceeded`] if its deadline
+/// has passed; returns the job back otherwise.
+fn reap_expired(job: Job) -> Option<Job> {
+    match job.deadline {
+        Some(d) if Instant::now() >= d => {
+            #[cfg(feature = "telemetry")]
+            crate::tel::deadline().add(1);
+            job.reply.send(Err(ServeError::DeadlineExceeded));
+            None
+        }
+        _ => Some(job),
+    }
+}
+
 pub(crate) fn execute_batch(batch: Vec<Job>) {
+    // Dequeue-time deadline check: a request that expired while queued
+    // is answered without computing dead work.
+    let batch: Vec<Job> = batch.into_iter().filter_map(reap_expired).collect();
+
     // Rotation groups: representative ciphertext + member jobs.
     type Key = (Arc<str>, u64, usize, u64);
     let mut groups: Vec<(Key, Vec<Job>)> = Vec::new();
@@ -349,9 +692,17 @@ pub(crate) fn execute_batch(batch: Vec<Job>) {
     }
 
     for (_, jobs) in groups {
-        run_rotation_group(jobs);
+        // Pre-execution deadline check, per member: earlier groups may
+        // have consumed the remaining budget.
+        let jobs: Vec<Job> = jobs.into_iter().filter_map(reap_expired).collect();
+        if !jobs.is_empty() {
+            run_rotation_group(jobs);
+        }
     }
     for job in singles {
+        let Some(job) = reap_expired(job) else {
+            continue;
+        };
         let result = contain(|| run_one(&job.tenant, &job.request).map_err(ServeError::Eval));
         job.reply.send(result);
     }

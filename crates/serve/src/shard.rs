@@ -1,5 +1,5 @@
 //! Sharded dispatch queues: per-tenant shard affinity plus bounded work
-//! stealing.
+//! stealing, heartbeat pulses for the watchdog, and failover requeueing.
 //!
 //! The software analogue of the paper's channel scheduling: Poseidon
 //! keeps all HBM channels busy by statically mapping operands to
@@ -18,18 +18,42 @@
 //! fine-grained per-shard locking would buy nothing and cost deadlock
 //! surface; the single lock also makes admission control (one global
 //! capacity) and shutdown draining trivially race-free.
+//!
+//! Resilience hooks (this layer's contribution to the watchdog in
+//! [`crate::service`]):
+//!
+//! - every worker carries an **epoch**: a replaced worker (stalled,
+//!   superseded by the watchdog) observes the bumped epoch at its next
+//!   queue interaction and exits instead of competing with its
+//!   replacement;
+//! - every shard has a **pulse**: a beats counter plus a busy-since
+//!   timestamp, letting the watchdog distinguish "executing a long
+//!   batch" from "wedged";
+//! - [`SharedQueues::requeue_shard`] migrates a victim shard's queued
+//!   jobs to the least-loaded surviving sibling in submission order, so
+//!   coalescing windows survive failover intact.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 use he_ckks::cipher::Ciphertext;
 
 use crate::service::Tenant;
 use crate::{Request, ServeError};
 
+/// Milliseconds since process start (monotonic). The watchdog's clock:
+/// cheap, `u64`-storable, immune to wall-clock steps.
+pub(crate) fn now_ms() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    let start = *START.get_or_init(Instant::now);
+    Instant::now().duration_since(start).as_millis() as u64
+}
+
 /// How a finished job's result leaves the dispatcher.
-pub(crate) enum Reply {
+enum ReplySink {
     /// The in-process path: one-shot channel behind a
     /// [`Ticket`](crate::Ticket).
     Ticket(mpsc::Sender<Result<Ciphertext, ServeError>>),
@@ -41,13 +65,62 @@ pub(crate) enum Reply {
     },
 }
 
-impl Reply {
-    pub(crate) fn send(self, result: Result<Ciphertext, ServeError>) {
+impl ReplySink {
+    fn dispatch(self, result: Result<Ciphertext, ServeError>) {
         match self {
-            Reply::Ticket(tx) => {
+            ReplySink::Ticket(tx) => {
                 let _ = tx.send(result);
             }
-            Reply::Tagged { id, sink } => sink(id, result),
+            ReplySink::Tagged { id, sink } => sink(id, result),
+        }
+    }
+}
+
+/// A job's reply channel, armed with a drop guard: if a worker dies
+/// mid-batch (an escaped panic unwinds the batch it held), every
+/// unanswered reply resolves as a typed [`ServeError::Internal`] rather
+/// than a silently lost response. Admission-control rejections
+/// [`defuse`](Reply::defuse) the guard — the submitter still owns error
+/// reporting for jobs that never entered a queue.
+pub(crate) struct Reply {
+    inner: Option<ReplySink>,
+}
+
+impl Reply {
+    pub(crate) fn ticket(tx: mpsc::Sender<Result<Ciphertext, ServeError>>) -> Self {
+        Self {
+            inner: Some(ReplySink::Ticket(tx)),
+        }
+    }
+
+    pub(crate) fn tagged(
+        id: u64,
+        sink: Box<dyn FnOnce(u64, Result<Ciphertext, ServeError>) + Send>,
+    ) -> Self {
+        Self {
+            inner: Some(ReplySink::Tagged { id, sink }),
+        }
+    }
+
+    pub(crate) fn send(mut self, result: Result<Ciphertext, ServeError>) {
+        if let Some(sink) = self.inner.take() {
+            sink.dispatch(result);
+        }
+    }
+
+    /// Disarms the drop guard without answering: the job was rejected at
+    /// admission and its error travels back on the submit path instead.
+    pub(crate) fn defuse(&mut self) {
+        self.inner = None;
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if let Some(sink) = self.inner.take() {
+            sink.dispatch(Err(ServeError::Internal(
+                "dispatcher dropped reply (worker died mid-batch)".into(),
+            )));
         }
     }
 }
@@ -56,6 +129,12 @@ pub(crate) struct Job {
     pub(crate) tenant_id: Arc<str>,
     pub(crate) tenant: Arc<Tenant>,
     pub(crate) request: Request,
+    /// Absolute completion deadline; enforced at admission, dequeue, and
+    /// just before execution.
+    pub(crate) deadline: Option<Instant>,
+    /// Tenant priority for the overload ladder (default 128; below 128
+    /// sheds first under pressure).
+    pub(crate) priority: u8,
     pub(crate) reply: Reply,
 }
 
@@ -68,6 +147,14 @@ pub(crate) fn tenant_hash(id: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// One shard's heartbeat, read lock-free by the watchdog. `beats` ticks
+/// every time the worker returns to the queue; `busy_since_ms` is the
+/// [`now_ms`] timestamp when its current batch started (0 = idle).
+pub(crate) struct Pulse {
+    pub(crate) beats: AtomicU64,
+    pub(crate) busy_since_ms: AtomicU64,
 }
 
 struct QueueSet {
@@ -87,6 +174,17 @@ pub(crate) struct SharedQueues {
     cv: Condvar,
     capacity: usize,
     max_batch: usize,
+    /// Per-shard worker generation. A worker spawned at epoch e exits as
+    /// soon as it observes `epochs[me] != e` — the watchdog bumps this
+    /// when it installs a replacement, so a stalled-then-recovered
+    /// zombie never races its successor for jobs.
+    epochs: Vec<AtomicU64>,
+    pulses: Vec<Pulse>,
+    /// Live queue-depth gauges, one per shard (`serve.queue.depth.N`):
+    /// each enqueue/dequeue samples the shard's depth, so
+    /// `items / count` reads as the mean observed depth.
+    #[cfg(feature = "telemetry")]
+    depth_gauges: Vec<Arc<poseidon_telemetry::Metric>>,
 }
 
 impl SharedQueues {
@@ -103,6 +201,19 @@ impl SharedQueues {
             cv: Condvar::new(),
             capacity,
             max_batch: max_batch.max(1),
+            epochs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            pulses: (0..shards)
+                .map(|_| Pulse {
+                    beats: AtomicU64::new(0),
+                    busy_since_ms: AtomicU64::new(0),
+                })
+                .collect(),
+            #[cfg(feature = "telemetry")]
+            depth_gauges: (0..shards)
+                .map(|i| {
+                    poseidon_telemetry::Registry::global().scope_indexed("serve.queue.depth.", i)
+                })
+                .collect(),
         }
     }
 
@@ -114,24 +225,56 @@ impl SharedQueues {
         (tenant_hash(tenant_id) % shard_count as u64) as usize
     }
 
+    #[cfg(feature = "telemetry")]
+    fn sample_depth(&self, q: &QueueSet, shard: usize) {
+        self.depth_gauges[shard].add(q.shards[shard].len() as u64);
+    }
+
     /// Enqueues one job onto its tenant's shard. Strict admission
-    /// control against the *global* capacity.
-    pub(crate) fn submit(&self, job: Job) -> Result<(), ServeError> {
+    /// control against the *global* capacity, with a graceful-
+    /// degradation ladder in front of it: under sustained pressure the
+    /// lowest-priority tenants shed first (typed
+    /// [`ServeError::Overloaded`] with a depth-derived retry hint)
+    /// while higher-priority traffic is still admitted.
+    pub(crate) fn submit(&self, mut job: Job) -> Result<(), ServeError> {
         {
             let mut q = self.state.lock().expect("queue poisoned");
             if q.shutdown {
+                job.reply.defuse();
                 return Err(ServeError::ShuttingDown);
             }
             if q.total >= self.capacity {
                 #[cfg(feature = "telemetry")]
                 crate::tel::reject().add(1);
+                job.reply.defuse();
                 return Err(ServeError::QueueFull {
+                    depth: q.total,
                     capacity: self.capacity,
                 });
+            }
+            // Overload ladder: at 3/4 capacity shed the low tier
+            // (priority < 64); at 7/8 shed everything below the default
+            // (priority < 128). Default-priority tenants ride through to
+            // the hard QueueFull bound.
+            let floor = if q.total >= self.capacity.saturating_mul(7) / 8 {
+                128
+            } else if q.total >= self.capacity.saturating_mul(3) / 4 {
+                64
+            } else {
+                0
+            };
+            if job.priority < floor {
+                #[cfg(feature = "telemetry")]
+                crate::tel::shed().add(1);
+                let retry_after_ms = 10 + 4 * q.total as u64;
+                job.reply.defuse();
+                return Err(ServeError::Overloaded { retry_after_ms });
             }
             let shard = self.shard_for(&job.tenant_id, q.shards.len());
             q.shards[shard].push_back(job);
             q.total += 1;
+            #[cfg(feature = "telemetry")]
+            self.sample_depth(&q, shard);
         }
         #[cfg(feature = "telemetry")]
         crate::tel::enqueue().add(1);
@@ -157,6 +300,75 @@ impl SharedQueues {
         self.cv.notify_all();
     }
 
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.state.lock().expect("queue poisoned").shutdown
+    }
+
+    /// Current worker generation for shard `i`.
+    pub(crate) fn epoch(&self, i: usize) -> u64 {
+        self.epochs[i].load(Ordering::Acquire)
+    }
+
+    /// Retires shard `i`'s current worker generation (the old worker
+    /// exits at its next queue interaction), clears its busy/pulse
+    /// state, and returns the fresh epoch its replacement should run at.
+    pub(crate) fn bump_epoch(&self, i: usize) -> u64 {
+        let fresh = self.epochs[i].fetch_add(1, Ordering::AcqRel) + 1;
+        let mut q = self.state.lock().expect("queue poisoned");
+        q.busy[i] = false;
+        self.pulses[i].busy_since_ms.store(0, Ordering::Release);
+        drop(q);
+        self.cv.notify_all();
+        fresh
+    }
+
+    /// How long shard `i`'s worker has been executing its current batch,
+    /// in milliseconds (0 when idle). The watchdog's stall signal.
+    pub(crate) fn busy_for_ms(&self, i: usize) -> u64 {
+        let since = self.pulses[i].busy_since_ms.load(Ordering::Acquire);
+        if since == 0 {
+            0
+        } else {
+            now_ms().saturating_sub(since).max(1)
+        }
+    }
+
+    /// Heartbeat count for shard `i`'s worker (liveness observability).
+    pub(crate) fn beats(&self, i: usize) -> u64 {
+        self.pulses[i].beats.load(Ordering::Acquire)
+    }
+
+    /// Failover: migrates every job queued on `victim` to the least-
+    /// loaded surviving shard, preserving submission order (the jobs
+    /// stay contiguous, so the coalescing window survives the move).
+    /// Returns how many jobs moved. With a single shard there is no
+    /// survivor; jobs stay put for the respawned worker.
+    pub(crate) fn requeue_shard(&self, victim: usize) -> usize {
+        let mut q = self.state.lock().expect("queue poisoned");
+        if q.shards[victim].is_empty() {
+            return 0;
+        }
+        let Some(target) = (0..q.shards.len())
+            .filter(|&j| j != victim)
+            .min_by_key(|&j| q.shards[j].len())
+        else {
+            return 0;
+        };
+        let moved: Vec<Job> = q.shards[victim].drain(..).collect();
+        let n = moved.len();
+        for job in moved {
+            q.shards[target].push_back(job);
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            self.sample_depth(&q, victim);
+            self.sample_depth(&q, target);
+        }
+        drop(q);
+        self.cv.notify_all();
+        n
+    }
+
     /// Is there a shard worker `me` may steal from? Only shards whose
     /// owner is mid-batch, or whose backlog exceeds one full batch —
     /// an idle owner's short queue is left intact so its coalescing
@@ -168,14 +380,24 @@ impl SharedQueues {
             .max_by_key(|&j| q.shards[j].len())
     }
 
-    /// Blocks until worker `me` has a batch to run. Returns `None` on
-    /// shutdown, after draining `me`'s own shard with
-    /// [`ServeError::ShuttingDown`]. The bool is `true` when the batch
+    /// Blocks until worker `me` (spawned at `epoch`) has a batch to run.
+    /// Returns `None` on shutdown — after draining `me`'s own shard with
+    /// [`ServeError::ShuttingDown`] — or when the watchdog has retired
+    /// this worker's epoch (the shard now belongs to a replacement; exit
+    /// without touching shared state). The bool is `true` when the batch
     /// was stolen from a sibling shard.
-    pub(crate) fn next_batch(&self, me: usize) -> Option<(Vec<Job>, bool)> {
+    pub(crate) fn next_batch(&self, me: usize, epoch: u64) -> Option<(Vec<Job>, bool)> {
         let mut q = self.state.lock().expect("queue poisoned");
+        if self.epochs[me].load(Ordering::Acquire) != epoch {
+            return None;
+        }
         q.busy[me] = false;
+        self.pulses[me].busy_since_ms.store(0, Ordering::Release);
+        self.pulses[me].beats.fetch_add(1, Ordering::AcqRel);
         loop {
+            if self.epochs[me].load(Ordering::Acquire) != epoch {
+                return None;
+            }
             if q.shutdown {
                 let drained: Vec<Job> = q.shards[me].drain(..).collect();
                 q.total -= drained.len();
@@ -191,6 +413,11 @@ impl SharedQueues {
                     let batch: Vec<Job> = q.shards[me].drain(..n).collect();
                     q.total -= batch.len();
                     q.busy[me] = true;
+                    self.pulses[me]
+                        .busy_since_ms
+                        .store(now_ms().max(1), Ordering::Release);
+                    #[cfg(feature = "telemetry")]
+                    self.sample_depth(&q, me);
                     return Some((batch, false));
                 }
                 if let Some(victim) = self.steal_candidate(&q, me) {
@@ -207,6 +434,11 @@ impl SharedQueues {
                     batch.reverse();
                     q.total -= batch.len();
                     q.busy[me] = true;
+                    self.pulses[me]
+                        .busy_since_ms
+                        .store(now_ms().max(1), Ordering::Release);
+                    #[cfg(feature = "telemetry")]
+                    self.sample_depth(&q, victim);
                     return Some((batch, true));
                 }
             }
@@ -215,12 +447,13 @@ impl SharedQueues {
     }
 }
 
-/// One dispatcher worker: drain own shard (or steal), execute, repeat.
-pub(crate) fn dispatch_loop(queues: Arc<SharedQueues>, me: usize) {
+/// One dispatcher worker: drain own shard (or steal), execute, repeat —
+/// until shutdown or until the watchdog retires this worker's `epoch`.
+pub(crate) fn dispatch_loop(queues: Arc<SharedQueues>, me: usize, epoch: u64) {
     #[cfg(feature = "telemetry")]
     let shard_scope = poseidon_telemetry::Registry::global().scope_indexed("serve.shard.", me);
     loop {
-        let Some((batch, stolen)) = queues.next_batch(me) else {
+        let Some((batch, stolen)) = queues.next_batch(me, epoch) else {
             return;
         };
         #[cfg(feature = "telemetry")]
@@ -234,6 +467,21 @@ pub(crate) fn dispatch_loop(queues: Arc<SharedQueues>, me: usize) {
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = stolen;
+        // Chaos hook: a seeded plan at `ShardWorker` can stall this
+        // worker (tripping the stall watchdog) or kill it outright (the
+        // escaped panic unwinds `batch`, whose Reply drop guards answer
+        // every held job with a typed Internal error; the watchdog then
+        // requeues the shard and respawns the worker).
+        #[cfg(feature = "faults")]
+        match poseidon_faults::disrupt(poseidon_faults::FaultSite::ShardWorker, &mut []) {
+            Some(poseidon_faults::Disruption::Stalled(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(poseidon_faults::Disruption::Panicked) => {
+                panic!("injected shard-worker panic");
+            }
+            _ => {}
+        }
         crate::service::execute_batch(batch);
     }
 }

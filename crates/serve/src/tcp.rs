@@ -1,7 +1,7 @@
-//! Multiplexed TCP front-end over the wire format, plus a pipelining
-//! client.
+//! Multiplexed TCP front-end over the wire format, plus pipelining and
+//! self-healing clients.
 //!
-//! ## Protocol (v2)
+//! ## Protocol (v3)
 //!
 //! Both directions speak `u32` little-endian length-prefixed frames
 //! (length excludes the prefix itself; bounded by [`MAX_FRAME`]). Every
@@ -14,10 +14,19 @@
 //!
 //! ```text
 //! request_id: u64 LE
-//! opcode: u8 | tenant_len: u16 LE | tenant: utf-8
+//! opcode: u8 | flags: u8 | ttl_ms: u32 LE
+//! tenant_len: u16 LE | tenant: utf-8
 //! [steps: i64 LE]                     -- Rotate only
 //! blobs: (u32 LE length | bytes)*     -- poseidon-wire frames
 //! ```
+//!
+//! `flags` bit 0 requests **idempotent replay**: the server records the
+//! executed outcome under `(tenant, request_id)`, and a resubmission of
+//! the same id returns the cached reply instead of re-running — the
+//! server half of safe client retries. `ttl_ms` (0 = none) becomes an
+//! absolute **deadline** at parse time, enforced at admission, dequeue,
+//! and pre-execution; an expired request answers with error code 9
+//! instead of computing dead work.
 //!
 //! Two-blob ops: `Add`/`Sub`/`Mul` (two ciphertexts), `AddPlain`/
 //! `MulPlain` (ciphertext, plaintext). One-blob ops: `Square`,
@@ -30,7 +39,27 @@
 //! **Response** frame body: `request_id: u64 LE` (echoed) followed by
 //! status `u8` — `0` = ok then one optional blob (`u32` LE length,
 //! possibly zero, then a ciphertext frame), `1` = error then
-//! `code: u8 | msg_len: u16 LE | msg`.
+//! `code: u8 | retry_after_ms: u32 LE | msg_len: u16 LE | msg`.
+//! `retry_after_ms` is nonzero only for code 8 (overloaded): the
+//! server's backoff hint. The client maps codes 8 and 9 back to the
+//! typed [`ServeError::Overloaded`] / [`ServeError::DeadlineExceeded`];
+//! every other code surfaces as [`ServeError::Remote`].
+//!
+//! ## Resilience
+//!
+//! Both ends run with socket **read/write timeouts**
+//! ([`SocketConfig`]). Reads are *patient while idle*: a connection
+//! with no bytes in flight waits forever, but a peer that goes silent
+//! mid-frame (the slowloris shape: a valid length prefix, then a stall)
+//! trips the timeout and frees the connection without blocking other
+//! sockets. [`ResilientClient`] layers per-request timeouts, capped
+//! exponential backoff with deterministic seeded jitter, automatic
+//! reconnection, and replay-flagged resubmission on top of [`Client`].
+//!
+//! With the `faults` feature, the seeded chaos sites
+//! `SocketRead`/`SocketWrite`/`SocketStall` hook the framed read/write
+//! paths (truncate, corrupt, stall, disconnect) so the failure modes
+//! above are reproducible in tests and campaigns.
 //!
 //! Ciphertext operands are decoded **zero-copy**: the server validates
 //! each frame once through [`poseidon_wire::CiphertextView`] and fills
@@ -48,6 +77,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use he_ckks::cipher::Ciphertext;
 use poseidon_wire::{BufferPool, KeysetAssembler};
@@ -62,6 +92,40 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// parameters a row is ~32 KiB, so the cap bounds pool memory at a few
 /// MiB while covering many in-flight requests.
 const POOL_ROWS: usize = 256;
+
+/// Socket-level timeouts applied to both ends of a connection. Reads
+/// are patient while idle (see the module docs): the read timeout only
+/// trips against a peer stalled *mid-frame*.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketConfig {
+    /// Mid-frame read timeout in milliseconds (0 = never time out).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds (0 = never time out).
+    pub write_timeout_ms: u64,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+        }
+    }
+}
+
+impl SocketConfig {
+    fn apply_read(&self, stream: &TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(
+            (self.read_timeout_ms > 0).then(|| Duration::from_millis(self.read_timeout_ms)),
+        )
+    }
+
+    fn apply_write(&self, stream: &TcpStream) -> io::Result<()> {
+        stream.set_write_timeout(
+            (self.write_timeout_ms > 0).then(|| Duration::from_millis(self.write_timeout_ms)),
+        )
+    }
+}
 
 /// One serving operation, borrowing its operand frames. The generic
 /// surface behind [`Client::request`]; the named convenience methods
@@ -175,6 +239,9 @@ impl Op<'_> {
     }
 }
 
+/// Request flag bit 0: idempotent replay (see the module docs).
+const FLAG_REPLAY: u8 = 1;
+
 fn error_code(e: &ServeError) -> u8 {
     match e {
         ServeError::UnknownTenant(_) => 1,
@@ -183,18 +250,59 @@ fn error_code(e: &ServeError) -> u8 {
         ServeError::Wire(_) => 4,
         ServeError::ShuttingDown => 5,
         ServeError::Internal(_) => 6,
+        ServeError::Overloaded { .. } => 8,
+        ServeError::DeadlineExceeded => 9,
         _ => 7,
     }
 }
 
+/// Fills `buf` exactly. `Ok(false)` means the peer closed cleanly
+/// before the first byte. While `idle_ok` and nothing has arrived, a
+/// socket read timeout just keeps waiting (an idle connection is not an
+/// error); once any byte of `buf` has landed, a timeout is the
+/// slowloris signal and fails the read.
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_ok && filled == 0 {
+                    continue;
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "read timed out mid-frame (stalled peer)",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF before a
-/// prefix.
+/// prefix. Waits out idle periods regardless of the socket read
+/// timeout; times out only against a peer stalled mid-frame.
 fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
     let mut prefix = [0u8; 4];
-    match stream.read_exact(&mut prefix) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    if !read_exact_or_eof(stream, &mut prefix, true)? {
+        return Ok(None);
     }
     let len = u32::from_le_bytes(prefix) as usize;
     if len > MAX_FRAME {
@@ -204,13 +312,90 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
+    if len > 0 && !read_exact_or_eof(stream, &mut body, false)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed between prefix and body",
+        ));
+    }
+    // Chaos hook: seeded plans at `SocketRead` corrupt, truncate, stall,
+    // or sever the inbound frame; every shape must surface as a typed
+    // error (wire checksum, protocol parse, or socket error) downstream.
+    #[cfg(feature = "faults")]
+    match poseidon_faults::disrupt(poseidon_faults::FaultSite::SocketRead, &mut body) {
+        Some(poseidon_faults::Disruption::Truncated(n)) => body.truncate(n),
+        Some(poseidon_faults::Disruption::Stalled(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Some(poseidon_faults::Disruption::Disconnected)
+        | Some(poseidon_faults::Disruption::Panicked) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected read disconnect",
+            ));
+        }
+        Some(poseidon_faults::Disruption::Corrupted) | None => {}
+    }
     Ok(Some(body))
 }
 
+#[cfg(not(feature = "faults"))]
 fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
     stream.write_all(&(body.len() as u32).to_le_bytes())?;
     stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Framed write with the `SocketWrite`/`SocketStall` chaos sites wired
+/// in. The disarmed fast path is byte-identical to the plain writer and
+/// copies nothing.
+#[cfg(feature = "faults")]
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    use poseidon_faults::{disrupt, Disruption, FaultSite};
+    if !poseidon_faults::armed() {
+        stream.write_all(&(body.len() as u32).to_le_bytes())?;
+        stream.write_all(body)?;
+        return stream.flush();
+    }
+    // Mid-frame stall (the slowloris shape, from the writing side): send
+    // the prefix and half the payload, hold the rest for the stall
+    // duration. A peer with a read timeout must trip and free itself.
+    if let Some(Disruption::Stalled(ms)) = disrupt(FaultSite::SocketStall, &mut []) {
+        stream.write_all(&(body.len() as u32).to_le_bytes())?;
+        let half = body.len() / 2;
+        stream.write_all(&body[..half])?;
+        stream.flush()?;
+        std::thread::sleep(Duration::from_millis(ms));
+        stream.write_all(&body[half..])?;
+        return stream.flush();
+    }
+    let mut owned = body.to_vec();
+    match disrupt(FaultSite::SocketWrite, &mut owned) {
+        Some(Disruption::Disconnected) | Some(Disruption::Panicked) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected write disconnect",
+            ));
+        }
+        Some(Disruption::Truncated(n)) => {
+            // Declare the full length but deliver a prefix, then sever:
+            // the peer observes a mid-frame EOF.
+            stream.write_all(&(owned.len() as u32).to_le_bytes())?;
+            stream.write_all(&owned[..n])?;
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected write truncation",
+            ));
+        }
+        Some(Disruption::Stalled(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(Disruption::Corrupted) | None => {}
+    }
+    stream.write_all(&(owned.len() as u32).to_le_bytes())?;
+    stream.write_all(&owned)?;
     stream.flush()
 }
 
@@ -225,12 +410,19 @@ fn ok_response(id: u64, blob: Option<&[u8]>) -> Vec<u8> {
 }
 
 fn err_response(id: u64, e: &ServeError) -> Vec<u8> {
+    let retry_after_ms: u32 = match e {
+        ServeError::Overloaded { retry_after_ms } => {
+            (*retry_after_ms).min(u64::from(u32::MAX)) as u32
+        }
+        _ => 0,
+    };
     let msg = e.to_string();
     let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
-    let mut out = Vec::with_capacity(12 + msg.len());
+    let mut out = Vec::with_capacity(16 + msg.len());
     out.extend_from_slice(&id.to_le_bytes());
     out.push(1);
     out.push(error_code(e));
+    out.extend_from_slice(&retry_after_ms.to_le_bytes());
     out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
     out.extend_from_slice(msg);
     out
@@ -300,9 +492,10 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriterMsg>, pool: Arc<B
             }
             WriterMsg::Done { id, result } => {
                 let Some(ctx) = pending.remove(&id) else {
-                    // Protocol invariant broken server-side; drop the
-                    // connection rather than answer nonsense.
-                    break;
+                    // A stray completion (e.g. a drop-guard reply racing
+                    // an already-answered id) is dropped, not fatal: the
+                    // client resolved this id already.
+                    continue;
                 };
                 match *result {
                     Ok(ct) => {
@@ -374,6 +567,12 @@ fn process_body(
     tx: &mpsc::Sender<WriterMsg>,
 ) -> Result<(), ServeError> {
     let code = r.take(1)?[0];
+    let flags = r.take(1)?[0];
+    let ttl_ms = u32::from_le_bytes(r.take(4)?.try_into().expect("4-byte slice"));
+    // The deadline is anchored at parse time: queueing and execution all
+    // happen inside the client's budget from here on.
+    let deadline = (ttl_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(ttl_ms)));
+    let replay = flags & FLAG_REPLAY != 0;
     let tenant_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
     let tenant = std::str::from_utf8(r.take(tenant_len)?)
         .map_err(|_| ServeError::Protocol("tenant id is not utf-8".into()))?
@@ -449,16 +648,18 @@ fn process_body(
     r.done()?;
 
     // Expect strictly precedes Done on the writer channel: the sink can
-    // only fire after submit_tagged enqueues the job, which happens
-    // after this send.
+    // only fire after submit enqueues the job (or, on a replay-cache
+    // hit, inline below) — both after this send.
     let _ = tx.send(WriterMsg::Expect { id, ctx });
     let done_tx = tx.clone();
-    if let Err(e) = service.submit_tagged(&tenant, request, id, move |id, result| {
-        let _ = done_tx.send(WriterMsg::Done {
-            id,
-            result: Box::new(result),
-        });
-    }) {
+    if let Err(e) =
+        service.submit_tagged_opts(&tenant, request, id, deadline, replay, move |id, result| {
+            let _ = done_tx.send(WriterMsg::Done {
+                id,
+                result: Box::new(result),
+            });
+        })
+    {
         // The job never entered a queue; answer through the same path
         // so the writer clears its Expect entry.
         let _ = tx.send(WriterMsg::Done {
@@ -469,10 +670,17 @@ fn process_body(
     Ok(())
 }
 
-fn handle_connection(service: Arc<EvalService>, mut stream: TcpStream, pool: Arc<BufferPool>) {
+fn handle_connection(
+    service: Arc<EvalService>,
+    mut stream: TcpStream,
+    pool: Arc<BufferPool>,
+    socket: SocketConfig,
+) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let _ = socket.apply_read(&stream);
+    let _ = socket.apply_write(&write_half);
     let (tx, rx) = mpsc::channel();
     let writer_pool = Arc::clone(&pool);
     let Ok(writer) = std::thread::Builder::new()
@@ -494,18 +702,16 @@ fn handle_connection(service: Arc<EvalService>, mut stream: TcpStream, pool: Arc
     let _ = writer.join();
 }
 
-/// Binds `addr` and serves connections on background threads; returns
-/// the bound address (use port 0 for an ephemeral port) and the acceptor
-/// handle. The acceptor runs until the process exits or the listener
-/// errors; per-connection threads are detached. All connections share
-/// one decode [`BufferPool`].
+/// [`listen`] with explicit socket timeouts — the short-timeout knob
+/// the slowloris tests turn.
 ///
 /// # Errors
 ///
 /// Propagates the bind failure.
-pub fn listen(
+pub fn listen_with(
     service: Arc<EvalService>,
     addr: impl ToSocketAddrs,
+    socket: SocketConfig,
 ) -> io::Result<(SocketAddr, JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -519,10 +725,26 @@ pub fn listen(
                 let pool = Arc::clone(&pool);
                 let _ = std::thread::Builder::new()
                     .name("poseidon-serve-conn".into())
-                    .spawn(move || handle_connection(service, stream, pool));
+                    .spawn(move || handle_connection(service, stream, pool, socket));
             }
         })?;
     Ok((local, handle))
+}
+
+/// Binds `addr` and serves connections on background threads; returns
+/// the bound address (use port 0 for an ephemeral port) and the acceptor
+/// handle. The acceptor runs until the process exits or the listener
+/// errors; per-connection threads are detached. All connections share
+/// one decode [`BufferPool`] and the default [`SocketConfig`] timeouts.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn listen(
+    service: Arc<EvalService>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    listen_with(service, addr, SocketConfig::default())
 }
 
 // ---------------------------------------------------------------------------
@@ -543,6 +765,20 @@ struct ClientShared {
     next_id: AtomicU64,
 }
 
+/// Per-request knobs for [`Client::submit_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Explicit request id. `None` draws from the client's counter; a
+    /// caller supplying ids (the replay path) owns their uniqueness.
+    pub id: Option<u64>,
+    /// Deadline budget shipped to the server (0 = none): enforced at
+    /// admission, dequeue, and pre-execution over there.
+    pub ttl_ms: u32,
+    /// Request idempotent replay: the server caches this id's executed
+    /// outcome, and a resubmission returns the cached reply.
+    pub replay: bool,
+}
+
 /// One submitted request on a [`Client`]; [`wait`](PendingReply::wait)
 /// blocks for the server's reply. Dropping it abandons the reply.
 #[derive(Debug)]
@@ -561,12 +797,24 @@ impl PendingReply {
     ///
     /// # Errors
     ///
-    /// The server's [`ServeError::Remote`], or [`ServeError::Io`] if the
+    /// The server's [`ServeError`], or [`ServeError::Io`] if the
     /// connection died first.
     pub fn wait(self) -> Result<Option<Vec<u8>>, ServeError> {
         self.rx
             .recv()
             .unwrap_or_else(|_| Err(ServeError::Io("connection closed".into())))
+    }
+
+    /// Blocks for at most `timeout`; `None` means no reply yet (the
+    /// pending reply stays valid and can be waited again).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Option<Vec<u8>>, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::Io("connection closed".into())))
+            }
+        }
     }
 }
 
@@ -584,14 +832,26 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a serving endpoint and starts the reply-demux reader.
+    /// Connects to a serving endpoint and starts the reply-demux reader,
+    /// with the default [`SocketConfig`] timeouts.
     ///
     /// # Errors
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with(addr, SocketConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_with(addr: impl ToSocketAddrs, socket: SocketConfig) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let read_half = stream.try_clone()?;
+        socket.apply_write(&stream)?;
+        socket.apply_read(&read_half)?;
         let shared = Arc::new(ClientShared {
             writer: Mutex::new(stream),
             pending: Mutex::new(PendingMap {
@@ -620,7 +880,25 @@ impl Client {
     ///
     /// [`ServeError::Io`] if the connection is closed or the send fails.
     pub fn submit(&self, tenant: &str, op: Op<'_>) -> Result<PendingReply, ServeError> {
-        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_opts(tenant, op, SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with per-request options: explicit id,
+    /// deadline budget, and the idempotent-replay flag — the primitives
+    /// [`ResilientClient`] builds safe resubmission from.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection is closed or the send fails.
+    pub fn submit_opts(
+        &self,
+        tenant: &str,
+        op: Op<'_>,
+        opts: SubmitOptions,
+    ) -> Result<PendingReply, ServeError> {
+        let id = opts
+            .id
+            .unwrap_or_else(|| self.shared.next_id.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = mpsc::channel();
         {
             let mut pending = self.shared.pending.lock().expect("pending map poisoned");
@@ -633,6 +911,8 @@ impl Client {
         let mut body = Vec::new();
         body.extend_from_slice(&id.to_le_bytes());
         body.push(op.code());
+        body.push(if opts.replay { FLAG_REPLAY } else { 0 });
+        body.extend_from_slice(&opts.ttl_ms.to_le_bytes());
         let tenant_bytes = tenant.as_bytes();
         let tenant_bytes = &tenant_bytes[..tenant_bytes.len().min(u16::MAX as usize)];
         body.extend_from_slice(&(tenant_bytes.len() as u16).to_le_bytes());
@@ -798,6 +1078,18 @@ impl Client {
 
 impl Drop for Client {
     fn drop(&mut self) {
+        // Fail outstanding requests with a typed error *before* tearing
+        // the socket down: a waiter never observes a silent hang, even
+        // if the reader thread is itself wedged on a half-closed socket.
+        {
+            let mut pending = self.shared.pending.lock().expect("pending map poisoned");
+            if pending.dead.is_none() {
+                pending.dead = Some("client dropped".into());
+            }
+            for (_, tx) in pending.replies.drain() {
+                let _ = tx.send(Err(ServeError::Io("client dropped".into())));
+            }
+        }
         let _ = self.read_half.shutdown(Shutdown::Both);
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
@@ -831,7 +1123,9 @@ fn reader_loop(stream: &mut TcpStream, shared: &ClientShared) {
         }
     };
     let mut pending = shared.pending.lock().expect("pending map poisoned");
-    pending.dead = Some(reason.clone());
+    if pending.dead.is_none() {
+        pending.dead = Some(reason.clone());
+    }
     for (_, tx) in pending.replies.drain() {
         let _ = tx.send(Err(ServeError::Io(reason.clone())));
     }
@@ -851,11 +1145,278 @@ fn parse_reply(body: &[u8]) -> Result<Option<Vec<u8>>, ServeError> {
         }
         1 => {
             let code = r.take(1)?[0];
+            let retry_after_ms = u64::from(u32::from_le_bytes(
+                r.take(4)?.try_into().expect("4-byte slice"),
+            ));
             let len = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice")) as usize;
             let message = String::from_utf8_lossy(r.take(len)?).into_owned();
             r.done()?;
-            Err(ServeError::Remote { code, message })
+            Err(match code {
+                8 => ServeError::Overloaded { retry_after_ms },
+                9 => ServeError::DeadlineExceeded,
+                code => ServeError::Remote { code, message },
+            })
         }
         s => Err(ServeError::Protocol(format!("unknown response status {s}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient client
+// ---------------------------------------------------------------------------
+
+/// Retry/backoff/timeout policy for [`ResilientClient`]. Backoff is
+/// capped exponential with deterministic seeded jitter — two clients
+/// built from the same seed retry on identical schedules, which is what
+/// lets the chaos campaign assert its outcomes bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries per request (first attempt included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry k is `min(base << (k-1), max) + jitter`.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling (pre-jitter).
+    pub max_backoff_ms: u64,
+    /// Per-attempt reply timeout; an attempt that exceeds it abandons
+    /// the connection and retries. `0` waits forever.
+    pub request_timeout_ms: u64,
+    /// Deadline budget attached to every attempt (protocol `ttl_ms`;
+    /// 0 = none).
+    pub ttl_ms: u32,
+    /// Seed for the jitter stream and the request-id range (replayed
+    /// ids must stay unique across reconnects, so they draw from a
+    /// seeded 64-bit range, not the per-connection counter).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            request_timeout_ms: 5_000,
+            ttl_ms: 0,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// SplitMix64 — the same deterministic stream the fault injector uses.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A self-healing wrapper over [`Client`]: per-request timeout, capped
+/// exponential backoff with seeded jitter, automatic reconnection, and
+/// replay-flagged resubmission. Every request ships the replay flag, so
+/// a retry of a request the server already executed returns the cached
+/// reply — the observable effect is exactly-once even when the
+/// connection dies mid-flight.
+///
+/// Retryable failures: local socket errors, per-attempt timeouts,
+/// [`ServeError::Overloaded`] (honouring its retry-after hint), and the
+/// remote queue-full/internal codes. Everything else (unknown tenant,
+/// eval errors, protocol desync, deadline exhaustion) returns
+/// immediately.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    socket: SocketConfig,
+    policy: RetryPolicy,
+    conn: Mutex<Option<Client>>,
+    jitter: Mutex<u64>,
+    next_id: AtomicU64,
+    connects: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl ResilientClient {
+    /// Resolves `addr` once and connects eagerly (the address is kept
+    /// for reconnects).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or initial connect failure.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        socket: SocketConfig,
+        policy: RetryPolicy,
+    ) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let client = Self {
+            addr,
+            socket,
+            policy: RetryPolicy {
+                max_attempts: policy.max_attempts.max(1),
+                ..policy
+            },
+            conn: Mutex::new(None),
+            jitter: Mutex::new(splitmix64(policy.jitter_seed)),
+            // Replay ids must not collide across reconnects (a fresh
+            // Client counts from 1), so they draw from a seeded range
+            // with the top bit set.
+            next_id: AtomicU64::new(splitmix64(policy.jitter_seed ^ 0xA5A5_5A5A) | (1 << 63)),
+            connects: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Connections established so far (1 = never reconnected).
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+
+    /// Resubmissions performed so far across all requests.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn ensure_connected(&self) -> io::Result<()> {
+        let mut conn = self.conn.lock().expect("connection poisoned");
+        if conn.is_none() {
+            *conn = Some(Client::connect_with(self.addr, self.socket)?);
+            self.connects.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn drop_conn(&self) {
+        *self.conn.lock().expect("connection poisoned") = None;
+    }
+
+    fn next_jitter(&self) -> u64 {
+        let mut state = self.jitter.lock().expect("jitter poisoned");
+        *state = splitmix64(*state);
+        *state
+    }
+
+    fn backoff_ms(&self, attempt: u32, hint_ms: Option<u64>) -> u64 {
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.policy.max_backoff_ms);
+        let base = hint_ms.map_or(exp, |h| h.max(exp).min(self.policy.max_backoff_ms.max(h)));
+        let jitter_span = self.policy.base_backoff_ms.max(1);
+        base + self.next_jitter() % jitter_span
+    }
+
+    fn attempt(&self, tenant: &str, op: Op<'_>, id: u64) -> Result<Option<Vec<u8>>, ServeError> {
+        self.ensure_connected()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let pending = {
+            let conn = self.conn.lock().expect("connection poisoned");
+            let client = conn.as_ref().expect("connection established above");
+            match client.submit_opts(
+                tenant,
+                op,
+                SubmitOptions {
+                    id: Some(id),
+                    ttl_ms: self.policy.ttl_ms,
+                    replay: true,
+                },
+            ) {
+                Ok(pending) => pending,
+                Err(e) => {
+                    drop(conn);
+                    self.drop_conn();
+                    return Err(e);
+                }
+            }
+        };
+        if self.policy.request_timeout_ms == 0 {
+            return pending.wait();
+        }
+        match pending.wait_timeout(Duration::from_millis(self.policy.request_timeout_ms)) {
+            Some(Ok(reply)) => Ok(reply),
+            Some(Err(e)) => {
+                if matches!(e, ServeError::Io(_)) {
+                    self.drop_conn();
+                }
+                Err(e)
+            }
+            None => {
+                // The attempt outlived its budget: the connection is
+                // suspect (stalled server, lost reply). Abandon it; the
+                // replay flag makes resubmission safe.
+                self.drop_conn();
+                Err(ServeError::Io(format!(
+                    "request {id} timed out after {} ms",
+                    self.policy.request_timeout_ms
+                )))
+            }
+        }
+    }
+
+    /// One request with the full resilience ladder: submit with replay,
+    /// bounded wait, reconnect + seeded backoff + resubmit on retryable
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`ServeError`] once retries are exhausted, or
+    /// the first non-retryable failure.
+    pub fn request(&self, tenant: &str, op: Op<'_>) -> Result<Option<Vec<u8>>, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(tenant, op, id) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    let hint = match &e {
+                        ServeError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                        _ => None,
+                    };
+                    let retryable = matches!(
+                        e,
+                        ServeError::Io(_)
+                            | ServeError::Overloaded { .. }
+                            | ServeError::QueueFull { .. }
+                            | ServeError::Remote { code: 2 | 6, .. }
+                    );
+                    attempt += 1;
+                    if !retryable || attempt >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(self.backoff_ms(attempt - 1, hint)));
+                }
+            }
+        }
+    }
+
+    /// Registers a tenant from a key-set frame, with the same retry
+    /// ladder (registration replaces the tenant, so it is naturally
+    /// idempotent).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn register_tenant(&self, tenant: &str, keyset_frame: &[u8]) -> Result<(), ServeError> {
+        self.request(
+            tenant,
+            Op::RegisterTenant {
+                keyset: keyset_frame,
+            },
+        )
+        .map(|_| ())
+    }
+
+    /// Blocking convenience: expects a ciphertext reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn call(&self, tenant: &str, op: Op<'_>) -> Result<Vec<u8>, ServeError> {
+        self.request(tenant, op)?
+            .ok_or_else(|| ServeError::Protocol("expected a ciphertext in response".into()))
     }
 }

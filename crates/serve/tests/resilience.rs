@@ -1,0 +1,378 @@
+//! Resilience semantics that need no fault injection: deadline
+//! enforcement at admission and dequeue, the graceful-degradation
+//! priority ladder, the idempotent replay cache, bounded ticket waits,
+//! and the pinned rendering of the enriched error variants.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use he_ckks::cipher::Plaintext;
+use he_ckks::context::CkksContext;
+use he_ckks::encoding::Complex;
+use he_ckks::keys::KeySet;
+use he_ckks::params::CkksParams;
+use poseidon_serve::{EvalService, Request, ServeError, ServiceConfig, DEFAULT_PRIORITY};
+use rand::SeedableRng;
+
+fn setup() -> (CkksContext, KeySet, rand::rngs::StdRng) {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9E51);
+    let keys = KeySet::generate(&ctx, &mut rng);
+    (ctx, keys, rng)
+}
+
+fn encrypt(
+    ctx: &CkksContext,
+    keys: &KeySet,
+    rng: &mut rand::rngs::StdRng,
+    values: &[Complex],
+) -> he_ckks::cipher::Ciphertext {
+    let pt = Plaintext::new(
+        ctx.encoder()
+            .encode_rns(ctx.chain_basis(), values, ctx.default_scale()),
+        ctx.default_scale(),
+    );
+    keys.public().encrypt(&pt, rng)
+}
+
+/// The enriched error variants render exactly these strings — clients
+/// and log scrapers key on them.
+#[test]
+fn error_display_is_pinned() {
+    assert_eq!(
+        ServeError::QueueFull {
+            depth: 7,
+            capacity: 8
+        }
+        .to_string(),
+        "queue full: admission control rejected (depth 7 of capacity 8)"
+    );
+    assert_eq!(
+        ServeError::Overloaded { retry_after_ms: 42 }.to_string(),
+        "overloaded: request shed by priority ladder (retry after 42 ms)"
+    );
+    assert_eq!(
+        ServeError::DeadlineExceeded.to_string(),
+        "deadline exceeded before execution"
+    );
+}
+
+/// A deadline already in the past is rejected at admission — nothing is
+/// queued, nothing runs.
+#[test]
+fn expired_deadline_rejected_at_admission() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+
+    let past = Instant::now() - Duration::from_millis(5);
+    let err = service
+        .submit_opts("acme", Request::Rescale { a: ct }, Some(past))
+        .expect_err("expired deadline must be rejected");
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    assert_eq!(service.queue_depth(), 0, "nothing may have been queued");
+    service.shutdown();
+}
+
+/// A deadline that elapses while the job sits in the queue is answered
+/// with `DeadlineExceeded` at dequeue; a sibling without a deadline
+/// still executes.
+#[test]
+fn deadline_elapsing_in_queue_is_typed_not_executed() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+
+    service.suspend();
+    let doomed = service
+        .submit_opts(
+            "acme",
+            Request::Rescale { a: ct.clone() },
+            Some(Instant::now() + Duration::from_millis(10)),
+        )
+        .expect("admitted while fresh");
+    let unbounded = service
+        .submit("acme", Request::Rescale { a: ct })
+        .expect("no deadline");
+    std::thread::sleep(Duration::from_millis(30));
+    service.resume();
+
+    assert_eq!(doomed.wait(), Err(ServeError::DeadlineExceeded));
+    unbounded.wait().expect("undeadlined sibling still served");
+    service.shutdown();
+}
+
+/// `Ticket::wait_timeout` returns `None` while the reply is pending and
+/// the eventual result after — a bounded wait that never hangs.
+#[test]
+fn ticket_wait_timeout_bounds_the_wait() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+
+    service.suspend();
+    let ticket = service
+        .submit("acme", Request::Rescale { a: ct })
+        .expect("submit");
+    assert!(
+        ticket.wait_timeout(Duration::from_millis(50)).is_none(),
+        "suspended service must not answer"
+    );
+    service.resume();
+    ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("resumed service answers")
+        .expect("rescale succeeds");
+    service.shutdown();
+}
+
+/// The degradation ladder sheds below-default-priority tenants as the
+/// queue fills — with a depth-derived retry hint — while default
+/// tenants ride to the hard capacity bound.
+#[test]
+fn overload_ladder_sheds_low_priority_first() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig {
+        queue_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant("acme", ctx.clone(), keys.clone());
+    service.register_tenant("batch-tier", ctx, keys);
+    service.set_tenant_priority("batch-tier", 10);
+    assert_eq!(service.tenant_priority("acme"), DEFAULT_PRIORITY);
+    assert_eq!(service.tenant_priority("batch-tier"), 10);
+
+    service.suspend();
+    let mut tickets = Vec::new();
+    // Below 3/4 capacity nobody is shed — the low tier is admitted.
+    for _ in 0..5 {
+        tickets.push(
+            service
+                .submit("batch-tier", Request::Rescale { a: ct.clone() })
+                .expect("below the ladder, low priority admitted"),
+        );
+    }
+    tickets.push(
+        service
+            .submit("acme", Request::Rescale { a: ct.clone() })
+            .expect("sixth job"),
+    );
+    // Depth 6 ≥ 3/4 of 8: the floor rises above the low tier.
+    let err = service
+        .submit("batch-tier", Request::Rescale { a: ct.clone() })
+        .expect_err("low priority shed under pressure");
+    match err {
+        ServeError::Overloaded { retry_after_ms } => {
+            assert_eq!(retry_after_ms, 10 + 4 * 6, "hint derives from depth");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Default-priority tenants are never shed — they ride to capacity...
+    for _ in 0..2 {
+        tickets.push(
+            service
+                .submit("acme", Request::Rescale { a: ct.clone() })
+                .expect("default priority admitted to capacity"),
+        );
+    }
+    // ...and then hit the hard bound, never the ladder.
+    let err = service
+        .submit("acme", Request::Rescale { a: ct.clone() })
+        .expect_err("full queue");
+    assert_eq!(
+        err,
+        ServeError::QueueFull {
+            depth: 8,
+            capacity: 8
+        }
+    );
+
+    service.resume();
+    for t in tickets {
+        t.wait().expect("admitted job served after the storm");
+    }
+    service.shutdown();
+}
+
+/// The replay cache makes resubmission idempotent: the second
+/// submission of an executed id returns the cached ciphertext without
+/// re-running, bit-identically.
+#[test]
+fn replayed_resubmission_is_idempotent_and_bit_identical() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.25)]);
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+
+    let run = |id: u64| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        service
+            .submit_tagged_opts(
+                "acme",
+                Request::Rescale { a: ct.clone() },
+                id,
+                None,
+                true,
+                move |_, result| {
+                    tx.send(result).expect("sink channel");
+                },
+            )
+            .expect("submit");
+        rx.recv().expect("sink fired").expect("rescale succeeds")
+    };
+
+    let first = run(77);
+    assert_eq!(service.replay_entries(), 1, "executed outcome cached");
+    let beats_before: u64 = (0..service.shards()).map(|s| service.worker_beats(s)).sum();
+    let replayed = run(77);
+    assert_eq!(first.c0(), replayed.c0(), "replay must be bit-identical");
+    assert_eq!(first.c1(), replayed.c1(), "replay must be bit-identical");
+    assert_eq!(service.replay_entries(), 1, "no duplicate entry");
+    let beats_after: u64 = (0..service.shards()).map(|s| service.worker_beats(s)).sum();
+    assert_eq!(
+        beats_before, beats_after,
+        "a replay hit must not wake a dispatcher"
+    );
+
+    // A different id executes fresh and is cached separately.
+    let other = run(78);
+    assert_eq!(service.replay_entries(), 2);
+    assert_eq!(other.c0(), first.c0(), "same op, same bytes");
+    service.shutdown();
+}
+
+/// Admission-type failures are never cached: a request that expired
+/// before running may be resubmitted under the same id and actually
+/// execute.
+#[test]
+fn unexecuted_outcomes_are_not_cached_for_replay() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+
+    let past = Instant::now() - Duration::from_millis(5);
+    let err = service
+        .submit_tagged_opts(
+            "acme",
+            Request::Rescale { a: ct.clone() },
+            91,
+            Some(past),
+            true,
+            |_, _| panic!("sink must not fire for an admission rejection"),
+        )
+        .expect_err("expired at admission");
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    assert_eq!(service.replay_entries(), 0, "rejection must not be cached");
+
+    // The same id, now within deadline, runs for real.
+    let (tx, rx) = std::sync::mpsc::channel();
+    service
+        .submit_tagged_opts(
+            "acme",
+            Request::Rescale { a: ct },
+            91,
+            None,
+            true,
+            move |_, result| {
+                tx.send(result).expect("sink channel");
+            },
+        )
+        .expect("resubmit");
+    rx.recv().expect("sink fired").expect("executed this time");
+    assert_eq!(service.replay_entries(), 1);
+    service.shutdown();
+}
+
+/// The replay cache is bounded FIFO: old entries evict, the service does
+/// not grow without bound under replay-flagged traffic.
+#[test]
+fn replay_cache_is_bounded() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig {
+        replay_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant("acme", ctx, keys);
+
+    for id in 0..10u64 {
+        let (tx, rx) = std::sync::mpsc::channel();
+        service
+            .submit_tagged_opts(
+                "acme",
+                Request::Rescale { a: ct.clone() },
+                id,
+                None,
+                true,
+                move |_, result| {
+                    tx.send(result).expect("sink channel");
+                },
+            )
+            .expect("submit");
+        rx.recv().expect("sink fired").expect("rescale succeeds");
+    }
+    assert_eq!(service.replay_entries(), 4, "FIFO bound holds");
+    service.shutdown();
+}
+
+/// On a healthy service the watchdog is a no-op: scans never bump an
+/// epoch, and worker pulses keep advancing.
+#[test]
+fn watchdog_is_quiescent_on_a_healthy_service() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig {
+        shards: 2,
+        // Manual scans only: determinism for the assertions below.
+        watchdog_interval_ms: 0,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant("acme", ctx, keys);
+
+    for _ in 0..3 {
+        service
+            .call("acme", Request::Rescale { a: ct.clone() })
+            .expect("rescale");
+        service.watchdog_scan();
+    }
+    for shard in 0..service.shards() {
+        assert_eq!(
+            service.worker_epoch(shard),
+            0,
+            "healthy workers must never be replaced"
+        );
+    }
+    let total_beats: u64 = (0..service.shards()).map(|s| service.worker_beats(s)).sum();
+    assert!(total_beats > 0, "pulses must advance under traffic");
+    service.shutdown();
+}
+
+/// Shutdown with a live watchdog thread terminates cleanly — the
+/// watchdog must not scan (and "restart") workers that are exiting.
+#[test]
+fn shutdown_races_cleanly_with_the_watchdog() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig {
+        shards: 2,
+        watchdog_interval_ms: 1,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant("acme", ctx, keys);
+    let svc = Arc::clone(&service);
+    let pounder = std::thread::spawn(move || {
+        for _ in 0..5 {
+            let _ = svc.call("acme", Request::Rescale { a: ct.clone() });
+        }
+    });
+    pounder.join().expect("traffic thread");
+    service.shutdown();
+    for shard in 0..service.shards() {
+        assert_eq!(service.worker_epoch(shard), 0, "no spurious restarts");
+    }
+}

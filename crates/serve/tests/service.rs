@@ -157,7 +157,13 @@ fn queue_full_rejects_with_capacity() {
     let err = service
         .submit("acme", Request::Rescale { a: ct.clone() })
         .expect_err("third should be rejected");
-    assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+    assert_eq!(
+        err,
+        ServeError::QueueFull {
+            depth: 2,
+            capacity: 2
+        }
+    );
     service.resume();
     t1.wait().expect("first survives the rejection");
     t2.wait().expect("second survives the rejection");

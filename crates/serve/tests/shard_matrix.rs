@@ -172,7 +172,13 @@ fn concurrent_submission_respects_the_global_bound() {
         match outcome {
             Ok(ticket) => tickets.push(ticket),
             Err(e) => {
-                assert_eq!(e, ServeError::QueueFull { capacity: 4 });
+                assert_eq!(
+                    e,
+                    ServeError::QueueFull {
+                        depth: 4,
+                        capacity: 4
+                    }
+                );
                 rejected += 1;
             }
         }

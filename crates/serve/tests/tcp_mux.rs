@@ -191,6 +191,84 @@ fn chunked_registration_serves_identically_to_whole_frame() {
     assert_eq!(whole, streamed, "streamed registration diverged");
 }
 
+/// A slowloris connection — a valid length prefix, a sliver of payload,
+/// then silence — trips the server's mid-frame read timeout and is
+/// closed, while a well-behaved client on another socket keeps being
+/// served the whole time.
+#[test]
+fn slowloris_connection_is_reaped_without_blocking_others() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x510);
+    let keys = KeySet::generate(&ctx, &mut rng);
+    let service = EvalService::start(ServiceConfig::default());
+    let (addr, _accept) = tcp::listen_with(
+        service,
+        "127.0.0.1:0",
+        tcp::SocketConfig {
+            read_timeout_ms: 100,
+            write_timeout_ms: 1_000,
+        },
+    )
+    .expect("bind loopback");
+
+    // The attacker: claims a 4096-byte frame, delivers 10 bytes, stalls.
+    let mut slow = TcpStream::connect(addr).expect("slow connect");
+    slow.write_all(&4096u32.to_le_bytes()).expect("prefix");
+    slow.write_all(&[0u8; 10]).expect("partial body");
+    slow.flush().expect("flush");
+
+    // Meanwhile a real client provisions and serves without delay.
+    let client = tcp::Client::connect(addr).expect("connect");
+    client
+        .register_tenant("acme", &poseidon_wire::encode_keyset_public(&ctx, &keys))
+        .expect("register while the slow socket stalls");
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let frame = poseidon_wire::encode_ciphertext(&ctx, &ct);
+    client
+        .rescale("acme", &frame)
+        .expect("healthy traffic unaffected");
+
+    // The server must hang up on the stalled connection once the
+    // mid-frame timeout trips — observed as EOF on our end.
+    slow.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("timeout");
+    let mut scratch = [0u8; 16];
+    match slow.read(&mut scratch) {
+        Ok(0) => {}  // clean close
+        Err(_) => {} // reset — also a close
+        Ok(n) => panic!("server answered a half-frame with {n} bytes"),
+    }
+}
+
+/// Dropping the client fails every outstanding waiter with a typed
+/// error and joins the demux reader — no detached thread, no waiter
+/// hung on a half-closed socket.
+#[test]
+fn dropping_the_client_fails_outstanding_waiters() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        // Swallow one request, answer nothing, hold the socket open
+        // until the client side hangs up.
+        let _ = read_raw_frame(&mut conn);
+        let _ = conn.read(&mut [0u8; 1]);
+    });
+
+    let client = tcp::Client::connect(addr).expect("connect");
+    let orphan = client
+        .submit("acme", Op::Square { a: b"opaque" })
+        .expect("submit");
+    drop(client); // must not hang: reader joined, waiters failed
+    match orphan.wait() {
+        Err(ServeError::Io(msg)) => {
+            assert!(msg.contains("dropped"), "unexpected reason: {msg}")
+        }
+        other => panic!("expected a typed drop failure, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
+
 /// When the server vanishes, every in-flight request fails with a typed
 /// I/O error and later submissions fail fast instead of hanging.
 #[test]

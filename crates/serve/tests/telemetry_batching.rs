@@ -153,6 +153,21 @@ fn batched_rotations_hoist_once() {
         "no other shard may have run this tenant's jobs"
     );
     assert_eq!(items(&diff, "serve.steal"), 0, "nothing to steal here");
+    // The per-shard depth gauge sampled the suspended build-up (depths
+    // 1,2,3,4 after each enqueue) and the single coalesced drain (depth
+    // 0 after the batch was taken): five samples, ten queued-job
+    // observations — the signal the overload ladder keys on.
+    let depth_scope = format!("serve.queue.depth.{home}");
+    assert_eq!(
+        count(&diff, &depth_scope),
+        steps.len() as u64 + 1,
+        "one sample per enqueue plus one per dequeue"
+    );
+    assert_eq!(
+        items(&diff, &depth_scope),
+        (1..=steps.len() as u64).sum::<u64>(),
+        "suspended enqueues must observe depths 1..=4"
+    );
     sharded.shutdown();
 
     // Work stealing: a deep backlog on one shard with singleton batches
