@@ -262,4 +262,6 @@ pub(crate) mod tel {
     scope_fn!(replay_hit, "serve.replay.hit");
     scope_fn!(watchdog_restart, "serve.watchdog.restart");
     scope_fn!(watchdog_requeued, "serve.watchdog.requeued");
+    scope_fn!(watchdog_failed, "serve.watchdog.failed");
+    scope_fn!(replay_coalesced, "serve.replay.coalesced");
 }

@@ -53,11 +53,21 @@ pub struct ServiceConfig {
     /// integrity-checked batches are milliseconds, not seconds. `0`
     /// disables stall detection (deaths are still handled).
     pub stall_timeout_ms: u64,
-    /// Bound on the idempotent-replay cache: completed `(tenant,
+    /// Entry bound on the idempotent-replay cache: completed `(tenant,
     /// request id)` results retained so a client retry of an
     /// already-executed request returns the cached reply instead of
-    /// re-running (exactly-once observable effect). FIFO eviction.
+    /// re-running (exactly-once observable effect). Eviction is
+    /// tenant-fair FIFO: the oldest entry of the tenant holding the
+    /// most entries goes first, so one chatty tenant cannot evict every
+    /// other tenant's window.
     pub replay_capacity: usize,
+    /// Approximate byte bound on the same cache. Each cached success
+    /// clones a full ciphertext (potentially megabytes of RNS
+    /// residues), so the entry count alone is not a memory bound; FIFO
+    /// eviction also fires once the summed approximate entry sizes
+    /// exceed this. The newest entry is always retained. `0` disables
+    /// the byte bound.
+    pub replay_capacity_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +80,7 @@ impl Default for ServiceConfig {
             watchdog_interval_ms: 25,
             stall_timeout_ms: 10_000,
             replay_capacity: 256,
+            replay_capacity_bytes: 64 << 20,
         }
     }
 }
@@ -154,49 +165,147 @@ impl Ticket {
 /// id)`: the server half of safe resubmission. Only *executed* outcomes
 /// are cached (success or a deterministic evaluation error) — admission
 /// rejections never ran, so retrying them must actually run.
+///
+/// Two bounds hold at once: a global entry count and a global
+/// *approximate byte* budget (each cached success clones full RNS
+/// polynomials, so entry count alone could pin hundreds of megabytes).
+/// Eviction is tenant-fair: the victim is the oldest entry of whichever
+/// tenant holds the most cached entries, so one chatty tenant shrinks
+/// its own window first and cannot FIFO-evict the other tenants'
+/// idempotency windows. With a single tenant this degenerates to plain
+/// FIFO.
 struct ReplayCache {
     capacity: usize,
+    capacity_bytes: usize,
     state: Mutex<ReplayState>,
+}
+
+struct CachedOutcome {
+    result: Result<Ciphertext, ServeError>,
+    /// Approximate heap size of `result`, fixed at insert time.
+    cost: usize,
+}
+
+/// Approximate heap bytes held by one cached outcome. Residue rows
+/// dominate (`2 polys × limbs × n × 8 bytes`); everything else is a
+/// flat per-entry overhead.
+fn outcome_cost(result: &Result<Ciphertext, ServeError>) -> usize {
+    const ENTRY_OVERHEAD: usize = 96;
+    match result {
+        Ok(ct) => {
+            ENTRY_OVERHEAD + 8 * ct.n() * (ct.c0().level_count() + ct.c1().level_count())
+        }
+        Err(_) => ENTRY_OVERHEAD,
+    }
 }
 
 #[derive(Default)]
 struct ReplayState {
-    map: HashMap<(Arc<str>, u64), Result<Ciphertext, ServeError>>,
+    map: HashMap<(Arc<str>, u64), CachedOutcome>,
     order: VecDeque<(Arc<str>, u64)>,
+    bytes: usize,
+    per_tenant: HashMap<Arc<str>, usize>,
+}
+
+impl ReplayState {
+    fn remove_key(&mut self, key: &(Arc<str>, u64)) {
+        if let Some(old) = self.map.remove(key) {
+            self.bytes -= old.cost;
+            if let Some(count) = self.per_tenant.get_mut(&key.0) {
+                *count -= 1;
+                if *count == 0 {
+                    self.per_tenant.remove(&key.0);
+                }
+            }
+        }
+    }
+
+    /// Evicts one entry, tenant-fairly: the oldest entry belonging to a
+    /// tenant currently holding the most cached entries. The order scan
+    /// is linear, but the deque is bounded by the (small) global entry
+    /// cap. Scanning from the front means the victim is never the
+    /// just-inserted back entry while anything older ties it.
+    fn evict_fair(&mut self) {
+        let heaviest = self.per_tenant.values().copied().max().unwrap_or(0);
+        let victim = self
+            .order
+            .iter()
+            .position(|(t, _)| self.per_tenant.get(t).copied().unwrap_or(0) == heaviest);
+        if let Some(i) = victim {
+            let old = self.order.remove(i).expect("position within deque");
+            self.remove_key(&old);
+        }
+    }
 }
 
 impl ReplayCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, capacity_bytes: usize) -> Self {
         Self {
             capacity,
+            capacity_bytes,
             state: Mutex::new(ReplayState::default()),
         }
     }
 
     fn get(&self, tenant: &Arc<str>, id: u64) -> Option<Result<Ciphertext, ServeError>> {
         let state = self.state.lock().expect("replay cache poisoned");
-        state.map.get(&(Arc::clone(tenant), id)).cloned()
+        state
+            .map
+            .get(&(Arc::clone(tenant), id))
+            .map(|o| o.result.clone())
     }
 
     fn put(&self, tenant: Arc<str>, id: u64, result: Result<Ciphertext, ServeError>) {
         if self.capacity == 0 {
             return;
         }
+        let cost = outcome_cost(&result);
         let mut state = self.state.lock().expect("replay cache poisoned");
         let key = (tenant, id);
-        if state.map.insert(key.clone(), result).is_none() {
-            state.order.push_back(key);
-            if state.order.len() > self.capacity {
-                if let Some(old) = state.order.pop_front() {
-                    state.map.remove(&old);
-                }
+        match state.map.insert(key.clone(), CachedOutcome { result, cost }) {
+            None => {
+                state.order.push_back(key.clone());
+                state.bytes += cost;
+                *state.per_tenant.entry(Arc::clone(&key.0)).or_insert(0) += 1;
             }
+            Some(old) => {
+                state.bytes = state.bytes - old.cost + cost;
+            }
+        }
+        // The newest entry always survives (order.len() > 1): an
+        // oversized result must still be replayable at least until the
+        // next insert, or retrying it would re-execute.
+        while (state.order.len() > self.capacity
+            || (self.capacity_bytes > 0 && state.bytes > self.capacity_bytes))
+            && state.order.len() > 1
+        {
+            state.evict_fair();
         }
     }
 
     fn len(&self) -> usize {
         self.state.lock().expect("replay cache poisoned").map.len()
     }
+
+    fn bytes(&self) -> usize {
+        self.state.lock().expect("replay cache poisoned").bytes
+    }
+}
+
+/// The boxed completion sink of a tagged submission.
+type TaggedSink = Box<dyn FnOnce(u64, Result<Ciphertext, ServeError>) + Send>;
+
+/// Replay-flagged executions currently queued or executing, keyed
+/// `(tenant, request id)`. A duplicate replay submission that *races*
+/// the original — retried before the first execution completed —
+/// attaches its sink here instead of enqueueing a second execution;
+/// the primary's completion fans the one result out to every attached
+/// waiter. Completion writes the replay cache *before* clearing its
+/// entry here, so a submitter that misses this map and then reads the
+/// cache can never miss both.
+#[derive(Default)]
+struct ReplayPending {
+    map: Mutex<HashMap<(Arc<str>, u64), Vec<TaggedSink>>>,
 }
 
 struct WorkerSlot {
@@ -244,6 +353,17 @@ impl Supervisor {
             }
             let requeued = self.queues.requeue_shard(i);
             let epoch = self.queues.bump_epoch(i);
+            // A stalled zombie may sleep forever holding its batch; its
+            // waiters must not. Fail the shard's in-flight replies with
+            // a typed Internal now — the zombie's own sends become
+            // no-ops once the slots are empty (exactly-once either
+            // way). A *dead* worker's unwind already answered its batch
+            // through the Reply drop guards, so this drains nothing.
+            let failed = if stalled {
+                self.queues.fail_in_flight(i)
+            } else {
+                0
+            };
             let fresh = Self::spawn_worker(&self.queues, i, epoch);
             let old = std::mem::replace(slot, WorkerSlot { handle: fresh });
             if dead {
@@ -259,9 +379,12 @@ impl Supervisor {
                 if requeued > 0 {
                     crate::tel::watchdog_requeued().add(requeued as u64);
                 }
+                if failed > 0 {
+                    crate::tel::watchdog_failed().add(failed as u64);
+                }
             }
             #[cfg(not(feature = "telemetry"))]
-            let _ = requeued;
+            let _ = (requeued, failed);
         }
     }
 
@@ -288,6 +411,7 @@ pub struct EvalService {
     supervisor: Arc<Supervisor>,
     watchdog: Mutex<Option<JoinHandle<()>>>,
     replay: Arc<ReplayCache>,
+    replay_pending: Arc<ReplayPending>,
     priorities: Mutex<HashMap<String, u8>>,
 }
 
@@ -334,7 +458,11 @@ impl EvalService {
             tenants: KeyCache::new(config.key_cache_capacity),
             supervisor,
             watchdog: Mutex::new(watchdog),
-            replay: Arc::new(ReplayCache::new(config.replay_capacity)),
+            replay: Arc::new(ReplayCache::new(
+                config.replay_capacity,
+                config.replay_capacity_bytes,
+            )),
+            replay_pending: Arc::new(ReplayPending::default()),
             priorities: Mutex::new(HashMap::new()),
         })
     }
@@ -429,11 +557,36 @@ impl EvalService {
         self.replay.len()
     }
 
+    /// Approximate bytes currently pinned by the idempotent-replay
+    /// cache (observability for tests and operators).
+    pub fn replay_bytes(&self) -> usize {
+        self.replay.bytes()
+    }
+
+    /// Replay-flagged `(tenant, id)` executions currently queued or
+    /// executing — duplicates of these attach to the pending execution
+    /// instead of running twice (observability for tests and
+    /// operators).
+    pub fn replay_in_flight(&self) -> usize {
+        self.replay_pending
+            .map
+            .lock()
+            .expect("replay pending poisoned")
+            .len()
+    }
+
     /// Heartbeat count for one dispatcher worker — ticks every time the
     /// worker returns to the queue, so a flatlined value under load
     /// means a wedge (the watchdog's view, exposed for observability).
     pub fn worker_beats(&self, shard: usize) -> u64 {
         self.queues.beats(shard)
+    }
+
+    /// Jobs one dispatcher worker has dequeued but not yet answered —
+    /// the replies the watchdog would fail with a typed error if the
+    /// worker stalled (observability for tests and operators).
+    pub fn worker_in_flight(&self, shard: usize) -> usize {
+        self.queues.in_flight_len(shard)
     }
 
     /// Current worker generation for one shard: starts at 0, incremented
@@ -525,9 +678,12 @@ impl EvalService {
     /// [`submit_tagged`](Self::submit_tagged) with a deadline and the
     /// idempotent-replay flag. With `replay` set, an id this tenant
     /// already executed returns the cached result immediately (the sink
-    /// fires inline; nothing re-runs), and a fresh execution's outcome
-    /// is recorded before the sink sees it — the server half of safe
-    /// client resubmission.
+    /// fires inline; nothing re-runs); an id still *queued or
+    /// executing* attaches this sink to that pending execution (one
+    /// run, every waiter answered — a retry racing its original never
+    /// double-executes); and a fresh execution's outcome is recorded
+    /// before any sink sees it — the server half of safe client
+    /// resubmission.
     ///
     /// # Errors
     ///
@@ -544,45 +700,101 @@ impl EvalService {
     ) -> Result<(), ServeError> {
         let tenant = self.lookup(tenant_id)?;
         let tid: Arc<str> = Arc::from(tenant_id);
-        if replay {
-            if let Some(cached) = self.replay.get(&tid, id) {
-                #[cfg(feature = "telemetry")]
-                crate::tel::replay_hit().add(1);
-                sink(id, cached);
-                return Ok(());
-            }
-        }
-        if Self::expired(deadline) {
-            #[cfg(feature = "telemetry")]
-            crate::tel::deadline().add(1);
-            return Err(ServeError::DeadlineExceeded);
-        }
         let reply = if replay {
+            let key = (Arc::clone(&tid), id);
+            {
+                let mut pending = self
+                    .replay_pending
+                    .map
+                    .lock()
+                    .expect("replay pending poisoned");
+                if let Some(waiters) = pending.get_mut(&key) {
+                    // The same (tenant, id) is already queued or
+                    // executing: ride that execution instead of
+                    // enqueueing a second one.
+                    waiters.push(Box::new(sink));
+                    #[cfg(feature = "telemetry")]
+                    crate::tel::replay_coalesced().add(1);
+                    return Ok(());
+                }
+                // Completed-outcome check under the pending lock:
+                // completion fills the cache before clearing its
+                // pending entry, so missing both maps means the id
+                // genuinely never executed.
+                if let Some(cached) = self.replay.get(&tid, id) {
+                    #[cfg(feature = "telemetry")]
+                    crate::tel::replay_hit().add(1);
+                    drop(pending);
+                    sink(id, cached);
+                    return Ok(());
+                }
+                if Self::expired(deadline) {
+                    #[cfg(feature = "telemetry")]
+                    crate::tel::deadline().add(1);
+                    return Err(ServeError::DeadlineExceeded);
+                }
+                pending.insert(key, Vec::new());
+            }
             let cache = Arc::clone(&self.replay);
+            let pending = Arc::clone(&self.replay_pending);
             let key_tenant = Arc::clone(&tid);
             Reply::tagged(
                 id,
                 Box::new(move |id, result: Result<Ciphertext, ServeError>| {
                     // Record only executed outcomes: an admission-style
                     // error (queue full, shutdown, deadline) never ran,
-                    // so a retry must be allowed to actually run.
+                    // so a retry must be allowed to actually run. Cache
+                    // first, *then* clear pending (see above).
                     if matches!(result, Ok(_) | Err(ServeError::Eval(_))) {
-                        cache.put(key_tenant, id, result.clone());
+                        cache.put(Arc::clone(&key_tenant), id, result.clone());
+                    }
+                    let waiters = pending
+                        .map
+                        .lock()
+                        .expect("replay pending poisoned")
+                        .remove(&(key_tenant, id))
+                        .unwrap_or_default();
+                    for waiter in waiters {
+                        waiter(id, result.clone());
                     }
                     sink(id, result);
                 }),
             )
         } else {
+            if Self::expired(deadline) {
+                #[cfg(feature = "telemetry")]
+                crate::tel::deadline().add(1);
+                return Err(ServeError::DeadlineExceeded);
+            }
             Reply::tagged(id, Box::new(sink))
         };
-        self.queues.submit(Job {
-            tenant_id: tid,
+        let submitted = self.queues.submit(Job {
+            tenant_id: Arc::clone(&tid),
             tenant,
             request,
             deadline,
             priority: self.tenant_priority(tenant_id),
             reply,
-        })
+        });
+        if let Err(e) = &submitted {
+            if replay {
+                // The job never entered a queue (its reply was defused,
+                // so the completion wrapper will never run): clear the
+                // pending entry and answer any waiters that attached in
+                // the window with the same rejection.
+                let waiters = self
+                    .replay_pending
+                    .map
+                    .lock()
+                    .expect("replay pending poisoned")
+                    .remove(&(tid, id))
+                    .unwrap_or_default();
+                for waiter in waiters {
+                    waiter(id, Err(e.clone()));
+                }
+            }
+        }
+        submitted
     }
 
     /// Submit + wait: the blocking convenience used by tests and simple

@@ -31,9 +31,15 @@
 //!   batch" from "wedged";
 //! - [`SharedQueues::requeue_shard`] migrates a victim shard's queued
 //!   jobs to the least-loaded surviving sibling in submission order, so
-//!   coalescing windows survive failover intact.
+//!   coalescing windows survive failover intact;
+//! - every dequeued job parks its reply sink in the [`InFlightTable`]
+//!   until answered, so a *wedged* worker's held batch can be failed by
+//!   the watchdog with a typed error instead of hanging its waiters
+//!   until the zombie wakes (which may be never). Whoever takes the
+//!   slot first — the executing worker or the watchdog — answers;
+//!   the loser's send is a no-op, so a reply fires exactly once.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -76,20 +82,107 @@ impl ReplySink {
     }
 }
 
-/// A job's reply channel, armed with a drop guard: if a worker dies
-/// mid-batch (an escaped panic unwinds the batch it held), every
-/// unanswered reply resolves as a typed [`ServeError::Internal`] rather
-/// than a silently lost response. Admission-control rejections
+/// Reply sinks parked by dequeued-but-unanswered jobs, one slot map per
+/// shard. The executing worker answers through its slot; if the worker
+/// wedges, the watchdog drains the shard's slots at replacement and
+/// fails each with a typed [`ServeError::Internal`] — the in-flight
+/// half of "never a hang, never a lost reply". The slot mutexes are
+/// leaf locks: nothing is acquired while one is held.
+pub(crate) struct InFlightTable {
+    shards: Vec<Mutex<HashMap<u64, ReplySink>>>,
+    serial: AtomicU64,
+}
+
+impl InFlightTable {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            serial: AtomicU64::new(0),
+        }
+    }
+
+    fn park(&self, shard: usize, sink: ReplySink) -> u64 {
+        let serial = self.serial.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard]
+            .lock()
+            .expect("in-flight table poisoned")
+            .insert(serial, sink);
+        serial
+    }
+
+    fn take(&self, shard: usize, serial: u64) -> Option<ReplySink> {
+        self.shards[shard]
+            .lock()
+            .expect("in-flight table poisoned")
+            .remove(&serial)
+    }
+
+    /// Fails every parked reply on `shard` with a typed error. Called by
+    /// the watchdog when it retires a stalled worker: the zombie may
+    /// sleep forever, so its waiters must not. Returns how many replies
+    /// were failed.
+    pub(crate) fn fail_shard(&self, shard: usize) -> usize {
+        let drained: Vec<ReplySink> = {
+            let mut slots = self.shards[shard]
+                .lock()
+                .expect("in-flight table poisoned");
+            slots.drain().map(|(_, sink)| sink).collect()
+        };
+        let n = drained.len();
+        for sink in drained {
+            sink.dispatch(Err(ServeError::Internal(
+                "worker stalled past the watchdog timeout; request abandoned at failover".into(),
+            )));
+        }
+        n
+    }
+}
+
+/// A job's reply channel. Before dequeue it owns its sink directly,
+/// armed with a drop guard: if a worker dies mid-batch (an escaped
+/// panic unwinds the batch it held), every unanswered reply resolves as
+/// a typed [`ServeError::Internal`] rather than a silently lost
+/// response. At dequeue the sink is parked in the [`InFlightTable`]
+/// (see [`Reply::park_in_flight`]) so the watchdog can also answer it
+/// if the worker wedges. Admission-control rejections
 /// [`defuse`](Reply::defuse) the guard — the submitter still owns error
 /// reporting for jobs that never entered a queue.
 pub(crate) struct Reply {
-    inner: Option<ReplySink>,
+    inner: Option<ReplyState>,
+}
+
+enum ReplyState {
+    Direct(ReplySink),
+    Parked {
+        table: Arc<InFlightTable>,
+        shard: usize,
+        serial: u64,
+    },
+}
+
+impl ReplyState {
+    fn dispatch(self, result: Result<Ciphertext, ServeError>) {
+        match self {
+            ReplyState::Direct(sink) => sink.dispatch(result),
+            // Empty slot: the watchdog already failed this job (or a
+            // racing path answered it) — exactly-once means we drop.
+            ReplyState::Parked {
+                table,
+                shard,
+                serial,
+            } => {
+                if let Some(sink) = table.take(shard, serial) {
+                    sink.dispatch(result);
+                }
+            }
+        }
+    }
 }
 
 impl Reply {
     pub(crate) fn ticket(tx: mpsc::Sender<Result<Ciphertext, ServeError>>) -> Self {
         Self {
-            inner: Some(ReplySink::Ticket(tx)),
+            inner: Some(ReplyState::Direct(ReplySink::Ticket(tx))),
         }
     }
 
@@ -98,13 +191,29 @@ impl Reply {
         sink: Box<dyn FnOnce(u64, Result<Ciphertext, ServeError>) + Send>,
     ) -> Self {
         Self {
-            inner: Some(ReplySink::Tagged { id, sink }),
+            inner: Some(ReplyState::Direct(ReplySink::Tagged { id, sink })),
         }
     }
 
     pub(crate) fn send(mut self, result: Result<Ciphertext, ServeError>) {
-        if let Some(sink) = self.inner.take() {
-            sink.dispatch(result);
+        if let Some(state) = self.inner.take() {
+            state.dispatch(result);
+        }
+    }
+
+    /// Moves the sink into `table`'s slot map for `shard` — called at
+    /// dequeue, while the executing worker owns this job. From here on
+    /// the reply is answered by whoever claims the slot first: the
+    /// worker (normal completion, or its unwind drop guard) or the
+    /// watchdog ([`InFlightTable::fail_shard`] on a stall).
+    fn park_in_flight(&mut self, table: &Arc<InFlightTable>, shard: usize) {
+        if let Some(ReplyState::Direct(sink)) = self.inner.take() {
+            let serial = table.park(shard, sink);
+            self.inner = Some(ReplyState::Parked {
+                table: Arc::clone(table),
+                shard,
+                serial,
+            });
         }
     }
 
@@ -117,8 +226,8 @@ impl Reply {
 
 impl Drop for Reply {
     fn drop(&mut self) {
-        if let Some(sink) = self.inner.take() {
-            sink.dispatch(Err(ServeError::Internal(
+        if let Some(state) = self.inner.take() {
+            state.dispatch(Err(ServeError::Internal(
                 "dispatcher dropped reply (worker died mid-batch)".into(),
             )));
         }
@@ -180,6 +289,8 @@ pub(crate) struct SharedQueues {
     /// zombie never races its successor for jobs.
     epochs: Vec<AtomicU64>,
     pulses: Vec<Pulse>,
+    /// Reply sinks of dequeued-but-unanswered jobs, per executing shard.
+    in_flight: Arc<InFlightTable>,
     /// Live queue-depth gauges, one per shard (`serve.queue.depth.N`):
     /// each enqueue/dequeue samples the shard's depth, so
     /// `items / count` reads as the mean observed depth.
@@ -202,6 +313,7 @@ impl SharedQueues {
             capacity,
             max_batch: max_batch.max(1),
             epochs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            in_flight: Arc::new(InFlightTable::new(shards)),
             pulses: (0..shards)
                 .map(|_| Pulse {
                     beats: AtomicU64::new(0),
@@ -338,6 +450,22 @@ impl SharedQueues {
         self.pulses[i].beats.load(Ordering::Acquire)
     }
 
+    /// Fails every in-flight (dequeued, unanswered) job executing on
+    /// shard `i` with a typed [`ServeError::Internal`]. The watchdog's
+    /// stall-replacement path: the retired zombie still holds the batch,
+    /// but its waiters get answered now. Returns how many were failed.
+    pub(crate) fn fail_in_flight(&self, i: usize) -> usize {
+        self.in_flight.fail_shard(i)
+    }
+
+    /// In-flight jobs currently parked for shard `i` (observability).
+    pub(crate) fn in_flight_len(&self, i: usize) -> usize {
+        self.in_flight.shards[i]
+            .lock()
+            .expect("in-flight table poisoned")
+            .len()
+    }
+
     /// Failover: migrates every job queued on `victim` to the least-
     /// loaded surviving shard, preserving submission order (the jobs
     /// stay contiguous, so the coalescing window survives the move).
@@ -410,7 +538,10 @@ impl SharedQueues {
             if !q.suspended {
                 if !q.shards[me].is_empty() {
                     let n = q.shards[me].len().min(self.max_batch);
-                    let batch: Vec<Job> = q.shards[me].drain(..n).collect();
+                    let mut batch: Vec<Job> = q.shards[me].drain(..n).collect();
+                    for job in &mut batch {
+                        job.reply.park_in_flight(&self.in_flight, me);
+                    }
                     q.total -= batch.len();
                     q.busy[me] = true;
                     self.pulses[me]
@@ -432,6 +563,9 @@ impl SharedQueues {
                     }
                     // Restore submission order within the stolen slice.
                     batch.reverse();
+                    for job in &mut batch {
+                        job.reply.park_in_flight(&self.in_flight, me);
+                    }
                     q.total -= batch.len();
                     q.busy[me] = true;
                     self.pulses[me]

@@ -1183,9 +1183,12 @@ pub struct RetryPolicy {
     /// Deadline budget attached to every attempt (protocol `ttl_ms`;
     /// 0 = none).
     pub ttl_ms: u32,
-    /// Seed for the jitter stream and the request-id range (replayed
-    /// ids must stay unique across reconnects, so they draw from a
-    /// seeded 64-bit range, not the per-connection counter).
+    /// Seed for the backoff-jitter stream: two clients built from the
+    /// same seed retry on identical schedules. The seed does *not*
+    /// determine the replay request-id range — ids additionally mix
+    /// per-instance OS entropy, because the server's replay cache is
+    /// keyed `(tenant, id)` and two clients drawing the same ids for
+    /// one tenant would silently receive each other's cached replies.
     pub jitter_seed: u64,
 }
 
@@ -1208,6 +1211,28 @@ fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Per-instance entropy for the replay request-id range: a process-wide
+/// instance counter hashed through an OS-randomly-keyed SipHash
+/// ([`RandomState`] draws its keys from the OS at first use), with the
+/// process id folded in. Two `ResilientClient`s — in one process, in
+/// two processes, or across a restart — therefore draw from disjoint id
+/// ranges even under the identical default [`RetryPolicy`], which is
+/// what keeps the server's `(tenant, id)`-keyed replay cache from
+/// handing one client another client's cached reply.
+///
+/// [`RandomState`]: std::collections::hash_map::RandomState
+fn instance_entropy() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::OnceLock;
+    static INSTANCE: AtomicU64 = AtomicU64::new(0);
+    static KEYS: OnceLock<RandomState> = OnceLock::new();
+    let mut h = KEYS.get_or_init(RandomState::new).build_hasher();
+    h.write_u64(INSTANCE.fetch_add(1, Ordering::Relaxed));
+    h.write_u32(std::process::id());
+    h.finish()
 }
 
 /// A self-healing wrapper over [`Client`]: per-request timeout, capped
@@ -1259,9 +1284,14 @@ impl ResilientClient {
             conn: Mutex::new(None),
             jitter: Mutex::new(splitmix64(policy.jitter_seed)),
             // Replay ids must not collide across reconnects (a fresh
-            // Client counts from 1), so they draw from a seeded range
-            // with the top bit set.
-            next_id: AtomicU64::new(splitmix64(policy.jitter_seed ^ 0xA5A5_5A5A) | (1 << 63)),
+            // Client counts from 1; the top bit separates the ranges)
+            // nor across client instances (the server's replay cache
+            // is keyed (tenant, id), so a shared range would alias two
+            // clients' cached replies) — mix per-instance entropy into
+            // the seeded base.
+            next_id: AtomicU64::new(
+                splitmix64(policy.jitter_seed ^ instance_entropy()) | (1 << 63),
+            ),
             connects: AtomicU64::new(0),
             retries: AtomicU64::new(0),
         };

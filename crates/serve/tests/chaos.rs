@@ -118,7 +118,10 @@ fn worker_panic_is_contained_and_watchdog_restarts_the_shard() {
 
 /// A stalled worker trips the busy-since watchdog: its shard is retired
 /// and queued work completes on the replacement long before the zombie
-/// wakes; the zombie's held job still resolves (no lost replies).
+/// wakes. The job the zombie holds is failed *by the watchdog* with a
+/// typed `Internal` at replacement — its waiter does not sleep out the
+/// stall (which in a real wedge could be forever), and the zombie's
+/// late answer is dropped, never double-delivered.
 #[test]
 fn stalled_worker_fails_over_before_the_stall_ends() {
     let _guard = poseidon_faults::test_lock();
@@ -153,11 +156,27 @@ fn stalled_worker_fails_over_before_the_stall_ends() {
         assert!(Instant::now() < grab_deadline, "worker never took the job");
         std::thread::sleep(Duration::from_millis(5));
     }
+    assert_eq!(
+        service.worker_in_flight(0),
+        1,
+        "the grabbed job must be parked in the in-flight table"
+    );
     std::thread::sleep(Duration::from_millis(100)); // past stall_timeout_ms
     let t0 = Instant::now();
     scan_until_restarted(&service, 0);
-    poseidon_faults::disarm();
 
+    // The held job is answered by the watchdog, typed and promptly —
+    // not by the zombie 1.5 s from now.
+    match stalled_job
+        .wait_timeout(Duration::from_millis(1_000))
+        .expect("watchdog must fail the wedged worker's held job")
+    {
+        Err(ServeError::Internal(msg)) => {
+            assert!(msg.contains("stalled"), "unexpected message: {msg}")
+        }
+        other => panic!("expected the watchdog's typed Internal, got {other:?}"),
+    }
+    assert_eq!(service.worker_in_flight(0), 0, "no reply left parked");
     queued_job
         .wait_timeout(Duration::from_millis(1_000))
         .expect("queued job must complete on the replacement, not wait out the stall")
@@ -166,12 +185,10 @@ fn stalled_worker_fails_over_before_the_stall_ends() {
         t0.elapsed() < Duration::from_millis(1_200),
         "failover did not beat the stall"
     );
-    // The zombie finishes its held batch when it wakes, then exits on
-    // the retired epoch — the first job resolves too.
-    stalled_job
-        .wait_timeout(Duration::from_secs(10))
-        .expect("stalled job resolves after the zombie wakes")
-        .expect("rescale succeeds");
+    // Let the zombie wake mid-shutdown-free window: its late send must
+    // find an empty slot and be dropped, not panic or double-answer.
+    std::thread::sleep(Duration::from_millis(1_600));
+    poseidon_faults::disarm();
     service.shutdown();
 }
 

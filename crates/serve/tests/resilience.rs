@@ -320,6 +320,152 @@ fn replay_cache_is_bounded() {
     service.shutdown();
 }
 
+/// Eviction is tenant-fair: a chatty tenant's flood shrinks its own
+/// window first and never evicts a quieter tenant's cached entry.
+#[test]
+fn replay_eviction_is_tenant_fair() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig {
+        replay_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant("quiet", ctx.clone(), keys.clone());
+    service.register_tenant("chatty", ctx, keys);
+
+    let run = |tenant: &'static str, id: u64| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        service
+            .submit_tagged_opts(
+                tenant,
+                Request::Rescale { a: ct.clone() },
+                id,
+                None,
+                true,
+                move |_, result| {
+                    tx.send(result).expect("sink channel");
+                },
+            )
+            .expect("submit");
+        rx.recv().expect("sink fired").expect("rescale succeeds")
+    };
+
+    let quiet_first = run("quiet", 1);
+    for id in 0..10 {
+        run("chatty", id);
+    }
+    assert_eq!(service.replay_entries(), 4, "global bound holds");
+
+    // The quiet tenant's entry survived the flood: replaying id 1 is a
+    // cache hit (no dispatcher wake) with identical bytes.
+    let beats_before: u64 = (0..service.shards()).map(|s| service.worker_beats(s)).sum();
+    let replayed = run("quiet", 1);
+    let beats_after: u64 = (0..service.shards()).map(|s| service.worker_beats(s)).sum();
+    assert_eq!(
+        beats_before, beats_after,
+        "the quiet tenant's entry was evicted by the chatty flood"
+    );
+    assert_eq!(quiet_first.c0(), replayed.c0());
+    assert_eq!(quiet_first.c1(), replayed.c1());
+    service.shutdown();
+}
+
+/// The byte budget bounds the cache even when the entry count does not:
+/// oversized results evict older entries, but the newest always
+/// survives so the retry it protects can still replay.
+#[test]
+fn replay_cache_byte_budget_evicts_but_keeps_newest() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.5, 0.0)]);
+    let service = EvalService::start(ServiceConfig {
+        replay_capacity: 1024,
+        // Every cached ciphertext alone overflows this, so each insert
+        // evicts everything older than itself.
+        replay_capacity_bytes: 1,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant("acme", ctx, keys);
+
+    for id in 0..5u64 {
+        let (tx, rx) = std::sync::mpsc::channel();
+        service
+            .submit_tagged_opts(
+                "acme",
+                Request::Rescale { a: ct.clone() },
+                id,
+                None,
+                true,
+                move |_, result| {
+                    tx.send(result).expect("sink channel");
+                },
+            )
+            .expect("submit");
+        rx.recv().expect("sink fired").expect("rescale succeeds");
+    }
+    assert_eq!(
+        service.replay_entries(),
+        1,
+        "byte budget must evict down to the newest entry"
+    );
+    assert!(
+        service.replay_bytes() > 1,
+        "the newest oversized entry is retained, not dropped"
+    );
+    service.shutdown();
+}
+
+/// A duplicate replay submission racing the original — retried while
+/// the first is still queued — attaches to the in-flight execution
+/// instead of enqueueing a second run: one execution, two sinks, both
+/// bit-identical, one cache entry.
+#[test]
+fn racing_duplicate_replay_attaches_to_in_flight_execution() {
+    let (ctx, keys, mut rng) = setup();
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(0.25, -0.75)]);
+    let service = EvalService::start(ServiceConfig::default());
+    service.register_tenant("acme", ctx, keys);
+
+    // Freeze the dispatcher so the original is still queued when the
+    // duplicate arrives.
+    service.suspend();
+    let submit = |tx: std::sync::mpsc::Sender<Result<_, ServeError>>| {
+        service
+            .submit_tagged_opts(
+                "acme",
+                Request::Rescale { a: ct.clone() },
+                7,
+                None,
+                true,
+                move |_, result| {
+                    tx.send(result).expect("sink channel");
+                },
+            )
+            .expect("submit");
+    };
+    let (tx1, rx1) = std::sync::mpsc::channel();
+    submit(tx1);
+    assert_eq!(service.queue_depth(), 1);
+    assert_eq!(service.replay_in_flight(), 1, "marker registered");
+
+    let (tx2, rx2) = std::sync::mpsc::channel();
+    submit(tx2);
+    assert_eq!(
+        service.queue_depth(),
+        1,
+        "the duplicate must attach, not enqueue a second execution"
+    );
+    assert_eq!(service.replay_in_flight(), 1);
+
+    service.resume();
+    let first = rx1.recv().expect("primary sink").expect("rescale succeeds");
+    let dup = rx2.recv().expect("waiter sink").expect("rescale succeeds");
+    assert_eq!(first.c0(), dup.c0(), "fan-out must be bit-identical");
+    assert_eq!(first.c1(), dup.c1(), "fan-out must be bit-identical");
+    assert_eq!(service.replay_entries(), 1, "one execution, one entry");
+    assert_eq!(service.replay_in_flight(), 0, "marker cleared");
+    service.shutdown();
+}
+
 /// On a healthy service the watchdog is a no-op: scans never bump an
 /// epoch, and worker pulses keep advancing.
 #[test]

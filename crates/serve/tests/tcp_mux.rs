@@ -297,3 +297,59 @@ fn dead_connection_fails_pending_and_future_requests() {
         other => panic!("expected fail-fast on a dead connection, got {other:?}"),
     }
 }
+
+/// Two independently connected resilient clients sharing one tenant and
+/// the *default* retry policy must not collide in the replay-id space.
+/// Ids mix per-instance entropy into the seed, so each client's first
+/// replay-flagged request draws a distinct id; were the streams
+/// deterministic (the old behaviour), the second client's rotation
+/// would replay the first client's cached ciphertext instead of its
+/// own.
+#[test]
+fn independent_resilient_clients_draw_disjoint_replay_ids() {
+    let ctx = CkksContext::new(CkksParams::toy());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15);
+    let mut keys = KeySet::generate(&ctx, &mut rng);
+    keys.add_rotation_keys([1, 2], &mut rng);
+
+    let service = EvalService::start(ServiceConfig::default());
+    let handle = Arc::clone(&service);
+    let (addr, _accept) = tcp::listen(service, "127.0.0.1:0").expect("bind loopback");
+
+    // Provision via a plain client (its submissions are not
+    // replay-flagged, so the cache stays empty until the rotations).
+    let admin = tcp::Client::connect(addr).expect("connect");
+    admin
+        .register_tenant("acme", &poseidon_wire::encode_keyset_public(&ctx, &keys))
+        .expect("register");
+
+    let ct = encrypt(&ctx, &keys, &mut rng, &[Complex::new(1.5, -0.5)]);
+    let frame = poseidon_wire::encode_ciphertext(&ctx, &ct);
+    let expected = he_ckks::eval::Evaluator::new(&ctx)
+        .try_rotate_many(&ct, &[1, 2], &keys)
+        .expect("local rotations");
+
+    // Same address, same tenant, byte-identical default policy — the
+    // adversarial alignment for id collision.
+    let policy = tcp::RetryPolicy::default();
+    let c1 = tcp::ResilientClient::connect(addr, tcp::SocketConfig::default(), policy)
+        .expect("client 1");
+    let c2 = tcp::ResilientClient::connect(addr, tcp::SocketConfig::default(), policy)
+        .expect("client 2");
+
+    let r1 = c1
+        .call("acme", Op::Rotate { a: &frame, steps: 1 })
+        .expect("rotate by 1");
+    let r2 = c2
+        .call("acme", Op::Rotate { a: &frame, steps: 2 })
+        .expect("rotate by 2");
+
+    for (blob, want) in [(&r1, &expected[0]), (&r2, &expected[1])] {
+        let got = poseidon_wire::decode_ciphertext(&ctx, blob).expect("decode");
+        assert_eq!(got.c0(), want.c0(), "client got another client's reply");
+        assert_eq!(got.c1(), want.c1(), "client got another client's reply");
+    }
+    // Both rotations executed and cached separately: the ids were
+    // distinct, no cross-client replay aliasing.
+    assert_eq!(handle.replay_entries(), 2, "replay ids collided");
+}
