@@ -4,6 +4,7 @@
 pub mod chaos;
 pub mod cpu_baseline;
 pub mod planner;
+pub mod planner2;
 pub mod serve_scale;
 pub mod tables;
 

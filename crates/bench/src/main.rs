@@ -1,7 +1,7 @@
 //! `tables` — regenerates every table and figure of the Poseidon HPCA'23
 //! evaluation section from the model and the functional library.
 //!
-//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|chaos|serve|serve_scale|plan]`
+//! Usage: `tables [all|table1|...|table12|fig7|...|fig12|metrics|ntt|hoisting|faults|chaos|serve|serve_scale|plan|plan2]`
 //!
 //! `tables chaos` (build with `--features faults`) runs the seeded
 //! network/worker chaos campaign through the resilient TCP client and
@@ -13,6 +13,12 @@
 //! shipped `.pos` program through the graph-level evaluation planner and
 //! prints unplanned-vs-planned forward-NTT counts, hoist batch sizes,
 //! rescale placement and wall time, exporting `BENCH_planner.json`.
+//!
+//! `tables plan2` (build with `--features telemetry`) submits every
+//! shipped `.pos` program to the serving stack twice — once as a whole
+//! planned program (`Request::Program`, opcode 12) and once as the
+//! naive op-by-op dispatch a planless client would issue — and compares
+//! forward-NTT counts and wall time, exporting `BENCH_planner2.json`.
 //!
 //! `tables serve_scale` sweeps the sharded serving stack (blocking
 //! baseline vs the pipelined mux client at 1/2/4 shards and 1/4
@@ -33,7 +39,7 @@
 //! columns come from this reproduction. EXPERIMENTS.md records the
 //! comparison.
 
-use poseidon_bench::{chaos, planner, tables};
+use poseidon_bench::{chaos, planner, planner2, tables};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -82,6 +88,7 @@ fn main() {
     run("serve", tables::serve);
     run("serve_scale", tables::serve_scale);
     run("plan", planner::plan);
+    run("plan2", planner2::plan2);
     if !ran {
         eprintln!("unknown selector `{which}`");
         std::process::exit(2);

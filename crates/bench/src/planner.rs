@@ -195,7 +195,8 @@ pub fn plan() {
         let text = std::fs::read_to_string(path).unwrap();
         let trace = poseidon_sim::program::parse(&text)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let compiled = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let compiled = compile_trace(&trace, &ctx, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         rows.push(run_graph(&name, compiled.graph));
     }
 

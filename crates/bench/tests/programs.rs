@@ -102,7 +102,8 @@ fn all_shipped_programs_compile_plan_and_execute() {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let text = std::fs::read_to_string(&path).unwrap();
         let trace = poseidon_sim::program::parse(&text).unwrap();
-        let compiled = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let compiled = compile_trace(&trace, &ctx, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let graph = compiled.graph;
         assert!(graph.live_node_count() > 0, "{name}: empty graph");
         assert!(!graph.outputs().is_empty(), "{name}: no outputs");
@@ -147,7 +148,8 @@ fn planned_programs_agree_between_evaluator_and_machine() {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let text = std::fs::read_to_string(&path).unwrap();
         let trace = poseidon_sim::program::parse(&text).unwrap();
-        let compiled = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let compiled = compile_trace(&trace, &ctx, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let planned = poseidon_core::plan::plan(compiled.graph, &PlanOptions::default());
 
         let inputs: Vec<Ciphertext> = (0..planned.graph.inputs().len())

@@ -70,6 +70,11 @@ pub enum EvalError {
         /// `"keyswitch"`, `"pool.retire"`).
         site: &'static str,
     },
+    /// A plan (or caller) requested bootstrapping but the executing
+    /// backend has no [`Bootstrapper`](crate::bootstrap::Bootstrapper)
+    /// available — either none was supplied to `plan::execute_with` or
+    /// the backend does not support the operation.
+    BootstrapUnavailable,
 }
 
 impl fmt::Display for EvalError {
@@ -96,6 +101,9 @@ impl fmt::Display for EvalError {
                     f,
                     "integrity fault detected at {site} (persisted across retry)"
                 )
+            }
+            EvalError::BootstrapUnavailable => {
+                write!(f, "no bootstrapper available on this backend")
             }
         }
     }

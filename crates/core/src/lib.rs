@@ -25,7 +25,8 @@
 //!   definition drives any backend.
 //! * [`plan`] — the evaluation planner (software HFAuto): SSA dataflow
 //!   capture, cross-graph rotation hoisting, noise-aware rescale
-//!   placement, dead-value elimination, live-range scheduling, and a
+//!   placement, dead-value elimination, bootstrap insertion on exhausted
+//!   chains, cost-model-aware live-range scheduling, and a
 //!   backend-generic plan executor, plus the `.pos` compile pipeline.
 
 pub mod auto;
@@ -42,5 +43,5 @@ pub use decompose::{BasicOp, OpParams};
 pub use machine::PoseidonMachine;
 pub use operator::{Operator, OperatorCounts};
 pub use ops::HomomorphicOps;
-pub use plan::{EvalGraph, Plan, PlanOptions};
+pub use plan::{EvalGraph, Plan, PlanError, PlanOptions};
 pub use pool::OperatorPool;

@@ -12,6 +12,7 @@
 use he_ckks::cipher::{Ciphertext, Plaintext};
 use he_ckks::context::CkksContext;
 use he_ckks::error::EvalError;
+use he_ckks::eval::Evaluator;
 use he_ckks::keys::{KeySet, KeySwitchKey};
 use he_rns::{Form, RnsBasis, RnsPoly};
 
@@ -663,6 +664,30 @@ impl PoseidonMachine {
         let t1 = self.auto_poly(a.c1(), g);
         let (k0, k1) = self.keyswitch(&t1, key);
         Ok(Ciphertext::new(self.add_poly(&t0, &k0), k1, a.scale()))
+    }
+
+    /// Fallible ciphertext refresh: runs the full bootstrapping pipeline
+    /// (ModRaise → SubSum → CoeffToSlot → EvalMod → SlotToCoeff) on a
+    /// level-0 ciphertext. The pipeline itself is orchestrated by the
+    /// software [`Bootstrapper`] over a scheme-level evaluator on this
+    /// machine's context — the paper's accelerator likewise reuses the
+    /// basic-op datapath for bootstrapping rather than dedicating one.
+    ///
+    /// [`Bootstrapper`]: he_ckks::bootstrap::Bootstrapper
+    ///
+    /// # Errors
+    ///
+    /// Whatever the pipeline reports: missing rotation/conjugation keys
+    /// for the bootstrap schedule, or `RescaleAtLevelZero` when the
+    /// modulus chain is too short for the pipeline's depth.
+    pub fn try_bootstrap(
+        &mut self,
+        a: &Ciphertext,
+        bs: &he_ckks::bootstrap::Bootstrapper,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let eval = Evaluator::new(&self.ctx);
+        bs.try_bootstrap(&eval, keys, a)
     }
 
     /// Rescale through the MA/MM cascade: subtract the last component's

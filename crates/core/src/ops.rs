@@ -251,6 +251,29 @@ pub trait HomomorphicOps {
         self.try_conjugate(a, keys)
             .unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// Fallible ciphertext refresh through the full bootstrapping
+    /// pipeline (`a` must be at level 0 — see
+    /// [`Bootstrapper::try_bootstrap`]). The default implementation
+    /// reports [`EvalError::BootstrapUnavailable`]; backends with a
+    /// bootstrap path (the evaluator, the machine) override it.
+    ///
+    /// [`Bootstrapper::try_bootstrap`]: he_ckks::bootstrap::Bootstrapper::try_bootstrap
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::BootstrapUnavailable`] on backends without a
+    /// bootstrap path; otherwise whatever the pipeline reports (missing
+    /// rotation/conjugation keys, chain too short).
+    fn try_bootstrap(
+        &mut self,
+        a: &Ciphertext,
+        bs: &he_ckks::bootstrap::Bootstrapper,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        let _ = (a, bs, keys);
+        Err(EvalError::BootstrapUnavailable)
+    }
 }
 
 impl HomomorphicOps for Evaluator {
@@ -311,6 +334,15 @@ impl HomomorphicOps for Evaluator {
 
     fn try_conjugate(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
         Evaluator::try_conjugate(self, a, keys)
+    }
+
+    fn try_bootstrap(
+        &mut self,
+        a: &Ciphertext,
+        bs: &he_ckks::bootstrap::Bootstrapper,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        bs.try_bootstrap(self, keys, a)
     }
 }
 
@@ -426,6 +458,15 @@ impl HomomorphicOps for PoseidonMachine {
 
     fn try_conjugate(&mut self, a: &Ciphertext, keys: &KeySet) -> Result<Ciphertext, EvalError> {
         PoseidonMachine::try_conjugate(self, a, keys)
+    }
+
+    fn try_bootstrap(
+        &mut self,
+        a: &Ciphertext,
+        bs: &he_ckks::bootstrap::Bootstrapper,
+        keys: &KeySet,
+    ) -> Result<Ciphertext, EvalError> {
+        PoseidonMachine::try_bootstrap(self, a, bs, keys)
     }
 }
 

@@ -11,19 +11,25 @@
 //!   keyswitch entries spread it into a **fan** of parallel terms
 //!   (rotations by cycling step counts), `pmult` masks each term,
 //!   `rescale` rescales each term, `hadd` reduces the fan back into
-//!   `cur` — the BSGS diagonal-matvec shape.
+//!   `cur` — the BSGS diagonal-matvec shape. Fans reduce by a balanced
+//!   add tree (depth ⌈log₂k⌉; modular addition is associative, so the
+//!   result is bit-identical to a linear chain).
 //! * Repetition counts are capped at [`CompileOptions::count_cap`]
-//!   (dropped work is reported in [`CompiledProgram::truncated`], never
-//!   silently).
+//!   (dropped work is reported in [`CompiledProgram::truncated`] and
+//!   surfaced through `PlanStats::truncated` / the `plan.truncated`
+//!   telemetry scope, never silently).
 //! * Virtual levels are mapped onto the context's chain by ratio; level
 //!   descents become `drop_to_level` nodes.
 //! * A **pressure rule** keeps the tracked scale decryptable at every
 //!   step: an operation that would push `log2(scale)` within
 //!   [`SCALE_MARGIN_BITS`] of the live modulus bits forces an eager
-//!   rescale, or — when no level is left — a **segment reset**: the
-//!   current value is marked as a graph output and lowering restarts
-//!   from a fresh top-level input ([`CompiledProgram::segments`] counts
-//!   these).
+//!   rescale, or — when no level is left — applies the configured
+//!   [`Exhaustion`] policy: close the segment and restart from a fresh
+//!   top-level input ([`CompiledProgram::segments`] counts these), defer
+//!   to the planner's bootstrap-insertion pass, or — when even a fresh
+//!   input cannot fund the operation — fail with a typed
+//!   [`PlanError::ScaleOverflow`] instead of silently exceeding the
+//!   modulus.
 
 use he_ckks::cipher::Plaintext;
 use he_ckks::context::CkksContext;
@@ -31,10 +37,43 @@ use he_ckks::encoding::Complex;
 
 use crate::decompose::{BasicOp, OpTrace};
 use crate::plan::graph::{EvalGraph, ValueId};
+use crate::plan::passes::{try_plan, Plan, PlanOptions};
+use crate::plan::PlanError;
+
+#[cfg(feature = "telemetry")]
+mod tel {
+    use poseidon_telemetry::{Metric, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    /// Fan repetitions dropped by `count_cap` (items = ops dropped).
+    pub fn truncated() -> &'static Arc<Metric> {
+        static M: OnceLock<Arc<Metric>> = OnceLock::new();
+        M.get_or_init(|| Registry::global().scope("plan.truncated"))
+    }
+}
 
 /// Decryption headroom: the tracked scale must stay this many bits below
 /// the live modulus product.
 pub const SCALE_MARGIN_BITS: f64 = 10.0;
+
+/// What the lowering does when the level/scale budget is exhausted and
+/// rescaling cannot make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exhaustion {
+    /// Close the segment (mark `cur` as an output) and restart from a
+    /// fresh top-level input — at most once per squeeze; if a *fresh*
+    /// input still cannot fund the operation, fail with
+    /// [`PlanError::ScaleOverflow`]. This is the classic PR 8 behavior
+    /// minus its silent-overflow hole.
+    #[default]
+    SegmentReset,
+    /// Never reset: keep a single dataflow and let the exhausted
+    /// level/scale metadata stand, counting each event in
+    /// [`CompiledProgram::exhausted`]. The planner's bootstrap-insertion
+    /// pass repairs these values with `Bootstrap` nodes (or rejects the
+    /// program with a typed error).
+    Defer,
+}
 
 /// Lowering knobs.
 #[derive(Debug, Clone)]
@@ -44,6 +83,8 @@ pub struct CompileOptions {
     pub count_cap: u64,
     /// Rotation steps cycle through `1..=max_rotation_step`.
     pub max_rotation_step: i64,
+    /// Budget-exhaustion policy (see [`Exhaustion`]).
+    pub exhaustion: Exhaustion,
 }
 
 impl Default for CompileOptions {
@@ -51,6 +92,7 @@ impl Default for CompileOptions {
         Self {
             count_cap: 8,
             max_rotation_step: 8,
+            exhaustion: Exhaustion::SegmentReset,
         }
     }
 }
@@ -65,6 +107,9 @@ pub struct CompiledProgram {
     /// Number of lowering segments (1 + resets forced by exhausted
     /// level/scale budget).
     pub segments: usize,
+    /// Budget-exhaustion events left in the graph for the planner to
+    /// repair (always 0 under [`Exhaustion::SegmentReset`]).
+    pub exhausted: u64,
     /// Rotation steps the graph uses (generate these keys before
     /// executing).
     pub rotation_steps: Vec<i64>,
@@ -79,6 +124,7 @@ struct Lowering<'a> {
     pt_counter: usize,
     truncated: u64,
     segments: usize,
+    exhausted: u64,
     rot_cursor: i64,
     default_bits: f64,
 }
@@ -97,6 +143,7 @@ impl<'a> Lowering<'a> {
             pt_counter: 0,
             truncated: 0,
             segments: 1,
+            exhausted: 0,
             rot_cursor: 0,
             default_bits,
         }
@@ -110,11 +157,15 @@ impl<'a> Lowering<'a> {
         self.g.value(v).scale_bits
     }
 
+    /// Live modulus bits at `level`.
+    fn total_bits(&self, level: usize) -> f64 {
+        let p = self.ctx.params();
+        f64::from(p.first_prime_bits) + level as f64 * f64::from(p.scale_prime_bits)
+    }
+
     /// Would a value at `level` with `scale_bits` still decrypt?
     fn fits(&self, level: usize, scale_bits: f64) -> bool {
-        let p = self.ctx.params();
-        let total = f64::from(p.first_prime_bits) + level as f64 * f64::from(p.scale_prime_bits);
-        scale_bits + SCALE_MARGIN_BITS < total
+        scale_bits + SCALE_MARGIN_BITS < self.total_bits(level)
     }
 
     fn cap(&mut self, count: u64) -> u64 {
@@ -148,18 +199,29 @@ impl<'a> Lowering<'a> {
         self.g.intern_plaintext(pt)
     }
 
-    /// Chain-reduces the fan into `cur` (no-op when the fan is empty).
+    /// Reduces the fan into `cur` with a balanced add tree (no-op when
+    /// the fan is empty). Depth ⌈log₂k⌉ instead of the k−1 of a linear
+    /// chain; modular addition is associative, so the reduced value is
+    /// bit-identical either way.
     fn reduce(&mut self) {
         if self.fan.is_empty() {
             return;
         }
-        let mut acc = self.fan[0];
-        for i in 1..self.fan.len() {
-            let t = self.fan[i];
-            acc = self.g.add(acc, t);
+        let mut layer = std::mem::take(&mut self.fan);
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < layer.len() {
+                next.push(self.g.add(layer[i], layer[i + 1]));
+                i += 2;
+            }
+            if i < layer.len() {
+                // Odd term rides up to the next round unpaired.
+                next.push(layer[i]);
+            }
+            layer = next;
         }
-        self.fan.clear();
-        self.cur = acc;
+        self.cur = layer[0];
     }
 
     /// Exhausted level/scale budget: close the segment (mark `cur` as an
@@ -186,27 +248,43 @@ impl<'a> Lowering<'a> {
     }
 
     /// Makes room on `cur` for an operation that adds `extra_bits` of
-    /// scale. At most one segment reset; if the budget still doesn't fit
-    /// afterwards the operation proceeds anyway (tiny parameter sets).
-    fn make_room(&mut self, extra_bits: f64) {
+    /// scale. Rescales while a level and scale headroom remain; on
+    /// exhaustion, applies the configured [`Exhaustion`] policy. Under
+    /// [`Exhaustion::SegmentReset`], at most one reset — if even a fresh
+    /// top-level input cannot fund the operation, the program does not
+    /// fit the parameter set and a typed [`PlanError::ScaleOverflow`] is
+    /// returned (a margin-only squeeze that still stays under the
+    /// modulus is tolerated, for tiny test parameter sets).
+    fn make_room(&mut self, extra_bits: f64) -> Result<(), PlanError> {
         let mut reset_done = false;
         loop {
             let (lv, s) = (self.level(self.cur), self.sb(self.cur));
             if self.fits(lv, s + extra_bits) {
-                return;
+                return Ok(());
             }
             if lv > 0 && s > self.default_bits + 0.5 {
                 self.cur = self.g.rescale(self.cur);
+            } else if self.opts.exhaustion == Exhaustion::Defer {
+                self.exhausted += 1;
+                return Ok(());
             } else if !reset_done {
                 self.reset();
                 reset_done = true;
+            } else if s + extra_bits >= self.total_bits(lv) {
+                return Err(PlanError::ScaleOverflow {
+                    level: lv,
+                    scale_bits: s + extra_bits,
+                    total_bits: self.total_bits(lv),
+                });
             } else {
-                return;
+                // Inside the margin but still under the modulus: tolerate
+                // (tiny parameter sets land here on their first op).
+                return Ok(());
             }
         }
     }
 
-    fn lower_entry(&mut self, op: BasicOp, target: usize, count: u64) {
+    fn lower_entry(&mut self, op: BasicOp, target: usize, count: u64) -> Result<(), PlanError> {
         match op {
             BasicOp::Rotation | BasicOp::Keyswitch => {
                 self.reduce();
@@ -223,7 +301,7 @@ impl<'a> Lowering<'a> {
                 if self.fan.is_empty() {
                     self.maybe_drop(target);
                     let k = self.cap(count);
-                    self.make_room(self.default_bits);
+                    self.make_room(self.default_bits)?;
                     let lv = self.level(self.cur);
                     self.fan = (0..k)
                         .map(|_| {
@@ -240,12 +318,22 @@ impl<'a> Lowering<'a> {
                     if !self.fits(lv, s + self.default_bits) {
                         if lv > 0 && s > self.default_bits + 0.5 {
                             self.rescale_fan();
+                        } else if self.opts.exhaustion == Exhaustion::Defer {
+                            self.exhausted += 1;
                         } else if lv == 0 {
                             // No scale room at the chain floor — close the
                             // segment rather than exceed the modulus.
                             self.reduce();
                             self.reset();
+                        } else if s + self.default_bits >= self.total_bits(lv) {
+                            return Err(PlanError::ScaleOverflow {
+                                level: lv,
+                                scale_bits: s + self.default_bits,
+                                total_bits: self.total_bits(lv),
+                            });
                         }
+                        // else: margin squeeze that stays under the
+                        // modulus — tolerated (tiny parameter sets).
                     }
                     if self.fan.is_empty() {
                         // Segment reset: rebuild the fan from the fresh input.
@@ -299,7 +387,7 @@ impl<'a> Lowering<'a> {
                 let k = self.cap(count);
                 for _ in 0..k {
                     let s = self.sb(self.cur);
-                    self.make_room(s);
+                    self.make_room(s)?;
                     self.cur = self.g.square(self.cur);
                 }
             }
@@ -316,6 +404,7 @@ impl<'a> Lowering<'a> {
                 // Basis extension has no dataflow effect at this level.
             }
         }
+        Ok(())
     }
 
     fn finish(mut self) -> CompiledProgram {
@@ -326,13 +415,25 @@ impl<'a> Lowering<'a> {
             graph: self.g,
             truncated: self.truncated,
             segments: self.segments,
+            exhausted: self.exhausted,
             rotation_steps,
         }
     }
 }
 
 /// Lowers a parsed `.pos` trace into an executable graph for `ctx`.
-pub fn compile_trace(trace: &OpTrace, ctx: &CkksContext, opts: &CompileOptions) -> CompiledProgram {
+///
+/// # Errors
+///
+/// [`PlanError::ScaleOverflow`] when the parameter set cannot fund the
+/// program under [`Exhaustion::SegmentReset`] — even a fresh top-level
+/// input would exceed the modulus (never errors under
+/// [`Exhaustion::Defer`]; the planner repairs or rejects instead).
+pub fn compile_trace(
+    trace: &OpTrace,
+    ctx: &CkksContext,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, PlanError> {
     let virt_max = trace
         .entries()
         .iter()
@@ -345,15 +446,50 @@ pub fn compile_trace(trace: &OpTrace, ctx: &CkksContext, opts: &CompileOptions) 
     for &(op, params, count) in trace.entries() {
         let target = ((params.components as f64 / virt_max) * max_level as f64).ceil() as usize;
         let target = target.min(max_level);
-        lowering.lower_entry(op, target, count);
+        lowering.lower_entry(op, target, count)?;
     }
-    lowering.finish()
+    Ok(lowering.finish())
+}
+
+/// End-to-end `.pos` planning: lower the trace (with `opts.count_cap` and
+/// an exhaustion policy derived from `opts.bootstrap`), run the pass
+/// pipeline, and surface lowering telemetry (`PlanStats::truncated`,
+/// `plan.truncated` scope) in the resulting [`Plan`].
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] from the lowering (scale overflow) or from
+/// bootstrap insertion (budget exhausted with no key, or refresh costed
+/// above re-encryption).
+pub fn plan_trace(
+    trace: &OpTrace,
+    ctx: &CkksContext,
+    opts: &PlanOptions,
+) -> Result<Plan, PlanError> {
+    let copts = CompileOptions {
+        count_cap: opts.count_cap,
+        exhaustion: if opts.bootstrap.is_some() {
+            Exhaustion::Defer
+        } else {
+            Exhaustion::SegmentReset
+        },
+        ..CompileOptions::default()
+    };
+    let prog = compile_trace(trace, ctx, &copts)?;
+    if prog.truncated > 0 {
+        #[cfg(feature = "telemetry")]
+        tel::truncated().add(prog.truncated);
+    }
+    let mut plan = try_plan(prog.graph, opts)?;
+    plan.stats.truncated = prog.truncated;
+    Ok(plan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::decompose::OpParams;
+    use crate::plan::graph::{GraphOp, NodeId};
     use he_ckks::params::CkksParams;
 
     fn trace_of(entries: &[(BasicOp, usize, u64)]) -> OpTrace {
@@ -373,15 +509,16 @@ mod tests {
             (BasicOp::Rescale, 20, 8),
             (BasicOp::HAdd, 20, 8),
         ]);
-        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default()).expect("fits");
         assert!(prog.graph.validate().is_ok());
         assert_eq!(prog.rotation_steps, vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(prog.segments, 1);
+        assert_eq!(prog.exhausted, 0);
         assert_eq!(prog.graph.outputs().len(), 1);
         // 8 rotations of one source — prime hoisting material.
         assert_eq!(
             prog.graph
-                .count_ops(|op| matches!(op, crate::plan::graph::GraphOp::Rotate { .. })),
+                .count_ops(|op| matches!(op, GraphOp::Rotate { .. })),
             8
         );
     }
@@ -390,9 +527,79 @@ mod tests {
     fn counts_are_capped_and_reported() {
         let ctx = CkksContext::new(CkksParams::toy());
         let trace = trace_of(&[(BasicOp::Rotation, 14, 46), (BasicOp::HAdd, 14, 46)]);
-        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default()).expect("fits");
         assert!(prog.truncated >= 38);
         assert!(prog.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn raising_the_cap_lowers_a_wide_fan_fully() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let trace = trace_of(&[
+            (BasicOp::Rotation, 20, 32),
+            (BasicOp::PMult, 20, 32),
+            (BasicOp::HAdd, 20, 32),
+        ]);
+        // Default cap truncates the fan of 32...
+        let capped = compile_trace(&trace, &ctx, &CompileOptions::default()).expect("fits");
+        assert!(capped.truncated > 0);
+        // ...raising it lowers every repetition.
+        let opts = CompileOptions {
+            count_cap: 32,
+            ..CompileOptions::default()
+        };
+        let full = compile_trace(&trace, &ctx, &opts).expect("fits");
+        assert_eq!(full.truncated, 0);
+        assert!(full.graph.validate().is_ok());
+        assert_eq!(
+            full.graph
+                .count_ops(|op| matches!(op, GraphOp::Rotate { .. })),
+            32
+        );
+        assert_eq!(
+            full.graph
+                .count_ops(|op| matches!(op, GraphOp::MulPlain { .. })),
+            32
+        );
+    }
+
+    /// Longest chain of `Add` nodes feeding `Add` nodes — the reduction
+    /// depth.
+    fn add_depth(g: &EvalGraph) -> usize {
+        fn depth_of(g: &EvalGraph, n: NodeId, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(d) = memo[n.index()] {
+                return d;
+            }
+            let node = g.node(n);
+            let d = if matches!(node.op, GraphOp::Add) {
+                1 + node
+                    .inputs
+                    .iter()
+                    .map(|&v| depth_of(g, g.value(v).producer, memo))
+                    .max()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            memo[n.index()] = Some(d);
+            d
+        }
+        let mut memo = vec![None; g.nodes().len()];
+        (0..g.nodes().len())
+            .map(|i| depth_of(g, NodeId(i), &mut memo))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn fan_reduction_is_a_balanced_tree() {
+        let ctx = CkksContext::new(CkksParams::toy());
+        let trace = trace_of(&[(BasicOp::Rotation, 20, 8), (BasicOp::HAdd, 20, 8)]);
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default()).expect("fits");
+        // 8 terms still need 7 adds, but in ⌈log₂8⌉ = 3 layers rather
+        // than a 7-deep chain.
+        assert_eq!(prog.graph.count_ops(|op| matches!(op, GraphOp::Add)), 7);
+        assert_eq!(add_depth(&prog.graph), 3);
     }
 
     #[test]
@@ -403,7 +610,7 @@ mod tests {
             (BasicOp::Rescale, 29, 4),
             (BasicOp::CMult, 28, 4),
         ]);
-        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default()).expect("fits");
         assert!(prog.graph.validate().is_ok());
         // Every live value stays within the decryption margin.
         for v in prog.graph.values().iter().filter(|v| !v.is_dead()) {
@@ -431,12 +638,53 @@ mod tests {
             (BasicOp::Keyswitch, 8, 4),
             (BasicOp::HAdd, 8, 4),
         ]);
-        let prog = compile_trace(&trace, &ctx, &CompileOptions::default());
+        let prog = compile_trace(&trace, &ctx, &CompileOptions::default()).expect("fits");
         assert!(prog.graph.validate().is_ok());
         assert!(prog
             .graph
             .nodes()
             .iter()
-            .any(|n| matches!(n.op, crate::plan::graph::GraphOp::DropToLevel { .. })));
+            .any(|n| matches!(n.op, GraphOp::DropToLevel { .. })));
+    }
+
+    /// Parameter set whose modulus cannot fund a single squaring even
+    /// from a fresh top-level input: 2·45 scale bits ≥ 36 + 1·40 live
+    /// bits. PR 8's `make_room` proceeded anyway and produced a value
+    /// past the modulus; the lowering must now refuse with a typed
+    /// error.
+    fn overflowing_params() -> CkksParams {
+        let mut p = CkksParams::toy();
+        p.n = 32;
+        p.first_prime_bits = 36;
+        p.scale_prime_bits = 40;
+        p.chain_len = 2;
+        p.scale = (1u64 << 45) as f64;
+        p
+    }
+
+    #[test]
+    fn unfundable_square_is_a_typed_overflow_not_a_silent_one() {
+        let ctx = CkksContext::new(overflowing_params());
+        let trace = trace_of(&[(BasicOp::CMult, 30, 1)]);
+        let err = compile_trace(&trace, &ctx, &CompileOptions::default())
+            .expect_err("2*45 scale bits cannot fit a 76-bit modulus");
+        assert!(
+            matches!(err, PlanError::ScaleOverflow { level: _, .. }),
+            "expected ScaleOverflow, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn defer_mode_keeps_one_dataflow_and_counts_exhaustion() {
+        let ctx = CkksContext::new(overflowing_params());
+        let trace = trace_of(&[(BasicOp::CMult, 30, 1)]);
+        let opts = CompileOptions {
+            exhaustion: Exhaustion::Defer,
+            ..CompileOptions::default()
+        };
+        let prog = compile_trace(&trace, &ctx, &opts).expect("defer never errors");
+        assert!(prog.exhausted >= 1);
+        assert_eq!(prog.segments, 1);
+        assert!(prog.graph.validate().is_ok());
     }
 }

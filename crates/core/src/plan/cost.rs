@@ -1,0 +1,149 @@
+//! Hardware cost model consulted by the planner.
+//!
+//! The paper's HFAuto orders basic operations against the accelerator's
+//! cycle model, not just dataflow. This module gives the planner the same
+//! lever: a [`CostModel`] answers "how many cycles does this node cost at
+//! this level", and the Kahn scheduler uses it as a *tie-breaker* behind
+//! the affinity score (so the PR 8 digest-identity guarantees hold
+//! whenever cost tie-breaking is off, the default), while the
+//! bootstrap-insertion pass uses it for the bootstrap-vs-re-encrypt
+//! decision.
+//!
+//! [`TableCostModel`] is the default implementation: a per-op cycle table
+//! whose constants are derived from `poseidon-sim`'s timing model
+//! (`timing::time_op` under the paper's U280 configuration), scaled
+//! linearly with the operand level — the dominant term, since every
+//! operator streams `(level+1)·N` residues. `poseidon-sim` itself exports
+//! a `SimCostModel` that computes the same quantities from the full
+//! analytical model; the table here keeps `poseidon-core` free of a
+//! dependency cycle (sim depends on core).
+
+use crate::plan::graph::GraphOp;
+
+/// Per-node cycle estimates for planning decisions. Implementations must
+/// be deterministic: the scheduler folds these numbers into a
+/// reproducible order.
+pub trait CostModel {
+    /// Estimated cycles to execute `op` on an operand at `level`.
+    fn op_cost(&self, op: &GraphOp, level: usize) -> u64;
+
+    /// Estimated cycles for a full bootstrap refreshing to
+    /// `target_level`. Bootstrapping is a long fixed pipeline (ModRaise →
+    /// SubSum → CoeffToSlot → EvalMod → SlotToCoeff), so the default is a
+    /// large multiple of a keyswitching op at the top of the chain.
+    fn bootstrap_cost(&self, target_level: usize) -> u64 {
+        // ≈ 2·slots hoisted rotations + a dozen EvalMod multiplies.
+        64 * self.op_cost(&GraphOp::Mul, target_level.max(1))
+    }
+
+    /// Estimated cycles (client + server) to ship an exhausted ciphertext
+    /// back for decrypt/re-encrypt instead of bootstrapping — the
+    /// alternative the depth-vs-bootstrap decision weighs. Includes the
+    /// wire round trip, so it dwarfs on-device refresh for realistic
+    /// deployments.
+    fn reencrypt_cost(&self) -> u64 {
+        1 << 22
+    }
+}
+
+/// Default table-backed cost model.
+///
+/// Base cycle counts per op class at level 1, derived from
+/// `poseidon-sim`'s `time_op` on the paper's Poseidon/U280 instance
+/// (512 lanes, fusion k=3): keyswitching ops (CMult, Rotation) cost
+/// roughly an order of magnitude more than element-wise ops (HAdd,
+/// PMult), rescale sits in between, and data movement (level drops)
+/// is nearly free. Costs scale linearly with `level + 1` (limb count).
+#[derive(Debug, Clone)]
+pub struct TableCostModel {
+    /// Cycles per (level+1) for an element-wise add/sub.
+    pub add: u64,
+    /// Cycles per (level+1) for a plaintext multiply.
+    pub mul_plain: u64,
+    /// Cycles per (level+1) for a relinearised ciphertext multiply.
+    pub mul: u64,
+    /// Cycles per (level+1) for a rescale.
+    pub rescale: u64,
+    /// Cycles per (level+1) for a single keyswitched rotation.
+    pub rotate: u64,
+    /// Cycles per (level+1) for each *additional* rotation in a hoisted
+    /// batch (the digit lift is paid once, at [`rotate`](Self::rotate)).
+    pub rotate_extra: u64,
+}
+
+impl Default for TableCostModel {
+    fn default() -> Self {
+        Self {
+            add: 16,
+            mul_plain: 32,
+            mul: 320,
+            rescale: 96,
+            rotate: 288,
+            rotate_extra: 64,
+        }
+    }
+}
+
+impl CostModel for TableCostModel {
+    fn op_cost(&self, op: &GraphOp, level: usize) -> u64 {
+        let l = (level + 1) as u64;
+        match op {
+            GraphOp::Input { .. } | GraphOp::DropToLevel { .. } => 0,
+            GraphOp::Add | GraphOp::Sub | GraphOp::AddPlain { .. } => self.add * l,
+            GraphOp::MulPlain { .. } => self.mul_plain * l,
+            GraphOp::Mul | GraphOp::Square => self.mul * l,
+            GraphOp::Rescale => self.rescale * l,
+            GraphOp::Rotate { .. } | GraphOp::Conjugate => self.rotate * l,
+            GraphOp::RotateMany { steps } => {
+                (self.rotate + self.rotate_extra * steps.len().saturating_sub(1) as u64) * l
+            }
+            GraphOp::Bootstrap { target_level } => self.bootstrap_cost(*target_level),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyswitch_ops_dominate_elementwise_ops() {
+        let m = TableCostModel::default();
+        for level in [0usize, 3, 7] {
+            assert!(m.op_cost(&GraphOp::Mul, level) > m.op_cost(&GraphOp::Add, level));
+            assert!(
+                m.op_cost(&GraphOp::Rotate { steps: 1 }, level)
+                    > m.op_cost(&GraphOp::MulPlain { pt: 0 }, level)
+            );
+        }
+    }
+
+    #[test]
+    fn hoisted_batch_beats_individual_rotations() {
+        let m = TableCostModel::default();
+        let steps: Vec<i64> = (1..=8).collect();
+        let batch = m.op_cost(
+            &GraphOp::RotateMany {
+                steps: steps.clone(),
+            },
+            3,
+        );
+        let singles: u64 = steps
+            .iter()
+            .map(|&s| m.op_cost(&GraphOp::Rotate { steps: s }, 3))
+            .sum();
+        assert!(batch < singles, "hoisting must be modelled as a win");
+    }
+
+    #[test]
+    fn cost_scales_with_level() {
+        let m = TableCostModel::default();
+        assert!(m.op_cost(&GraphOp::Mul, 7) > m.op_cost(&GraphOp::Mul, 1));
+    }
+
+    #[test]
+    fn bootstrap_beats_reencrypt_by_default() {
+        let m = TableCostModel::default();
+        assert!(m.bootstrap_cost(2) < m.reencrypt_cost());
+    }
+}

@@ -6,7 +6,14 @@
 //! nodes positionally, walks the schedule, and frees each value's slot
 //! at its last use (the plan's `release` sets) — so peak ciphertext
 //! residency matches the scheduler's `max_live` accounting.
+//!
+//! Plans containing `Bootstrap` nodes (from the bootstrap-insertion
+//! pass) need [`execute_with`] and a [`Bootstrapper`]: the executor
+//! drops the operand to level 0, runs the refresh through
+//! `HomomorphicOps::try_bootstrap`, and conforms the result to the
+//! node's target level.
 
+use he_ckks::bootstrap::Bootstrapper;
 use he_ckks::cipher::Ciphertext;
 use he_ckks::error::EvalError;
 use he_ckks::keys::KeySet;
@@ -37,13 +44,35 @@ fn slot(slots: &[Option<Ciphertext>], v: ValueId) -> Result<&Ciphertext, EvalErr
 /// # Errors
 ///
 /// `EvalError::InvalidParams` when the input count doesn't match the
-/// graph, otherwise whatever the backend operation returns (missing
-/// rotation keys, rescale at level 0, …).
+/// graph, `EvalError::BootstrapUnavailable` when the plan contains a
+/// `Bootstrap` node (use [`execute_with`]), otherwise whatever the
+/// backend operation returns (missing rotation keys, rescale at level 0,
+/// …).
 pub fn execute<B: HomomorphicOps>(
     plan: &Plan,
     backend: &mut B,
     inputs: &[Ciphertext],
     keys: &KeySet,
+) -> Result<ExecOutcome, EvalError> {
+    execute_with(plan, backend, inputs, keys, None)
+}
+
+/// [`execute`] with an optional [`Bootstrapper`] for plans that refresh
+/// ciphertexts. A `Bootstrap { target_level }` node drops its operand to
+/// level 0, runs the backend's bootstrap pipeline, and drops the
+/// refreshed ciphertext to `target_level`.
+///
+/// # Errors
+///
+/// As [`execute`]; additionally `EvalError::LevelMismatch` when the
+/// bootstrapper delivers a refreshed ciphertext *below* a node's target
+/// level.
+pub fn execute_with<B: HomomorphicOps>(
+    plan: &Plan,
+    backend: &mut B,
+    inputs: &[Ciphertext],
+    keys: &KeySet,
+    bootstrapper: Option<&Bootstrapper>,
 ) -> Result<ExecOutcome, EvalError> {
     let g = &plan.graph;
     if inputs.len() != g.inputs().len() {
@@ -94,6 +123,28 @@ pub fn execute<B: HomomorphicOps>(
                     }
                     GraphOp::Conjugate => {
                         backend.try_conjugate(slot(&slots, node.inputs[0])?, keys)?
+                    }
+                    GraphOp::Bootstrap { target_level } => {
+                        let bs = bootstrapper.ok_or(EvalError::BootstrapUnavailable)?;
+                        let a = slot(&slots, node.inputs[0])?;
+                        // ModRaise needs a level-0 operand.
+                        let floored = if a.level() > 0 {
+                            backend.try_drop_to_level(a, 0)?
+                        } else {
+                            a.clone()
+                        };
+                        let refreshed = backend.try_bootstrap(&floored, bs, keys)?;
+                        if refreshed.level() < *target_level {
+                            return Err(EvalError::LevelMismatch {
+                                a: refreshed.level(),
+                                b: *target_level,
+                            });
+                        }
+                        if refreshed.level() > *target_level {
+                            backend.try_drop_to_level(&refreshed, *target_level)?
+                        } else {
+                            refreshed
+                        }
                     }
                     GraphOp::RotateMany { .. } => unreachable!(),
                 };

@@ -93,6 +93,16 @@ pub enum GraphOp {
         /// Rotation amounts, one per output.
         steps: Vec<i64>,
     },
+    /// Planner-introduced ciphertext refresh: drop the operand to level 0,
+    /// run the full bootstrapping pipeline, and conform the refreshed
+    /// ciphertext to `target_level`. Inserted by the bootstrap-insertion
+    /// pass when a chain exhausts the modulus; executed through
+    /// `HomomorphicOps::try_bootstrap`.
+    Bootstrap {
+        /// Level the refreshed ciphertext is dropped to (must not exceed
+        /// what the executing `Bootstrapper` can deliver).
+        target_level: usize,
+    },
 }
 
 impl GraphOp {
@@ -111,6 +121,7 @@ impl GraphOp {
             GraphOp::Rotate { .. } => "rotate",
             GraphOp::Conjugate => "conjugate",
             GraphOp::RotateMany { .. } => "rotate_many",
+            GraphOp::Bootstrap { .. } => "bootstrap",
         }
     }
 }
@@ -392,6 +403,19 @@ impl EvalGraph {
         self.push_node(GraphOp::Conjugate, vec![a], level, sb)
     }
 
+    /// Ciphertext refresh to `target_level` at the nominal default scale
+    /// (≈ [`rescale_bits`](Self::rescale_bits)). The executor drops the
+    /// operand to level 0 and runs the bootstrapping pipeline.
+    pub fn bootstrap(&mut self, a: ValueId, target_level: usize) -> ValueId {
+        let sb = self.rescale_bits;
+        self.push_node(
+            GraphOp::Bootstrap { target_level },
+            vec![a],
+            target_level,
+            sb,
+        )
+    }
+
     /// Marks a value as a graph output (idempotent). Outputs survive
     /// dead-value elimination and are returned by the executor in marking
     /// order.
@@ -416,6 +440,12 @@ impl EvalGraph {
 
     pub(crate) fn kill_value(&mut self, v: ValueId) {
         self.values[v.0].dead = true;
+    }
+
+    /// Adds `consumer` to `v`'s consumer list (pass rewires that retarget
+    /// an existing node onto a new operand).
+    pub(crate) fn subscribe(&mut self, v: ValueId, consumer: NodeId) {
+        self.values[v.0].consumers.push(consumer);
     }
 
     /// Removes one occurrence of `consumer` from `v`'s consumer list.

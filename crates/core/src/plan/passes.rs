@@ -28,9 +28,16 @@
 
 use std::collections::HashMap;
 
-use crate::plan::graph::{EvalGraph, GraphOp, NodeId, ValueId};
+use he_ckks::params::CkksParams;
 
-/// Which passes run. Default: everything on, hoist batches of ≥ 2.
+use crate::plan::compile::SCALE_MARGIN_BITS;
+use crate::plan::cost::{CostModel, TableCostModel};
+use crate::plan::graph::{EvalGraph, GraphOp, NodeId, ValueId};
+use crate::plan::PlanError;
+
+/// Which passes run. Default: everything on, hoist batches of ≥ 2, no
+/// cost tie-breaking, no bootstrap insertion — so [`PlanOptions::default`]
+/// reproduces PR 8 schedules bit-identically.
 #[derive(Debug, Clone)]
 pub struct PlanOptions {
     /// Cross-graph rotation hoisting into `RotateMany` (bit-preserving on
@@ -45,6 +52,17 @@ pub struct PlanOptions {
     pub reorder: bool,
     /// Minimum sibling rotations of one source before hoisting pays.
     pub min_hoist: usize,
+    /// `.pos` lowering fan cap, forwarded to
+    /// [`CompileOptions::count_cap`](crate::plan::compile::CompileOptions)
+    /// by [`plan_trace`](crate::plan::compile::plan_trace).
+    pub count_cap: u64,
+    /// Break affinity-score ties with the cost model (cheaper op first)
+    /// instead of creation order. Off by default: cost-reordered schedules
+    /// are validated by output agreement, not digest identity.
+    pub cost_tiebreak: bool,
+    /// Enable the bootstrap-insertion pass ([`try_plan`] only; [`plan`]
+    /// ignores this field and stays infallible).
+    pub bootstrap: Option<BootstrapOptions>,
 }
 
 impl Default for PlanOptions {
@@ -55,6 +73,9 @@ impl Default for PlanOptions {
             eliminate_dead: true,
             reorder: true,
             min_hoist: 2,
+            count_cap: 8,
+            cost_tiebreak: false,
+            bootstrap: None,
         }
     }
 }
@@ -69,6 +90,83 @@ impl PlanOptions {
             eliminate_dead: false,
             reorder: false,
             min_hoist: 2,
+            count_cap: 8,
+            cost_tiebreak: false,
+            bootstrap: None,
+        }
+    }
+}
+
+/// The modulus-chain budget the bootstrap-insertion pass checks values
+/// against — the same pressure rule the `.pos` lowering applies
+/// ([`SCALE_MARGIN_BITS`] of decryption headroom under the live modulus
+/// bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseBudget {
+    /// log2 of the first (base) prime.
+    pub first_prime_bits: f64,
+    /// log2 of one scale prime (bits regained per level).
+    pub scale_prime_bits: f64,
+    /// Required decryption headroom.
+    pub margin_bits: f64,
+}
+
+impl NoiseBudget {
+    /// The budget implied by a parameter set, with the lowering's margin.
+    pub fn from_params(params: &CkksParams) -> Self {
+        Self {
+            first_prime_bits: f64::from(params.first_prime_bits),
+            scale_prime_bits: f64::from(params.scale_prime_bits),
+            margin_bits: SCALE_MARGIN_BITS,
+        }
+    }
+
+    /// Live modulus bits at `level`.
+    pub fn total_bits(&self, level: usize) -> f64 {
+        self.first_prime_bits + level as f64 * self.scale_prime_bits
+    }
+
+    /// Would a value at `level` with `scale_bits` still decrypt (with
+    /// margin)?
+    pub fn fits(&self, level: usize, scale_bits: f64) -> bool {
+        scale_bits + self.margin_bits < self.total_bits(level)
+    }
+}
+
+/// Policy for the bootstrap-insertion pass.
+#[derive(Debug, Clone)]
+pub struct BootstrapOptions {
+    /// Whether the executing tenant holds bootstrap key material (sparse
+    /// secret, required rotation + conjugation keys). When false, an
+    /// exhausted chain is a typed [`PlanError::BudgetExhausted`] instead
+    /// of an inserted refresh.
+    pub key_available: bool,
+    /// Level inserted `Bootstrap` nodes refresh to. Must not exceed what
+    /// the executing `Bootstrapper` delivers (the executor fails with
+    /// `LevelMismatch` otherwise). Levels ≥ 2 leave room for a squaring
+    /// right after the refresh.
+    pub refresh_level: usize,
+    /// The modulus budget violations are measured against.
+    pub budget: NoiseBudget,
+}
+
+impl BootstrapOptions {
+    /// Insertion enabled for a tenant holding bootstrap keys.
+    pub fn for_params(params: &CkksParams, refresh_level: usize) -> Self {
+        Self {
+            key_available: true,
+            refresh_level,
+            budget: NoiseBudget::from_params(params),
+        }
+    }
+
+    /// Budget *checking* without key material: exhausted chains become
+    /// typed errors at plan time instead of runtime garbage.
+    pub fn without_key(params: &CkksParams, refresh_level: usize) -> Self {
+        Self {
+            key_available: false,
+            refresh_level,
+            budget: NoiseBudget::from_params(params),
         }
     }
 }
@@ -96,6 +194,12 @@ pub struct PlanStats {
     pub max_live_before: usize,
     /// Peak live ciphertext count of the emitted schedule.
     pub max_live_after: usize,
+    /// `.pos` fan repetitions the lowering cap dropped (filled by
+    /// [`plan_trace`](crate::plan::compile::plan_trace); 0 for recorded
+    /// graphs).
+    pub truncated: u64,
+    /// `Bootstrap` nodes the insertion pass added.
+    pub bootstraps_inserted: usize,
 }
 
 /// An optimized, executable schedule over an [`EvalGraph`].
@@ -142,8 +246,49 @@ impl Plan {
     }
 }
 
-/// Runs the pass pipeline and schedules the result.
-pub fn plan(mut graph: EvalGraph, opts: &PlanOptions) -> Plan {
+/// Runs the pass pipeline and schedules the result. Infallible: ignores
+/// [`PlanOptions::bootstrap`] (use [`try_plan`] for insertion).
+pub fn plan(graph: EvalGraph, opts: &PlanOptions) -> Plan {
+    let mut opts = opts.clone();
+    opts.bootstrap = None;
+    let model = TableCostModel::default();
+    run_pipeline(graph, &opts, &model).expect("planning without bootstrap insertion is infallible")
+}
+
+/// [`plan`] plus the bootstrap-insertion pass (when
+/// [`PlanOptions::bootstrap`] is set) under the default table cost model.
+///
+/// # Errors
+///
+/// [`PlanError::BudgetExhausted`] when a chain exhausts the modulus and no
+/// bootstrap key is available (or the refresh costs more than client
+/// re-encryption); [`PlanError::ScaleOverflow`] when even a refreshed
+/// operand cannot fund the exhausted operation.
+pub fn try_plan(graph: EvalGraph, opts: &PlanOptions) -> Result<Plan, PlanError> {
+    let model = TableCostModel::default();
+    try_plan_with(graph, opts, &model)
+}
+
+/// [`try_plan`] with an explicit [`CostModel`] (e.g. `poseidon-sim`'s
+/// analytical model) driving the bootstrap-vs-re-encrypt decision and,
+/// with [`PlanOptions::cost_tiebreak`], scheduler tie-breaks.
+///
+/// # Errors
+///
+/// As [`try_plan`].
+pub fn try_plan_with(
+    graph: EvalGraph,
+    opts: &PlanOptions,
+    cost: &dyn CostModel,
+) -> Result<Plan, PlanError> {
+    run_pipeline(graph, opts, cost)
+}
+
+fn run_pipeline(
+    mut graph: EvalGraph,
+    opts: &PlanOptions,
+    cost: &dyn CostModel,
+) -> Result<Plan, PlanError> {
     let mut stats = PlanStats {
         nodes_before: graph.live_node_count(),
         rescales_before: graph.count_ops(|op| matches!(op, GraphOp::Rescale)),
@@ -156,6 +301,15 @@ pub fn plan(mut graph: EvalGraph, opts: &PlanOptions) -> Plan {
     }
 
     let mut value_preserving = true;
+    if let Some(bs) = &opts.bootstrap {
+        stats.bootstraps_inserted = insert_bootstraps(&mut graph, bs, cost)?;
+        if stats.bootstraps_inserted > 0 {
+            // A refresh re-encrypts the value through the bootstrapping
+            // pipeline: decrypted values agree (within bootstrap
+            // precision), bits do not.
+            value_preserving = false;
+        }
+    }
     if opts.place_rescales {
         stats.rescales_sunk = sink_rescales(&mut graph);
         loop {
@@ -177,8 +331,11 @@ pub fn plan(mut graph: EvalGraph, opts: &PlanOptions) -> Plan {
     }
     debug_assert_eq!(graph.validate(), Ok(()));
 
-    let schedule = if opts.reorder {
-        schedule_affinity(&graph)
+    // Inserted bootstrap nodes live at the end of the node list but feed
+    // earlier consumers, so creation order is no longer topological —
+    // force the Kahn scheduler whenever insertion fired.
+    let schedule = if opts.reorder || stats.bootstraps_inserted > 0 {
+        schedule_affinity(&graph, if opts.cost_tiebreak { Some(cost) } else { None })
     } else {
         graph.live_nodes().collect()
     };
@@ -188,12 +345,223 @@ pub fn plan(mut graph: EvalGraph, opts: &PlanOptions) -> Plan {
     stats.rescales_after = graph.count_ops(|op| matches!(op, GraphOp::Rescale));
     stats.max_live_after = max_live;
 
-    Plan {
+    Ok(Plan {
         graph,
         schedule,
         release,
         value_preserving,
         stats,
+    })
+}
+
+/// Deterministic topological order (Kahn, lowest node index first) over
+/// the live nodes — creation order is not topological once passes append
+/// nodes that feed earlier consumers.
+fn topo_order(g: &EvalGraph) -> Vec<NodeId> {
+    let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+    for nid in g.live_nodes() {
+        indeg.insert(nid, g.node(nid).inputs.len());
+    }
+    let mut ready: Vec<NodeId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    // Descending sort so `pop()` yields the smallest id.
+    ready.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(indeg.len());
+    while let Some(nid) = ready.pop() {
+        order.push(nid);
+        for &o in &g.node(nid).outputs {
+            for &c in &g.value(o).consumers {
+                if let Some(d) = indeg.get_mut(&c) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(c);
+                    }
+                }
+            }
+        }
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        ready.dedup();
+    }
+    debug_assert_eq!(order.len(), g.live_node_count());
+    order
+}
+
+/// Re-derives every value's level/scale metadata from its producer in
+/// topological order, mirroring the builder's propagation rules. Needed
+/// after bootstrap insertion: a refresh raises its operand's level, and
+/// everything downstream shifts with it.
+fn recompute_metadata(g: &mut EvalGraph) {
+    let order = topo_order(g);
+    for nid in order {
+        let node = g.node(nid);
+        let op = node.op.clone();
+        let inputs = node.inputs.clone();
+        let outputs = node.outputs.clone();
+        let meta = |g: &EvalGraph, v: ValueId| {
+            let i = g.value(v);
+            (i.level, i.scale_bits)
+        };
+        match op {
+            GraphOp::Input { .. } => {} // recorded/bound metadata stands
+            GraphOp::Add | GraphOp::Sub => {
+                let (la, sa) = meta(g, inputs[0]);
+                let (lb, sb) = meta(g, inputs[1]);
+                g.set_value_meta(outputs[0], la.min(lb), sa.max(sb));
+            }
+            GraphOp::AddPlain { .. } => {
+                let (l, s) = meta(g, inputs[0]);
+                g.set_value_meta(outputs[0], l, s);
+            }
+            GraphOp::MulPlain { pt } => {
+                let pt_bits = g.plaintexts()[pt].scale().log2();
+                let (l, s) = meta(g, inputs[0]);
+                g.set_value_meta(outputs[0], l, s + pt_bits);
+            }
+            GraphOp::Mul => {
+                let (la, sa) = meta(g, inputs[0]);
+                let (lb, sb) = meta(g, inputs[1]);
+                g.set_value_meta(outputs[0], la.min(lb), sa + sb);
+            }
+            GraphOp::Square => {
+                let (l, s) = meta(g, inputs[0]);
+                g.set_value_meta(outputs[0], l, 2.0 * s);
+            }
+            GraphOp::Rescale => {
+                let (l, s) = meta(g, inputs[0]);
+                let rb = g.rescale_bits();
+                g.set_value_meta(outputs[0], l.saturating_sub(1), s - rb);
+            }
+            GraphOp::DropToLevel { level } => {
+                let (_, s) = meta(g, inputs[0]);
+                g.set_value_meta(outputs[0], level, s);
+            }
+            GraphOp::Rotate { .. } | GraphOp::Conjugate => {
+                let (l, s) = meta(g, inputs[0]);
+                g.set_value_meta(outputs[0], l, s);
+            }
+            GraphOp::RotateMany { .. } => {
+                let (l, s) = meta(g, inputs[0]);
+                for &o in &outputs {
+                    g.set_value_meta(o, l, s);
+                }
+            }
+            GraphOp::Bootstrap { target_level } => {
+                let rb = g.rescale_bits();
+                g.set_value_meta(outputs[0], target_level, rb);
+            }
+        }
+    }
+}
+
+/// First (topologically) live non-input node producing a value outside
+/// the budget, with that value.
+fn first_violation(g: &EvalGraph, budget: &NoiseBudget) -> Option<(NodeId, ValueId)> {
+    for nid in topo_order(g) {
+        let node = g.node(nid);
+        // Inputs arrive as-is; an explicit level descent adds no scale
+        // (a squeezed-but-decryptable value at the chain floor — the
+        // exhaust-before-refresh idiom — only becomes a violation when
+        // an arithmetic consumer pushes it past the modulus, and that
+        // consumer is where the refresh belongs).
+        if matches!(node.op, GraphOp::Input { .. } | GraphOp::DropToLevel { .. }) {
+            continue;
+        }
+        for &o in &node.outputs {
+            let v = g.value(o);
+            if !v.dead && !budget.fits(v.level, v.scale_bits) {
+                return Some((nid, o));
+            }
+        }
+    }
+    None
+}
+
+/// The bootstrap-insertion pass: while some node's output exhausts the
+/// modulus budget, splice a `Bootstrap` refresh onto that node's
+/// ciphertext operand (the exact condition the `.pos` lowering's
+/// `make_room` used to paper over). Insertion is rejected — with a typed
+/// error — when no bootstrap key is registered, when the cost model
+/// prices the refresh above shipping the ciphertext back for
+/// re-encryption, or when even a refreshed operand cannot fund the
+/// operation (parameters too small).
+fn insert_bootstraps(
+    g: &mut EvalGraph,
+    opts: &BootstrapOptions,
+    cost: &dyn CostModel,
+) -> Result<usize, PlanError> {
+    let mut inserted = 0usize;
+    loop {
+        let Some((nid, violating)) = first_violation(g, &opts.budget) else {
+            return Ok(inserted);
+        };
+        let (level, scale_bits) = {
+            let i = g.value(violating);
+            (i.level, i.scale_bits)
+        };
+        if !opts.key_available {
+            return Err(PlanError::BudgetExhausted {
+                value: violating.index(),
+                level,
+                scale_bits,
+                reason: "no bootstrap key registered for this tenant",
+            });
+        }
+        if cost.bootstrap_cost(opts.refresh_level) > cost.reencrypt_cost() {
+            return Err(PlanError::BudgetExhausted {
+                value: violating.index(),
+                level,
+                scale_bits,
+                reason: "bootstrap costed above client re-encryption",
+            });
+        }
+        let node = g.node(nid);
+        let Some(&x) = node.inputs.first() else {
+            return Err(PlanError::BudgetExhausted {
+                value: violating.index(),
+                level,
+                scale_bits,
+                reason: "exhausted value has no ciphertext operand to refresh",
+            });
+        };
+        // If the operand is already freshly bootstrapped (or the node IS
+        // a refresh), another refresh cannot help: the op itself does not
+        // fit the chain.
+        if matches!(node.op, GraphOp::Bootstrap { .. })
+            || matches!(g.node(g.value(x).producer).op, GraphOp::Bootstrap { .. })
+        {
+            return Err(PlanError::ScaleOverflow {
+                level,
+                scale_bits,
+                total_bits: opts.budget.total_bits(level),
+            });
+        }
+        // Splice: bootstrap(x) → b, retarget every occurrence of x in
+        // `nid` onto b (other consumers keep the unrefreshed x).
+        let bnid = g.push_raw_node(
+            GraphOp::Bootstrap {
+                target_level: opts.refresh_level,
+            },
+            vec![x],
+            Vec::new(),
+        );
+        let b = g.fresh_value(bnid, opts.refresh_level, opts.budget.scale_prime_bits);
+        g.node_mut(bnid).outputs.push(b);
+        let occurrences = g.node(nid).inputs.iter().filter(|&&i| i == x).count();
+        for _ in 0..occurrences {
+            g.unsubscribe(x, nid);
+            g.subscribe(b, nid);
+        }
+        for inp in g.node_mut(nid).inputs.iter_mut() {
+            if *inp == x {
+                *inp = b;
+            }
+        }
+        inserted += 1;
+        recompute_metadata(g);
+        debug_assert_eq!(g.validate(), Ok(()));
     }
 }
 
@@ -441,9 +809,12 @@ fn eliminate_dead(g: &mut EvalGraph) -> usize {
 /// Kahn's algorithm with a deterministic affinity score:
 /// `+2` per operand whose last remaining use is this node (freeing its
 /// scratch slot), `+3` when the node shares an operand with the node just
-/// scheduled (keyswitch digit / key-cache affinity), ties broken by the
-/// lowest node index (stable, creation-order-biased).
-fn schedule_affinity(g: &EvalGraph) -> Vec<NodeId> {
+/// scheduled (keyswitch digit / key-cache affinity). Ties break to the
+/// cheaper op under `cost` (when supplied — retiring cheap ready work
+/// first keeps the live set small while expensive keyswitches pipeline),
+/// then to the lowest node index (stable, creation-order-biased). With
+/// `cost: None` this is exactly the PR 8 scheduler.
+fn schedule_affinity(g: &EvalGraph, cost: Option<&dyn CostModel>) -> Vec<NodeId> {
     let mut indeg: HashMap<NodeId, usize> = HashMap::new();
     for nid in g.live_nodes() {
         indeg.insert(nid, g.node(nid).inputs.len());
@@ -466,6 +837,7 @@ fn schedule_affinity(g: &EvalGraph) -> Vec<NodeId> {
     while !ready.is_empty() {
         let mut best = 0usize;
         let mut best_score = i64::MIN;
+        let mut best_cost = u64::MAX;
         for (i, &cand) in ready.iter().enumerate() {
             let node = g.node(cand);
             let mut score = 0i64;
@@ -477,10 +849,22 @@ fn schedule_affinity(g: &EvalGraph) -> Vec<NodeId> {
                     score += 3;
                 }
             }
+            let cand_cost = match cost {
+                Some(c) => {
+                    let level = node.outputs.first().map(|&o| g.value(o).level).unwrap_or(0);
+                    c.op_cost(&node.op, level)
+                }
+                None => 0,
+            };
             // Deterministic tie-break: strictly better score wins; equal
-            // scores keep the earliest (lowest-index) candidate.
-            if score > best_score || (score == best_score && ready[best] > cand) {
+            // scores prefer the cheaper op (cost model supplied), then the
+            // earliest (lowest-index) candidate.
+            let better = score > best_score
+                || (score == best_score
+                    && (cand_cost < best_cost || (cand_cost == best_cost && ready[best] > cand)));
+            if better {
                 best_score = score;
+                best_cost = cand_cost;
                 best = i;
             }
         }
@@ -698,5 +1082,151 @@ mod tests {
             assert!(!p.graph.is_output(*r));
         }
         assert!(p.stats.max_live_after <= p.stats.max_live_before);
+    }
+
+    // ---- bootstrap insertion ---------------------------------------------
+
+    /// bootstrap_demo-shaped budget: first 48, scale primes 45.
+    fn demo_budget() -> NoiseBudget {
+        NoiseBudget {
+            first_prime_bits: 48.0,
+            scale_prime_bits: 45.0,
+            margin_bits: 10.0,
+        }
+    }
+
+    /// A chain that exhausts the modulus: squaring a level-0 value needs
+    /// 90 scale bits against 48 live modulus bits.
+    fn exhausted_graph() -> EvalGraph {
+        let mut g = EvalGraph::new(45.0);
+        let x = g.input(0, 45.0);
+        let sq = g.square(x);
+        g.mark_output(sq);
+        g
+    }
+
+    fn bootstrap_opts(key: bool) -> PlanOptions {
+        PlanOptions {
+            bootstrap: Some(BootstrapOptions {
+                key_available: key,
+                refresh_level: 2,
+                budget: demo_budget(),
+            }),
+            ..PlanOptions::default()
+        }
+    }
+
+    #[test]
+    fn exhausted_chain_gets_a_bootstrap_inserted() {
+        let p = try_plan(exhausted_graph(), &bootstrap_opts(true)).expect("repairable");
+        assert_eq!(p.stats.bootstraps_inserted, 1);
+        assert_eq!(
+            p.graph
+                .count_ops(|op| matches!(op, GraphOp::Bootstrap { .. })),
+            1
+        );
+        assert!(!p.value_preserving);
+        assert!(p.graph.validate().is_ok());
+        // The refresh lifted the chain: the square now runs at the
+        // refresh level and its output fits the budget again.
+        let out = p.graph.outputs()[0];
+        let v = p.graph.value(out);
+        assert_eq!(v.level, 2);
+        assert!(demo_budget().fits(v.level, v.scale_bits));
+        // The schedule stays topological even though the bootstrap node
+        // was appended after its consumer.
+        let mut seen = std::collections::HashSet::new();
+        for &nid in &p.schedule {
+            for &v in &p.graph.node(nid).inputs {
+                assert!(seen.contains(&p.graph.value(v).producer));
+            }
+            seen.insert(nid);
+        }
+    }
+
+    #[test]
+    fn missing_bootstrap_key_is_a_typed_error() {
+        let err =
+            try_plan(exhausted_graph(), &bootstrap_opts(false)).expect_err("no key → no repair");
+        assert!(
+            matches!(err, PlanError::BudgetExhausted { .. }),
+            "expected BudgetExhausted, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn refresh_costed_above_reencryption_is_rejected() {
+        struct ReencryptIsCheaper;
+        impl CostModel for ReencryptIsCheaper {
+            fn op_cost(&self, _op: &GraphOp, _level: usize) -> u64 {
+                1
+            }
+            fn bootstrap_cost(&self, _target_level: usize) -> u64 {
+                10
+            }
+            fn reencrypt_cost(&self) -> u64 {
+                5
+            }
+        }
+        let err = try_plan_with(
+            exhausted_graph(),
+            &bootstrap_opts(true),
+            &ReencryptIsCheaper,
+        )
+        .expect_err("cost model rejects the refresh");
+        assert!(matches!(
+            err,
+            PlanError::BudgetExhausted {
+                reason: "bootstrap costed above client re-encryption",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unfundable_op_even_after_refresh_is_scale_overflow() {
+        // refresh_level 0: the refreshed operand still cannot fund the
+        // squaring, so a second refresh is pointless — typed overflow.
+        let opts = PlanOptions {
+            bootstrap: Some(BootstrapOptions {
+                key_available: true,
+                refresh_level: 0,
+                budget: demo_budget(),
+            }),
+            ..PlanOptions::default()
+        };
+        let err = try_plan(exhausted_graph(), &opts).expect_err("refresh cannot help at level 0");
+        assert!(matches!(err, PlanError::ScaleOverflow { .. }));
+    }
+
+    #[test]
+    fn non_exhausted_graph_plans_identically_with_insertion_enabled() {
+        let base = plan(rotation_fan(), &PlanOptions::default());
+        let p = try_plan(rotation_fan(), &bootstrap_opts(true)).expect("nothing to repair");
+        assert_eq!(p.stats.bootstraps_inserted, 0);
+        assert_eq!(
+            p.graph
+                .count_ops(|op| matches!(op, GraphOp::Bootstrap { .. })),
+            0
+        );
+        assert_eq!(p.schedule, base.schedule);
+        assert_eq!(p.value_preserving, base.value_preserving);
+    }
+
+    #[test]
+    fn cost_tiebreak_schedule_is_topological_and_covers_all_nodes() {
+        let opts = PlanOptions {
+            cost_tiebreak: true,
+            ..PlanOptions::default()
+        };
+        let p = try_plan(rotation_fan(), &opts).expect("infallible without bootstrap");
+        let mut seen = std::collections::HashSet::new();
+        for &nid in &p.schedule {
+            for &v in &p.graph.node(nid).inputs {
+                assert!(seen.contains(&p.graph.value(v).producer));
+            }
+            seen.insert(nid);
+        }
+        assert_eq!(p.schedule.len(), p.graph.live_node_count());
     }
 }

@@ -132,6 +132,18 @@ pub enum Request {
         /// Plaintext operand.
         pt: Plaintext,
     },
+    /// A whole `.pos` program, compiled through the evaluation planner
+    /// and executed as **one** admission-controlled unit: the deadline,
+    /// priority ladder, and replay cache govern the entire program, and
+    /// the planner's rotation hoisting / rescale sinking apply across
+    /// its full dataflow instead of per wire op.
+    Program {
+        /// Program text in the `.pos` trace format
+        /// (`poseidon_sim::program`).
+        text: String,
+        /// Seed ciphertext bound to every graph input slot.
+        a: Ciphertext,
+    },
 }
 
 /// Why a request was rejected or failed. Like the wire layer, serving is
@@ -264,4 +276,5 @@ pub(crate) mod tel {
     scope_fn!(watchdog_requeued, "serve.watchdog.requeued");
     scope_fn!(watchdog_failed, "serve.watchdog.failed");
     scope_fn!(replay_coalesced, "serve.replay.coalesced");
+    scope_fn!(program, "serve.program");
 }

@@ -192,9 +192,7 @@ struct CachedOutcome {
 fn outcome_cost(result: &Result<Ciphertext, ServeError>) -> usize {
     const ENTRY_OVERHEAD: usize = 96;
     match result {
-        Ok(ct) => {
-            ENTRY_OVERHEAD + 8 * ct.n() * (ct.c0().level_count() + ct.c1().level_count())
-        }
+        Ok(ct) => ENTRY_OVERHEAD + 8 * ct.n() * (ct.c0().level_count() + ct.c1().level_count()),
         Err(_) => ENTRY_OVERHEAD,
     }
 }
@@ -262,7 +260,10 @@ impl ReplayCache {
         let cost = outcome_cost(&result);
         let mut state = self.state.lock().expect("replay cache poisoned");
         let key = (tenant, id);
-        match state.map.insert(key.clone(), CachedOutcome { result, cost }) {
+        match state
+            .map
+            .insert(key.clone(), CachedOutcome { result, cost })
+        {
             None => {
                 state.order.push_back(key.clone());
                 state.bytes += cost;
@@ -295,6 +296,10 @@ impl ReplayCache {
 /// The boxed completion sink of a tagged submission.
 type TaggedSink = Box<dyn FnOnce(u64, Result<Ciphertext, ServeError>) + Send>;
 
+/// In-flight replay-flagged executions and the sinks attached to each,
+/// keyed `(tenant, request id)`.
+type PendingSinks = HashMap<(Arc<str>, u64), Vec<TaggedSink>>;
+
 /// Replay-flagged executions currently queued or executing, keyed
 /// `(tenant, request id)`. A duplicate replay submission that *races*
 /// the original — retried before the first execution completed —
@@ -305,7 +310,7 @@ type TaggedSink = Box<dyn FnOnce(u64, Result<Ciphertext, ServeError>) + Send>;
 /// cache can never miss both.
 #[derive(Default)]
 struct ReplayPending {
-    map: Mutex<HashMap<(Arc<str>, u64), Vec<TaggedSink>>>,
+    map: Mutex<PendingSinks>,
 }
 
 struct WorkerSlot {
@@ -973,7 +978,40 @@ fn run_one(tenant: &Tenant, request: &Request) -> Result<Ciphertext, he_ckks::er
         Request::Conjugate { a } => tenant.checked.conjugate(a, &tenant.keys),
         Request::AddPlain { a, pt } => tenant.checked.add_plain(a, pt),
         Request::MulPlain { a, pt } => tenant.checked.mul_plain(a, pt),
+        Request::Program { text, a } => run_program(tenant, text, a),
     }
+}
+
+/// Compiles and executes one `.pos` program as a unit: parse → lower
+/// (`compile_trace`) → pass pipeline (`try_plan`) → plan executor, on a
+/// fresh evaluator over the tenant's context. Every graph input is
+/// seeded with `a`; the reply is the program's final output.
+///
+/// Serve-side planning runs without bootstrap insertion — tenants
+/// register evaluation keys, not bootstrap keys, so an exhausted
+/// program is a typed rejection rather than a silent truncation.
+fn run_program(
+    tenant: &Tenant,
+    text: &str,
+    a: &Ciphertext,
+) -> Result<Ciphertext, he_ckks::error::EvalError> {
+    use he_ckks::error::EvalError;
+    use poseidon_core::plan::{execute, plan_trace, PlanOptions};
+
+    let trace = poseidon_sim::program::parse(text)
+        .map_err(|e| EvalError::InvalidParams(format!("program parse: {e}")))?;
+    let plan = plan_trace(&trace, &tenant.ctx, &PlanOptions::default())
+        .map_err(|e| EvalError::InvalidParams(format!("program planning: {e}")))?;
+    #[cfg(feature = "telemetry")]
+    crate::tel::program().add(plan.schedule.len() as u64);
+    let inputs = vec![a.clone(); plan.graph.inputs().len()];
+    let mut eval = Evaluator::new(&tenant.ctx);
+    let outcome = execute(&plan, &mut eval, &inputs, &tenant.keys)?;
+    outcome
+        .outputs
+        .into_iter()
+        .next_back()
+        .ok_or_else(|| EvalError::InvalidParams("program produced no outputs".into()))
 }
 
 /// Panic containment: a worker panic answers this request with

@@ -123,9 +123,7 @@ impl InFlightTable {
     /// were failed.
     pub(crate) fn fail_shard(&self, shard: usize) -> usize {
         let drained: Vec<ReplySink> = {
-            let mut slots = self.shards[shard]
-                .lock()
-                .expect("in-flight table poisoned");
+            let mut slots = self.shards[shard].lock().expect("in-flight table poisoned");
             slots.drain().map(|(_, sink)| sink).collect()
         };
         let n = drained.len();

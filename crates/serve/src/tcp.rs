@@ -1,7 +1,7 @@
 //! Multiplexed TCP front-end over the wire format, plus pipelining and
 //! self-healing clients.
 //!
-//! ## Protocol (v3)
+//! ## Protocol (v4)
 //!
 //! Both directions speak `u32` little-endian length-prefixed frames
 //! (length excludes the prefix itself; bounded by [`MAX_FRAME`]). Every
@@ -34,7 +34,10 @@
 //! (key-set frame, normally [`poseidon_wire::encode_keyset_public`]),
 //! and `RegisterTenantChunk` (one [`poseidon_wire::chunk_keyset`] slice;
 //! chunks stream in order on one connection and the final chunk's reply
-//! acknowledges the registration).
+//! acknowledges the registration). `Program` (opcode 12, v4) carries
+//! two blobs — raw utf-8 `.pos` program text, then one seed ciphertext
+//! frame — and executes the whole program server-side through the
+//! evaluation planner as a single admission-controlled unit.
 //!
 //! **Response** frame body: `request_id: u64 LE` (echoed) followed by
 //! status `u8` — `0` = ok then one optional blob (`u32` LE length,
@@ -200,6 +203,15 @@ pub enum Op<'a> {
         /// One [`poseidon_wire::chunk_keyset`] chunk frame.
         chunk: &'a [u8],
     },
+    /// A whole `.pos` program submitted as one planned, admission-
+    /// controlled unit (deadline, priority, and replay cover the full
+    /// program, and the planner optimises across its dataflow).
+    Program {
+        /// Program text in the `.pos` trace format (utf-8).
+        program: &'a [u8],
+        /// Seed ciphertext frame bound to every program input.
+        a: &'a [u8],
+    },
 }
 
 impl Op<'_> {
@@ -216,6 +228,7 @@ impl Op<'_> {
             Op::MulPlain { .. } => 9,
             Op::RegisterTenant { .. } => 10,
             Op::RegisterTenantChunk { .. } => 11,
+            Op::Program { .. } => 12,
         }
     }
 
@@ -235,6 +248,7 @@ impl Op<'_> {
             Op::AddPlain { a, pt } | Op::MulPlain { a, pt } => vec![a, pt],
             Op::RegisterTenant { keyset } => vec![keyset],
             Op::RegisterTenantChunk { chunk } => vec![chunk],
+            Op::Program { program, a } => vec![program, a],
         }
     }
 }
@@ -614,6 +628,39 @@ fn process_body(
     let ctx = service
         .tenant_context(&tenant)
         .ok_or_else(|| ServeError::UnknownTenant(tenant.clone()))?;
+
+    // Program submission carries its `.pos` text as the *first* blob —
+    // handled before the generic leading-ciphertext decode below.
+    if code == 12 {
+        let text = std::str::from_utf8(r.blob()?)
+            .map_err(|_| ServeError::Protocol("program text is not utf-8".into()))?
+            .to_string();
+        let a = poseidon_wire::decode_ciphertext_pooled(&ctx, r.blob()?, pool)?;
+        r.done()?;
+        let _ = tx.send(WriterMsg::Expect { id, ctx });
+        let done_tx = tx.clone();
+        let submit = service.submit_tagged_opts(
+            &tenant,
+            Request::Program { text, a },
+            id,
+            deadline,
+            replay,
+            move |id, result| {
+                let _ = done_tx.send(WriterMsg::Done {
+                    id,
+                    result: Box::new(result),
+                });
+            },
+        );
+        if let Err(e) = submit {
+            let _ = tx.send(WriterMsg::Done {
+                id,
+                result: Box::new(Err(e)),
+            });
+        }
+        return Ok(());
+    }
+
     let a = poseidon_wire::decode_ciphertext_pooled(&ctx, r.blob()?, pool)?;
     let request = match code {
         1 => Request::Add {
@@ -1073,6 +1120,24 @@ impl Client {
     /// The server's [`ServeError`], flattened to its message.
     pub fn mul_plain(&self, tenant: &str, a: &[u8], pt: &[u8]) -> Result<Vec<u8>, ServeError> {
         Self::expect_blob(self.request(tenant, Op::MulPlain { a, pt }))
+    }
+
+    /// Submits a whole `.pos` program with `a` seeding every program
+    /// input; the reply is the program's final output ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// The server's [`ServeError`], flattened to its message — a parse
+    /// or planning failure comes back as an eval error (code 3) without
+    /// executing any operation.
+    pub fn program(&self, tenant: &str, program: &str, a: &[u8]) -> Result<Vec<u8>, ServeError> {
+        Self::expect_blob(self.request(
+            tenant,
+            Op::Program {
+                program: program.as_bytes(),
+                a,
+            },
+        ))
     }
 }
 

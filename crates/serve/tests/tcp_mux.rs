@@ -338,10 +338,22 @@ fn independent_resilient_clients_draw_disjoint_replay_ids() {
         .expect("client 2");
 
     let r1 = c1
-        .call("acme", Op::Rotate { a: &frame, steps: 1 })
+        .call(
+            "acme",
+            Op::Rotate {
+                a: &frame,
+                steps: 1,
+            },
+        )
         .expect("rotate by 1");
     let r2 = c2
-        .call("acme", Op::Rotate { a: &frame, steps: 2 })
+        .call(
+            "acme",
+            Op::Rotate {
+                a: &frame,
+                steps: 2,
+            },
+        )
         .expect("rotate by 2");
 
     for (blob, want) in [(&r1, &expected[0]), (&r2, &expected[1])] {
